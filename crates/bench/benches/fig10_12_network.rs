@@ -1,0 +1,31 @@
+//! Criterion benches for the network-wide experiments: the Fig 10
+//! triangle-testbed scenarios, the Fig 11 priority strategies, and the
+//! Fig 12 B4 re-allocation.
+
+use bench::experiments::{fig10, fig11, fig12};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_network(c: &mut Criterion) {
+    let mut g = c.benchmark_group("network");
+    g.sample_size(10);
+    let scens = fig10::scenarios(100, 200);
+    for arm in fig10::Arm::all() {
+        g.bench_function(format!("fig10_te1_{}", arm.label()), |b| {
+            b.iter(|| fig10::makespan_s(&scens[1], arm, 7))
+        });
+    }
+    g.bench_function("fig11_enforcement_vs_dionysus", |b| {
+        b.iter(|| {
+            let d = fig11::makespan_s(true, 1, 200, fig11::Arm::Dionysus, 3);
+            let e = fig11::makespan_s(true, 1, 200, fig11::Arm::PriorityEnforcement, 3);
+            (d, e)
+        })
+    });
+    g.bench_function("fig12_b4_both_arms", |b| {
+        b.iter(|| fig12::makespans_s(150, 5))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_network);
+criterion_main!(benches);

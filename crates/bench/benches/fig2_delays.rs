@@ -1,0 +1,23 @@
+//! Criterion bench for the Figure 2 experiments: tiered path delays on
+//! OVS, Switch #1, and Switch #2.
+
+use bench::experiments::fig2;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    g.bench_function("fig2a_ovs_three_tier", |b| {
+        b.iter(|| fig2::fig2a(80, 160))
+    });
+    g.bench_function("fig2b_switch1_three_tier", |b| {
+        b.iter(|| fig2::fig2b(350, 550))
+    });
+    g.bench_function("fig2c_switch2_two_tier", |b| {
+        b.iter(|| fig2::fig2c(100, 550))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion benches for the Figure 3 experiments: op-permutation
+//! batches (3a), add vs modify (3b), and priority orderings (3c).
+
+use bench::experiments::{fig3a, fig3b, fig3c};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.bench_function("fig3a_six_permutations", |b| {
+        b.iter(|| fig3a::run(200, 40, 1))
+    });
+    g.bench_function("fig3b_add_vs_mod", |b| b.iter(|| fig3b::run(&[50, 200])));
+    g.bench_function("fig3c_priority_orders", |b| b.iter(|| fig3c::run(&[200])));
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench for the Figure 8/9 experiments: ClassBench
+//! installation under the four priority/order schemes.
+
+use bench::experiments::fig89;
+use criterion::{criterion_group, criterion_main, Criterion};
+use workloads::classbench::ClassBenchConfig;
+
+fn bench_fig89(c: &mut Criterion) {
+    let cfg = ClassBenchConfig {
+        rules: 300,
+        levels: 30,
+        cluster_depth: 3,
+        seed: 0x89,
+    };
+    let mut g = c.benchmark_group("fig89");
+    g.sample_size(10);
+    g.bench_function("fig8_ovs_four_schemes", |b| {
+        b.iter(|| fig89::run(fig89::Target::Ovs, "bench", &cfg, 1))
+    });
+    g.bench_function("fig9_switch1_four_schemes", |b| {
+        b.iter(|| fig89::run(fig89::Target::Switch1, "bench", &cfg, 1))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig89);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benches for the inference algorithms: Algorithm 1 (size)
+//! and Algorithm 2 (policy), plus the clustering ablation arms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ofwire::types::Dpid;
+use switchsim::cache::CachePolicy;
+use switchsim::harness::Testbed;
+use switchsim::profiles::SwitchProfile;
+use tango::infer_policy::{probe_policy, PolicyProbeConfig};
+use tango::infer_size::{probe_sizes, ClusterMethod, SizeProbeConfig};
+use tango::pattern::RuleKind;
+use tango::probe::ProbingEngine;
+
+fn bench_inference(c: &mut Criterion) {
+    let mut g = c.benchmark_group("inference");
+    g.sample_size(10);
+    for method in [ClusterMethod::Gaps, ClusterMethod::KMeans] {
+        g.bench_function(format!("algorithm1_size_256_{method:?}"), |b| {
+            b.iter(|| {
+                let mut tb = Testbed::new(1);
+                tb.attach_default(
+                    Dpid(1),
+                    SwitchProfile::generic_cached(256, CachePolicy::fifo()),
+                );
+                let mut eng = ProbingEngine::new(&mut tb, Dpid(1), RuleKind::L3);
+                let cfg = SizeProbeConfig {
+                    max_flows: 512,
+                    trials_per_level: 200,
+                    cluster_method: method,
+                    ..SizeProbeConfig::default()
+                };
+                probe_sizes(&mut eng, &cfg)
+            })
+        });
+    }
+    for (name, policy) in [
+        ("fifo", CachePolicy::fifo()),
+        ("lru", CachePolicy::lru()),
+        ("priority_lru", CachePolicy::priority_then_lru()),
+    ] {
+        g.bench_function(format!("algorithm2_policy_{name}"), |b| {
+            b.iter(|| {
+                let mut tb = Testbed::new(2);
+                tb.attach_default(
+                    Dpid(1),
+                    SwitchProfile::generic_cached(60, policy.clone()),
+                );
+                let mut eng = ProbingEngine::new(&mut tb, Dpid(1), RuleKind::L3);
+                probe_policy(&mut eng, 60, &PolicyProbeConfig::default())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

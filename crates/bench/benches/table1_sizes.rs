@@ -1,0 +1,21 @@
+//! Criterion bench for the Table 1 experiment: black-box capacity
+//! discovery across the four switch profiles.
+
+use bench::experiments::table1;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("capacity_discovery_all_switches", |b| {
+        b.iter(|| {
+            let rows = table1::run(2048);
+            assert_eq!(rows.len(), 4);
+            rows
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

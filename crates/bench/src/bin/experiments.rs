@@ -1,0 +1,232 @@
+//! The experiments runner: regenerates every table and figure of the
+//! paper, writing CSV/text under `results/`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin experiments -- all
+//! cargo run --release -p bench --bin experiments -- fig3c infer_size
+//! cargo run --release -p bench --bin experiments -- --quick all
+//! ```
+//!
+//! `--quick` shrinks workload sizes ~10× for smoke runs.
+
+use bench::experiments::*;
+use bench::report::{write_figure, write_text};
+
+struct Scale {
+    quick: bool,
+}
+
+impl Scale {
+    fn n(&self, full: usize) -> usize {
+        if self.quick {
+            (full / 10).max(20)
+        } else {
+            full
+        }
+    }
+}
+
+fn run_one(name: &str, scale: &Scale) -> bool {
+    let q = scale;
+    match name {
+        "table1" => {
+            let rows = table1::run(q.n(8192));
+            let text = table1::render(&rows);
+            println!("== Table 1 ==\n{text}");
+            write_text("table1", &text);
+        }
+        "fig2" => {
+            let a = fig2::fig2a(q.n(80).min(80), q.n(160).min(160));
+            let b = fig2::fig2b(q.n(3500), q.n(5500));
+            let c = fig2::fig2c(q.n(500), q.n(5500));
+            for (n, f) in [("fig2a", &a), ("fig2b", &b), ("fig2c", &c)] {
+                println!("{n}: {} series written", f.series.len());
+                write_figure(n, f);
+            }
+        }
+        "fig3a" => {
+            let fig = fig3a::run(q.n(1000), q.n(200), if q.quick { 3 } else { 10 });
+            println!("== Fig 3a ==");
+            for s in &fig.series {
+                println!("  {:<12} {:.2} s", s.label, s.points[0].1);
+            }
+            write_figure("fig3a", &fig);
+        }
+        "fig3b" => {
+            let sizes: Vec<usize> = fig3b::paper_sizes()
+                .into_iter()
+                .map(|n| q.n(n))
+                .collect();
+            let fig = fig3b::run(&sizes);
+            println!("fig3b: {} series written", fig.series.len());
+            write_figure("fig3b", &fig);
+        }
+        "fig3c" => {
+            let sizes: Vec<usize> = fig3c::paper_sizes()
+                .into_iter()
+                .map(|n| q.n(n))
+                .collect();
+            let fig = fig3c::run(&sizes);
+            println!("fig3c: {} series written", fig.series.len());
+            write_figure("fig3c", &fig);
+        }
+        "fig5" => {
+            let fig = fig5::run(q.n(100) as u64, q.n(400) as u64, q.n(2500));
+            println!(
+                "fig5: layer populations {:?}",
+                fig.series.iter().map(|s| s.len()).collect::<Vec<_>>()
+            );
+            write_figure("fig5", &fig);
+        }
+        "fig6" => {
+            let fig = fig6::run(100);
+            println!("fig6: {} series written", fig.series.len());
+            write_figure("fig6", &fig);
+        }
+        "table2" => {
+            let rows = table2::run();
+            let text = table2::render(&rows);
+            println!("== Table 2 ==\n{text}");
+            write_text("table2", &text);
+        }
+        "fig8" | "fig9" => {
+            let target = if name == "fig8" {
+                fig89::Target::Ovs
+            } else {
+                fig89::Target::Switch1
+            };
+            let reps = if q.quick { 3 } else { 10 };
+            for (file, cfg) in workloads::classbench::ClassBenchConfig::presets() {
+                let fig = fig89::run(target, file, &cfg, reps);
+                let out = format!("{name}_{}", file.to_lowercase());
+                println!("== {out} ==");
+                for s in &fig.series {
+                    println!("  {:<10} mean {:.3} s", s.label, s.summary().mean);
+                }
+                write_figure(&out, &fig);
+            }
+        }
+        "fig10" => {
+            let fig = fig10::run(q.n(400), q.n(800));
+            println!("== Fig 10 ==");
+            for s in &fig.series {
+                let ys: Vec<String> =
+                    s.points.iter().map(|p| format!("{:.2}", p.1)).collect();
+                println!("  {:<22} LF/TE1/TE2 = {}", s.label, ys.join(" / "));
+            }
+            write_figure("fig10", &fig);
+        }
+        "fig11" => {
+            let fig = fig11::run(q.n(2400));
+            println!("== Fig 11 ==");
+            for s in &fig.series {
+                let ys: Vec<String> =
+                    s.points.iter().map(|p| format!("{:.2}", p.1)).collect();
+                println!("  {:<28} {}", s.label, ys.join(" / "));
+            }
+            write_figure("fig11", &fig);
+        }
+        "fig12" => {
+            let fig = fig12::run(q.n(2200));
+            println!("== Fig 12 ==");
+            for s in &fig.series {
+                println!("  {:<10} {:.4} s", s.label, s.points[0].1);
+            }
+            write_figure("fig12", &fig);
+        }
+        "infer_size" => {
+            let mut rows = infer_size::run(&[256, 512, 1024].map(|n| q.n(n) as u64));
+            if !q.quick {
+                rows.extend(infer_size::run_vendors());
+            }
+            let text = infer_size::render(&rows);
+            println!("== Size inference accuracy ==\n{text}");
+            write_text("infer_size", &text);
+        }
+        "infer_geometry" => {
+            let rows = infer_geometry::run(q.n(6000));
+            let text = infer_geometry::render(&rows);
+            println!("== TCAM geometry inference ==\n{text}");
+            write_text("infer_geometry", &text);
+        }
+        "infer_policy" => {
+            let rows = infer_policy::run(q.n(100) as u64);
+            let text = infer_policy::render(&rows);
+            println!("== Policy inference ==\n{text}");
+            write_text("infer_policy", &text);
+        }
+        "ablations" => {
+            let mut text = String::new();
+            text.push_str("== clustering method ==\n");
+            text.push_str(&ablations::clustering_ablation(q.n(512) as u64));
+            text.push_str("\n== trials-per-level sweep ==\n");
+            text.push_str(&ablations::trials_sweep(
+                q.n(512) as u64,
+                &[50, 150, 400, 800],
+            ));
+            let (g, l) = ablations::batching_ablation(q.n(200));
+            text.push_str(&format!(
+                "\n== batching ==\ngreedy: {g:.3} s, lookahead: {l:.3} s\n"
+            ));
+            let (a, gu) = ablations::guard_ablation(q.n(200), 50);
+            text.push_str(&format!(
+                "\n== guard time ==\nack-wait: {a:.3} s, guarded: {gu:.3} s\n"
+            ));
+            println!("{text}");
+            write_text("ablations", &text);
+        }
+        other => {
+            eprintln!("unknown experiment: {other}");
+            return false;
+        }
+    }
+    true
+}
+
+const ALL: &[&str] = &[
+    "table1",
+    "fig2",
+    "fig3a",
+    "fig3b",
+    "fig3c",
+    "fig5",
+    "fig6",
+    "table2",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "infer_size",
+    "infer_geometry",
+    "infer_policy",
+    "ablations",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = Scale { quick };
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let list: Vec<&str> = if wanted.is_empty() || wanted.contains(&"all") {
+        ALL.to_vec()
+    } else {
+        wanted
+    };
+    let mut failed = false;
+    for name in list {
+        let t0 = std::time::Instant::now();
+        println!("\n──── running {name} ────");
+        if !run_one(name, &scale) {
+            failed = true;
+        }
+        println!("({name} took {:.1}s)", t0.elapsed().as_secs_f64());
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,73 @@
+//! Figure 12 — the B4/Mininet traffic-engineering scenario: Dionysus vs
+//! Tango on twelve OVS switches.
+//!
+//! The workload is a max-min-fair re-allocation after a traffic-matrix
+//! change (`workloads::scenarios::b4_traffic_engineering`). On OVS the
+//! priority pattern buys nothing (installation is priority-insensitive),
+//! so the improvement comes from the rule-type pattern alone and is
+//! modest (~8 % in the paper).
+
+use crate::lower::{b4_testbed, lower_scenario};
+use simnet::trace::Figure;
+use tango_sched::basic::{run_dionysus, run_tango_online, TangoMode};
+use workloads::scenarios::b4_traffic_engineering;
+
+/// Makespans in seconds: `(dionysus, tango)`.
+#[must_use]
+pub fn makespans_s(n_flows: usize, seed: u64) -> (f64, f64) {
+    let scen = b4_traffic_engineering(n_flows, seed);
+    let dio = {
+        let (mut tb, dpids) = b4_testbed(seed ^ 0xd);
+        let mut dag = lower_scenario(&mut tb, &dpids, &scen);
+        run_dionysus(&mut tb, &mut dag).makespan.as_secs_f64()
+    };
+    let tango = {
+        let (mut tb, dpids) = b4_testbed(seed ^ 0xd);
+        let mut dag = lower_scenario(&mut tb, &dpids, &scen);
+        run_tango_online(&mut tb, &mut dag, TangoMode::TypeAndPriority)
+            .makespan
+            .as_secs_f64()
+    };
+    (dio, tango)
+}
+
+/// Runs the figure (paper scale: 2 200 end-to-end requests).
+#[must_use]
+pub fn run(n_flows: usize) -> Figure {
+    let (dio, tango) = makespans_s(n_flows, 0x12);
+    let mut fig = Figure::new(
+        "fig12: OVS TE Optimization (B4 topology)",
+        "scheduler (0=Dionysus, 1=Tango)",
+        "installation time (s)",
+    );
+    fig.series_mut("Dionysus").push(0.0, dio);
+    fig.series_mut("Tango").push(1.0, tango);
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tango_improvement_is_modest_on_ovs() {
+        // Averaged over seeds: OVS is priority-insensitive, so the gap
+        // is small (paper: ~8 %) — nothing like the hardware testbed's
+        // 70 % — and may even be jitter-level at this reduced scale.
+        let mut dio_sum = 0.0;
+        let mut tango_sum = 0.0;
+        for seed in [3u64, 4, 5] {
+            let (d, t) = makespans_s(250, seed);
+            dio_sum += d;
+            tango_sum += t;
+        }
+        assert!(
+            tango_sum <= dio_sum * 1.02,
+            "tango ({tango_sum}) should not meaningfully lose to dionysus ({dio_sum})"
+        );
+        assert!(
+            tango_sum > 0.5 * dio_sum,
+            "OVS improvement should be modest: {tango_sum} vs {dio_sum}"
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Figure 2 — tiered forwarding delays.
+//!
+//! * (a) OVS: 80 preinstalled rules, 160 flows × 2 packets. First
+//!   packets of known flows take the slow path (userspace + microflow
+//!   clone), second packets the fast path; unknown flows hit the
+//!   controller. Three delay tiers around 3.0 / 4.5 / 4.65 ms.
+//! * (b) Switch #1: 3 500 preinstalled rules, >5 000 flows. The first
+//!   2 047 rules sit in TCAM (fast, 0.665 ms), the rest in the software
+//!   table (slow, 3.7 ms), unknown flows at the controller (7.5 ms) —
+//!   and both packets of a flow land in the same tier (FIFO caching is
+//!   traffic-independent).
+//! * (c) Switch #2: two tiers only (0.4 ms fast path, 8 ms controller).
+
+use ofwire::flow_mod::FlowMod;
+use ofwire::types::Dpid;
+use simnet::trace::Figure;
+use switchsim::harness::Testbed;
+use switchsim::pipeline::Hit;
+use switchsim::profiles::SwitchProfile;
+use tango::pattern::RuleKind;
+
+/// Shared driver: preinstall `rules` rules, then send `flows` flows of
+/// two packets each (the first `rules` flows match) and record both
+/// packets' delays, classified by serving tier.
+fn tiered_delay(
+    profile: SwitchProfile,
+    rules: usize,
+    flows: usize,
+    title: &str,
+    tier_labels: &[&str],
+) -> Figure {
+    let mut tb = Testbed::new(0xf16);
+    let dpid = Dpid(1);
+    tb.attach_default(dpid, profile);
+    let fms: Vec<FlowMod> = (0..rules)
+        .map(|i| FlowMod::add(RuleKind::L3.flow_match(i as u32), 100))
+        .collect();
+    let (ok, failed, _) = tb.batch(dpid, fms);
+    assert_eq!(ok, rules);
+    assert_eq!(failed, 0);
+
+    let mut fig = Figure::new(title, "flow id", "delay (ms)");
+    for label in tier_labels {
+        fig.series_mut(*label);
+    }
+    for f in 0..flows {
+        for _pkt in 0..2 {
+            let key = ofwire::flow_match::FlowMatch::key_for_id(f as u32);
+            let (hit, rtt) = tb.probe(dpid, &key);
+            let tier = match hit {
+                Hit::Table { level, .. } => level.min(tier_labels.len() - 2),
+                Hit::Miss => tier_labels.len() - 1,
+            };
+            fig.series[tier].push(f as f64, rtt.as_millis_f64());
+        }
+    }
+    fig
+}
+
+/// Fig 2(a): OVS three-tier delays.
+#[must_use]
+pub fn fig2a(rules: usize, flows: usize) -> Figure {
+    tiered_delay(
+        SwitchProfile::ovs(),
+        rules,
+        flows,
+        "fig2a: Slow/Fast/Control Path Delays (OVS)",
+        &["fast path", "slow path", "control path"],
+    )
+}
+
+/// Fig 2(b): Switch #1 three-tier delays.
+#[must_use]
+pub fn fig2b(rules: usize, flows: usize) -> Figure {
+    tiered_delay(
+        SwitchProfile::vendor1(),
+        rules,
+        flows,
+        "fig2b: Slow/Fast/Control Path Delays (HW Switch #1)",
+        &["fast path", "slow path", "control path"],
+    )
+}
+
+/// Fig 2(c): Switch #2 two-tier delays.
+#[must_use]
+pub fn fig2c(rules: usize, flows: usize) -> Figure {
+    tiered_delay(
+        SwitchProfile::vendor2(),
+        rules,
+        flows,
+        "fig2c: Fast/Control Path Delays (HW Switch #2)",
+        &["fast path", "control path"],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::trace::Summary;
+
+    #[test]
+    fn ovs_three_tiers_with_promotion() {
+        // Scaled down: 20 rules, 40 flows.
+        let fig = fig2a(20, 40);
+        let fast = &fig.series[0];
+        let slow = &fig.series[1];
+        let ctrl = &fig.series[2];
+        // Known flows: first packet slow, second fast → 20 each.
+        assert_eq!(fast.len(), 20);
+        assert_eq!(slow.len(), 20);
+        // Unknown flows: both packets to the controller.
+        assert_eq!(ctrl.len(), 40);
+        let f = Summary::of(fast.points.iter().map(|p| p.1));
+        let s = Summary::of(slow.points.iter().map(|p| p.1));
+        let c = Summary::of(ctrl.points.iter().map(|p| p.1));
+        assert!((f.mean - 3.0).abs() < 0.3, "fast {}", f.mean);
+        assert!((s.mean - 4.5).abs() < 0.5, "slow {}", s.mean);
+        assert!((c.mean - 4.65).abs() < 0.5, "ctrl {}", c.mean);
+    }
+
+    #[test]
+    fn switch1_tiers_are_traffic_independent() {
+        // Scaled: the TCAM boundary at 2047 is too big for a unit test,
+        // so exercise the full-size experiment shape cheaply via the
+        // boundary behaviour of the first packets only. 100 rules all
+        // fit TCAM; flows beyond are controller.
+        let fig = fig2b(100, 150);
+        let fast = &fig.series[0];
+        let slow = &fig.series[1];
+        let ctrl = &fig.series[2];
+        assert_eq!(fast.len(), 200, "both packets of known flows fast");
+        assert_eq!(slow.len(), 0);
+        assert_eq!(ctrl.len(), 100);
+        let f = Summary::of(fast.points.iter().map(|p| p.1));
+        assert!((f.mean - 0.665).abs() < 0.2, "fast {}", f.mean);
+    }
+
+    #[test]
+    fn switch2_has_two_tiers() {
+        let fig = fig2c(50, 80);
+        assert_eq!(fig.series.len(), 2);
+        assert_eq!(fig.series[0].len(), 100);
+        assert_eq!(fig.series[1].len(), 60);
+    }
+}

@@ -1,0 +1,85 @@
+//! Figure 5 — per-flow RTTs on a switch with multiple cache layers,
+//! showing the clusters Algorithm 1's stage 2 detects.
+//!
+//! The paper plots ~2 500 flows on "HW Switch #2" falling into three RTT
+//! bands (fast path 1 ≈ 0.20 ms, fast path 2 ≈ 0.50 ms, slow path
+//! ≈ 1.40 ms, in its 10⁻² ms axis units). We reproduce it on the
+//! three-level `multilayer` profile.
+
+use ofwire::flow_mod::FlowMod;
+use ofwire::types::Dpid;
+use simnet::trace::Figure;
+use switchsim::cache::CachePolicy;
+use switchsim::harness::Testbed;
+use switchsim::pipeline::Hit;
+use switchsim::profiles::SwitchProfile;
+use tango::pattern::RuleKind;
+
+/// Installs `flows` rules on a `l0`/`l1`-sized three-level switch and
+/// probes each once, recording RTT by flow id with one series per layer.
+#[must_use]
+pub fn run(l0: u64, l1: u64, flows: usize) -> Figure {
+    let mut tb = Testbed::new(5);
+    let dpid = Dpid(1);
+    tb.attach_default(
+        dpid,
+        SwitchProfile::multilayer(l0, l1, CachePolicy::fifo()),
+    );
+    let fms: Vec<FlowMod> = (0..flows)
+        .map(|i| FlowMod::add(RuleKind::L3.flow_match(i as u32), 100))
+        .collect();
+    let (ok, failed, _) = tb.batch(dpid, fms);
+    assert_eq!(ok, flows);
+    assert_eq!(failed, 0);
+
+    let mut fig = Figure::new(
+        "fig5: Round trip times for flows installed in a 3-layer switch",
+        "flow id",
+        "RTT (ms)",
+    );
+    fig.series_mut("fast path 1");
+    fig.series_mut("fast path 2");
+    fig.series_mut("slow path");
+    for f in 0..flows {
+        let key = ofwire::flow_match::FlowMatch::key_for_id(f as u32);
+        let (hit, rtt) = tb.probe(dpid, &key);
+        let level = match hit {
+            Hit::Table { level, .. } => level.min(2),
+            Hit::Miss => unreachable!("every probed flow has a rule"),
+        };
+        fig.series[level].push(f as f64, rtt.as_millis_f64());
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::trace::Summary;
+    use tango::cluster::cluster_rtts;
+
+    #[test]
+    fn three_bands_with_expected_sizes() {
+        let fig = run(100, 400, 1200);
+        assert_eq!(fig.series[0].len(), 100);
+        assert_eq!(fig.series[1].len(), 400);
+        assert_eq!(fig.series[2].len(), 700);
+        let c0 = Summary::of(fig.series[0].points.iter().map(|p| p.1));
+        let c1 = Summary::of(fig.series[1].points.iter().map(|p| p.1));
+        let c2 = Summary::of(fig.series[2].points.iter().map(|p| p.1));
+        assert!(c0.mean < c1.mean && c1.mean < c2.mean);
+    }
+
+    #[test]
+    fn tango_clustering_recovers_three_layers() {
+        let fig = run(80, 250, 800);
+        let all: Vec<f64> = fig
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.1))
+            .collect();
+        let c = cluster_rtts(&all);
+        assert_eq!(c.k(), 3, "centers {:?}", c.centers);
+        assert_eq!(c.sizes, vec![80, 250, 470]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Figures 8 and 9 — ClassBench installation time under four
+//! priority-assignment × installation-order schemes, on OVS (Fig 8) and
+//! on Switch #1 (Fig 9).
+//!
+//! Schemes (§7.1): **Topo Asc** — topological (minimal-level) priorities
+//! installed in the probed-optimal ascending order; **R Asc** — 1-to-1
+//! priorities, ascending order; **R Rand** / **Topo Rand** — the same
+//! assignments installed in random order. Each scheme runs `reps` times
+//! (the paper's ten "scenarios") with different link-jitter/shuffle
+//! seeds.
+
+use ofwire::flow_mod::FlowMod;
+use ofwire::types::Dpid;
+use simnet::rng::DetRng;
+use simnet::trace::Figure;
+use switchsim::harness::Testbed;
+use switchsim::profiles::SwitchProfile;
+use tango_sched::priority::{
+    ascending_install_order, r_priorities, topological_priorities, PriorityAssignment,
+};
+use workloads::classbench::{generate, ClassBenchConfig};
+use workloads::dependency::rule_dependencies;
+
+/// Which switch the figure targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// Fig 8: Open vSwitch.
+    Ovs,
+    /// Fig 9: hardware Switch #1.
+    Switch1,
+}
+
+impl Target {
+    fn profile(self) -> SwitchProfile {
+        match self {
+            Target::Ovs => SwitchProfile::ovs(),
+            Target::Switch1 => SwitchProfile::vendor1(),
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Target::Ovs => "OVS",
+            Target::Switch1 => "HW Switch #1",
+        }
+    }
+}
+
+/// One scheme: a priority assignment plus an installation order.
+fn install_time_s(
+    target: Target,
+    matches: &[ofwire::flow_match::FlowMatch],
+    assignment: &PriorityAssignment,
+    order: &[usize],
+    seed: u64,
+) -> f64 {
+    let mut tb = Testbed::new(seed);
+    let dpid = Dpid(1);
+    tb.attach_default(dpid, target.profile());
+    let fms: Vec<FlowMod> = order
+        .iter()
+        .map(|&i| FlowMod::add(matches[i], assignment.priorities[i]))
+        .collect();
+    let (_ok, failed, elapsed) = tb.batch(dpid, fms);
+    assert_eq!(failed, 0, "classbench sets fit the tables");
+    elapsed.as_secs_f64()
+}
+
+/// Runs one ClassBench file on one target for `reps` repetitions.
+#[must_use]
+pub fn run(target: Target, file: &str, cfg: &ClassBenchConfig, reps: usize) -> Figure {
+    let rules = generate(cfg);
+    let matches: Vec<_> = rules.iter().map(|r| r.flow_match).collect();
+    let deps = rule_dependencies(&matches);
+    let topo = topological_priorities(matches.len(), &deps);
+    let r = r_priorities(matches.len(), &deps);
+
+    let order_label = match target {
+        // The paper labels the probed-optimal order "Desc" for OVS
+        // (where order is immaterial) and "Asc" for the hardware switch;
+        // both are the ascending-priority order here.
+        Target::Ovs => "Desc",
+        Target::Switch1 => "Asc",
+    };
+    let mut fig = Figure::new(
+        format!("{} Optimization Results ({file})", target.label()),
+        "scenario",
+        "installation time (s)",
+    );
+    fig.series_mut(format!("Topo {order_label}"));
+    fig.series_mut(format!("R {order_label}"));
+    fig.series_mut("R Rand");
+    fig.series_mut("Topo Rand");
+    for rep in 0..reps {
+        let seed = 0x89_00 + rep as u64;
+        let mut rng = DetRng::new(seed);
+        let mut random_order: Vec<usize> = (0..matches.len()).collect();
+        rng.shuffle(&mut random_order);
+        let topo_opt = ascending_install_order(&topo.priorities);
+        let r_opt = ascending_install_order(&r.priorities);
+        let x = (rep + 1) as f64;
+        fig.series[0].push(x, install_time_s(target, &matches, &topo, &topo_opt, seed));
+        fig.series[1].push(x, install_time_s(target, &matches, &r, &r_opt, seed));
+        fig.series[2].push(
+            x,
+            install_time_s(target, &matches, &r, &random_order, seed),
+        );
+        fig.series[3].push(
+            x,
+            install_time_s(target, &matches, &topo, &random_order, seed),
+        );
+    }
+    fig
+}
+
+/// Mean seconds of a series.
+#[must_use]
+pub fn series_mean(fig: &Figure, label: &str) -> f64 {
+    fig.series
+        .iter()
+        .find(|s| s.label == label)
+        .map(|s| s.summary().mean)
+        .expect("known series")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> ClassBenchConfig {
+        ClassBenchConfig {
+            rules: 200,
+            levels: 20,
+            cluster_depth: 3,
+            seed: 0x89,
+        }
+    }
+
+    #[test]
+    fn switch1_topo_ascending_wins() {
+        let fig = run(Target::Switch1, "small", &small_cfg(), 3);
+        let topo_asc = series_mean(&fig, "Topo Asc");
+        let r_asc = series_mean(&fig, "R Asc");
+        let topo_rand = series_mean(&fig, "Topo Rand");
+        let r_rand = series_mean(&fig, "R Rand");
+        // Fig 9: the optimal order is far below random (the paper's
+        // 80–89 % reductions).
+        // At the paper's ~830-rule scale the reduction is 80–89 %; at
+        // this 200-rule test scale the shift term is smaller but the
+        // win must still be decisive.
+        assert!(
+            topo_asc < 0.75 * topo_rand,
+            "topo asc {topo_asc} vs topo rand {topo_rand}"
+        );
+        assert!(r_asc < r_rand, "r asc {r_asc} vs r rand {r_rand}");
+        // Fewer distinct priorities (topo) can't hurt under ascending
+        // installation.
+        assert!(topo_asc <= 1.1 * r_asc);
+    }
+
+    #[test]
+    fn ovs_differences_are_marginal() {
+        let fig = run(Target::Ovs, "small", &small_cfg(), 2);
+        let means: Vec<f64> = fig.series.iter().map(|s| s.summary().mean).collect();
+        let max = means.iter().cloned().fold(f64::MIN, f64::max);
+        let min = means.iter().cloned().fold(f64::MAX, f64::min);
+        // Fig 8: OVS improvements are ~10 %, not the hardware's 5–10×.
+        assert!(max / min < 1.3, "OVS spread {min}..{max}");
+    }
+}

@@ -1,0 +1,153 @@
+//! Table 1 — diversity of tables and table sizes.
+//!
+//! Black-box reproduction: install L2-only, L3-only, and combined rules
+//! until the switch rejects (or a cap, for unbounded software tables),
+//! reporting the observed capacity per switch × entry kind. Expected
+//! row values: OVS `<∞` everywhere; Switch #1 TCAM 4K/2K (plus unbounded
+//! user space); Switch #2 2560/2560; Switch #3 767/369.
+
+use crate::report::format_table;
+use ofwire::flow_mod::FlowMod;
+use ofwire::types::Dpid;
+use switchsim::harness::Testbed;
+use switchsim::profiles::SwitchProfile;
+use tango::pattern::RuleKind;
+
+/// Observed capacities for one switch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Switch label.
+    pub switch: String,
+    /// Hardware capacity per kind (L2-only, L3-only, L2+L3); `None`
+    /// means the cap was reached without rejection (unbounded).
+    pub capacity: [Option<usize>; 3],
+}
+
+fn installed_until_rejection(profile: &SwitchProfile, kind: RuleKind, cap: usize) -> Option<usize> {
+    let mut tb = Testbed::new(1);
+    let dpid = Dpid(1);
+    tb.attach_default(dpid, profile.clone());
+    // Batches keep virtual-time accounting cheap.
+    let mut installed = 0usize;
+    while installed < cap {
+        let n = 512.min(cap - installed);
+        let fms: Vec<FlowMod> = (installed..installed + n)
+            .map(|i| FlowMod::add(kind.flow_match(i as u32), 100))
+            .collect();
+        let (ok, failed, _) = tb.batch(dpid, fms);
+        installed += ok;
+        if failed > 0 {
+            return Some(tb.switch(dpid).level_occupancy(0));
+        }
+    }
+    None
+}
+
+/// For switches with software tables, the hardware (level-0) occupancy
+/// observed after exceeding it.
+fn hardware_occupancy(profile: &SwitchProfile, kind: RuleKind, overfill: usize) -> usize {
+    let mut tb = Testbed::new(1);
+    let dpid = Dpid(1);
+    tb.attach_default(dpid, profile.clone());
+    let fms: Vec<FlowMod> = (0..overfill)
+        .map(|i| FlowMod::add(kind.flow_match(i as u32), 100))
+        .collect();
+    tb.batch(dpid, fms);
+    tb.switch(dpid).level_occupancy(0)
+}
+
+/// Runs the Table 1 experiment. `cap` bounds the probe for unbounded
+/// tables (paper-scale: 8192).
+#[must_use]
+pub fn run(cap: usize) -> Vec<Table1Row> {
+    let kinds = [RuleKind::L2, RuleKind::L3, RuleKind::L2L3];
+    let mut rows = Vec::new();
+    for profile in [
+        SwitchProfile::ovs(),
+        SwitchProfile::vendor1(),
+        SwitchProfile::vendor2(),
+        SwitchProfile::vendor3(),
+    ] {
+        let mut capacity = [None, None, None];
+        for (i, kind) in kinds.into_iter().enumerate() {
+            capacity[i] = match installed_until_rejection(&profile, kind, cap) {
+                Some(n) => Some(n),
+                None => {
+                    // No rejection: if there is a bounded hardware level
+                    // underneath (Switch #1), report its occupancy;
+                    // OVS-style switches stay unbounded.
+                    let hw = hardware_occupancy(&profile, kind, cap.min(6000));
+                    if hw > 0 && hw < cap.min(6000) {
+                        Some(hw)
+                    } else {
+                        None
+                    }
+                }
+            };
+        }
+        rows.push(Table1Row {
+            switch: profile.name.clone(),
+            capacity,
+        });
+    }
+    rows
+}
+
+/// Formats rows like the paper's Table 1.
+#[must_use]
+pub fn render(rows: &[Table1Row]) -> String {
+    let fmt = |c: Option<usize>| c.map_or("<inf".to_string(), |n| n.to_string());
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.switch.clone(),
+                fmt(r.capacity[0]),
+                fmt(r.capacity[1]),
+                fmt(r.capacity[2]),
+            ]
+        })
+        .collect();
+    format_table(
+        &["switch", "L2-only (hw)", "L3-only (hw)", "L2+L3 (hw)"],
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let rows = run(8192);
+        let by_name = |n: &str| rows.iter().find(|r| r.switch == n).unwrap();
+        // OVS: unbounded everywhere.
+        assert_eq!(by_name("OVS").capacity, [None, None, None]);
+        // Switch #1: TCAM 4095/4095/2047 observed (one unit reserved for
+        // the default route), software unbounded so no rejection.
+        assert_eq!(
+            by_name("Switch #1").capacity,
+            [Some(4095), Some(4095), Some(2047)]
+        );
+        // Switch #2: 2560 regardless of kind.
+        assert_eq!(
+            by_name("Switch #2").capacity,
+            [Some(2560), Some(2560), Some(2560)]
+        );
+        // Switch #3: 767 single-layer, 369 combined.
+        assert_eq!(
+            by_name("Switch #3").capacity,
+            [Some(767), Some(767), Some(369)]
+        );
+    }
+
+    #[test]
+    fn render_contains_all_switches() {
+        let rows = run(1024);
+        let text = render(&rows);
+        for name in ["OVS", "Switch #1", "Switch #2", "Switch #3"] {
+            assert!(text.contains(name), "{text}");
+        }
+    }
+}

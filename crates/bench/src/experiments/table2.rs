@@ -1,0 +1,111 @@
+//! Table 2 — ClassBench rule sets and their priority assignments:
+//! number of rules per file, topological priority count, R priority
+//! count, and flows actually installed.
+
+use crate::report::format_table;
+use ofwire::flow_mod::FlowMod;
+use ofwire::types::Dpid;
+use switchsim::harness::Testbed;
+use switchsim::profiles::SwitchProfile;
+use tango_sched::priority::{r_priorities, satisfies, topological_priorities};
+use workloads::classbench::{generate, ClassBenchConfig};
+use workloads::dependency::rule_dependencies;
+
+/// One row of Table 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// File label.
+    pub file: String,
+    /// Rules in the file.
+    pub flow_count: usize,
+    /// Distinct topological priorities.
+    pub topo_priorities: usize,
+    /// Distinct R priorities (1-to-1).
+    pub r_priorities: usize,
+    /// Rules successfully installed on the reference switch.
+    pub flows_installed: usize,
+}
+
+/// Runs the experiment for all three presets.
+#[must_use]
+pub fn run() -> Vec<Table2Row> {
+    ClassBenchConfig::presets()
+        .into_iter()
+        .map(|(name, cfg)| {
+            let rules = generate(&cfg);
+            let matches: Vec<_> = rules.iter().map(|r| r.flow_match).collect();
+            let deps = rule_dependencies(&matches);
+            let topo = topological_priorities(matches.len(), &deps);
+            let r = r_priorities(matches.len(), &deps);
+            assert!(satisfies(&topo.priorities, &deps));
+            assert!(satisfies(&r.priorities, &deps));
+
+            // Install on an OVS switch (unbounded tables — installation
+            // count equals the file size, as in the paper).
+            let mut tb = Testbed::new(2);
+            let dpid = Dpid(1);
+            tb.attach_default(dpid, SwitchProfile::ovs());
+            let fms: Vec<FlowMod> = matches
+                .iter()
+                .zip(&r.priorities)
+                .map(|(m, &p)| FlowMod::add(*m, p))
+                .collect();
+            let (ok, _, _) = tb.batch(dpid, fms);
+
+            Table2Row {
+                file: name.to_string(),
+                flow_count: rules.len(),
+                topo_priorities: topo.distinct,
+                r_priorities: r.distinct,
+                flows_installed: ok,
+            }
+        })
+        .collect()
+}
+
+/// Formats the rows like the paper's Table 2.
+#[must_use]
+pub fn render(rows: &[Table2Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.file.clone(),
+                r.topo_priorities.to_string(),
+                r.r_priorities.to_string(),
+                r.flows_installed.to_string(),
+            ]
+        })
+        .collect();
+    format_table(
+        &[
+            "Flow Files",
+            "Topological Priorities",
+            "R Priorities",
+            "Flows Installed",
+        ],
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper() {
+        let rows = run();
+        let expect = [
+            ("Classbench1", 829, 64),
+            ("Classbench2", 989, 38),
+            ("Classbench3", 972, 33),
+        ];
+        for ((file, flows, topo), row) in expect.iter().zip(&rows) {
+            assert_eq!(&row.file, file);
+            assert_eq!(row.flow_count, *flows, "{file}");
+            assert_eq!(row.topo_priorities, *topo, "{file}");
+            assert_eq!(row.r_priorities, *flows, "{file}");
+            assert_eq!(row.flows_installed, *flows, "{file}");
+        }
+    }
+}

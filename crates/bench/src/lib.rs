@@ -1,0 +1,17 @@
+//! # bench — the experiment harness
+//!
+//! One module per table/figure of the paper (see `DESIGN.md` §4 for the
+//! index). Every experiment is a pure deterministic function returning
+//! either a [`simnet::trace::Figure`] (for plots) or a formatted text
+//! table; the `experiments` binary runs them and writes CSV/text under
+//! `results/`. Criterion benches in `benches/` wrap the same functions
+//! at reduced sizes.
+
+pub mod experiments;
+pub mod lower;
+pub mod report;
+
+pub use lower::{
+    attach_triangle, b4_testbed, enforce_dag_priorities, lower_scenario, triangle_testbed,
+};
+pub use report::{format_table, write_figure, write_text};

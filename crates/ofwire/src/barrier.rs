@@ -1,0 +1,81 @@
+//! Barrier semantics helpers.
+//!
+//! `barrier_request`/`barrier_reply` carry no body; the message types live
+//! in [`crate::message::Message`]. This module provides the small
+//! bookkeeping structure controllers use to pair barrier replies with the
+//! operations they fence — which is exactly how the probing engine
+//! measures batched rule-installation time (paper §3, Figure 3).
+
+use crate::types::Xid;
+use std::collections::HashMap;
+
+/// Tracks outstanding barriers and the operation batches they fence.
+///
+/// Typical use: send a batch of `flow_mod`s, then a `barrier_request`
+/// registered here with a token describing the batch; when the
+/// `barrier_reply` arrives, [`BarrierTracker::complete`] returns the
+/// token so the caller can attribute the elapsed time.
+#[derive(Debug, Default)]
+pub struct BarrierTracker<T> {
+    pending: HashMap<Xid, T>,
+}
+
+impl<T> BarrierTracker<T> {
+    /// Creates an empty tracker.
+    #[must_use]
+    pub fn new() -> BarrierTracker<T> {
+        BarrierTracker {
+            pending: HashMap::new(),
+        }
+    }
+
+    /// Registers an outstanding barrier with its batch token.
+    /// Returns the token previously registered under the same xid, if
+    /// any (which would indicate an xid-reuse bug in the caller).
+    pub fn register(&mut self, xid: Xid, token: T) -> Option<T> {
+        self.pending.insert(xid, token)
+    }
+
+    /// Completes a barrier, returning its token.
+    pub fn complete(&mut self, xid: Xid) -> Option<T> {
+        self.pending.remove(&xid)
+    }
+
+    /// Number of barriers still in flight.
+    #[must_use]
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True if no barriers are in flight.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_complete() {
+        let mut t = BarrierTracker::new();
+        assert!(t.is_empty());
+        assert!(t.register(Xid(1), "batch-a").is_none());
+        assert!(t.register(Xid(2), "batch-b").is_none());
+        assert_eq!(t.outstanding(), 2);
+        assert_eq!(t.complete(Xid(1)), Some("batch-a"));
+        assert_eq!(t.complete(Xid(1)), None);
+        assert_eq!(t.complete(Xid(2)), Some("batch-b"));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn xid_reuse_is_reported() {
+        let mut t = BarrierTracker::new();
+        t.register(Xid(7), 1u32);
+        assert_eq!(t.register(Xid(7), 2u32), Some(1));
+        assert_eq!(t.complete(Xid(7)), Some(2));
+    }
+}

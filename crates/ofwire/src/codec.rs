@@ -1,0 +1,199 @@
+//! Encoding/decoding traits and a stream framer.
+//!
+//! Every wire structure implements [`Encode`] (append to a `BytesMut`) and
+//! [`Decode`] (parse from a byte slice, reporting how much was consumed).
+//! The [`Framer`] accumulates an arbitrary byte stream — as delivered by a
+//! TCP socket or the in-memory simulated channel — and yields complete
+//! messages.
+
+use crate::error::{Result, WireError};
+use crate::header::{Header, OFP_HEADER_LEN};
+use crate::message::Message;
+use crate::types::Xid;
+use bytes::{BufMut, BytesMut};
+
+/// Serialize a structure by appending its wire form to `buf`.
+pub trait Encode {
+    /// Appends the wire encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+
+    /// Convenience: encode into a fresh buffer.
+    fn to_vec(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        self.encode(&mut buf);
+        buf.to_vec()
+    }
+}
+
+/// Deserialize a structure from the front of a byte slice.
+pub trait Decode: Sized {
+    /// Parses one value from the front of `buf`, returning it together
+    /// with the number of bytes consumed.
+    fn decode(buf: &[u8]) -> Result<(Self, usize)>;
+}
+
+/// Reads a big-endian `u16` at `off` (caller must have length-checked).
+pub(crate) fn be_u16(buf: &[u8], off: usize) -> u16 {
+    u16::from_be_bytes([buf[off], buf[off + 1]])
+}
+
+/// Reads a big-endian `u32` at `off` (caller must have length-checked).
+pub(crate) fn be_u32(buf: &[u8], off: usize) -> u32 {
+    u32::from_be_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]])
+}
+
+/// Reads a big-endian `u64` at `off` (caller must have length-checked).
+pub(crate) fn be_u64(buf: &[u8], off: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[off..off + 8]);
+    u64::from_be_bytes(b)
+}
+
+/// Appends `n` zero bytes of padding.
+pub(crate) fn pad(buf: &mut BytesMut, n: usize) {
+    buf.put_bytes(0, n);
+}
+
+/// Incremental frame splitter for a byte stream carrying OpenFlow
+/// messages.
+///
+/// Feed arbitrarily-chunked bytes with [`Framer::push`]; pull complete
+/// `(Header, Message)` pairs with [`Framer::next_message`]. Malformed
+/// input surfaces as an error from `next_message` and poisons the framer
+/// (stream framing cannot be resynchronized once lengths are wrong).
+#[derive(Debug, Default)]
+pub struct Framer {
+    buf: BytesMut,
+    poisoned: bool,
+}
+
+impl Framer {
+    /// Creates an empty framer.
+    #[must_use]
+    pub fn new() -> Framer {
+        Framer::default()
+    }
+
+    /// Appends raw bytes received from the transport.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Number of buffered, not-yet-consumed bytes.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Attempts to extract the next complete message.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed, `Ok(Some(..))` for a
+    /// complete message, and `Err` if the stream is unparseable.
+    pub fn next_message(&mut self) -> Result<Option<(Header, Message)>> {
+        if self.poisoned {
+            return Err(WireError::BadLength {
+                what: "poisoned framer",
+                len: 0,
+            });
+        }
+        if self.buf.len() < OFP_HEADER_LEN {
+            return Ok(None);
+        }
+        let header = match Header::peek(&self.buf) {
+            Ok(h) => h,
+            Err(e) => {
+                self.poisoned = true;
+                return Err(e);
+            }
+        };
+        let total = header.length as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let frame = self.buf.split_to(total);
+        match Message::from_bytes(&frame) {
+            Ok((h, m)) => Ok(Some((h, m))),
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Drains every complete message currently buffered.
+    pub fn drain(&mut self) -> Result<Vec<(Header, Message)>> {
+        let mut out = Vec::new();
+        while let Some(pair) = self.next_message()? {
+            out.push(pair);
+        }
+        Ok(out)
+    }
+}
+
+/// Encodes `msg` with transaction id `xid` into a standalone frame.
+#[must_use]
+pub fn encode_message(msg: &Message, xid: Xid) -> Vec<u8> {
+    msg.to_bytes(xid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Message;
+
+    #[test]
+    fn framer_handles_split_delivery() {
+        let mut framer = Framer::new();
+        let m1 = Message::EchoRequest(vec![1, 2, 3]);
+        let m2 = Message::BarrierRequest;
+        let b1 = m1.to_bytes(Xid(1));
+        let b2 = m2.to_bytes(Xid(2));
+
+        // Deliver byte-by-byte across both messages.
+        let all: Vec<u8> = b1.iter().chain(b2.iter()).copied().collect();
+        let mut got = Vec::new();
+        for byte in all {
+            framer.push(&[byte]);
+            while let Some(pair) = framer.next_message().unwrap() {
+                got.push(pair);
+            }
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0.xid, Xid(1));
+        assert_eq!(got[0].1, m1);
+        assert_eq!(got[1].0.xid, Xid(2));
+        assert_eq!(got[1].1, m2);
+        assert_eq!(framer.pending(), 0);
+    }
+
+    #[test]
+    fn framer_poisons_on_bad_version() {
+        let mut framer = Framer::new();
+        framer.push(&[0x09, 0, 0, 8, 0, 0, 0, 0]);
+        assert!(framer.next_message().is_err());
+        // Stays poisoned even with valid bytes afterwards.
+        framer.push(&Message::BarrierRequest.to_bytes(Xid(0)));
+        assert!(framer.next_message().is_err());
+    }
+
+    #[test]
+    fn drain_returns_all_buffered() {
+        let mut framer = Framer::new();
+        for i in 0..5u32 {
+            framer.push(&Message::BarrierReply.to_bytes(Xid(i)));
+        }
+        let msgs = framer.drain().unwrap();
+        assert_eq!(msgs.len(), 5);
+        for (i, (h, m)) in msgs.iter().enumerate() {
+            assert_eq!(h.xid, Xid(i as u32));
+            assert_eq!(*m, Message::BarrierReply);
+        }
+    }
+
+    #[test]
+    fn incomplete_header_returns_none() {
+        let mut framer = Framer::new();
+        framer.push(&[1, 2, 3]);
+        assert_eq!(framer.next_message().unwrap(), None);
+    }
+}

@@ -1,0 +1,44 @@
+//! # simnet — deterministic discrete-event simulation substrate
+//!
+//! Everything in the Tango reproduction that involves *time* runs on this
+//! crate: a virtual nanosecond clock, an event queue with stable FIFO
+//! ordering for simultaneous events, seeded random number generation,
+//! parametric latency distributions, a latency/jitter link model, and
+//! series recording for regenerating the paper's figures.
+//!
+//! Determinism is the design goal (per the smoltcp-style guides:
+//! simplicity and robustness over cleverness). Every source of randomness
+//! is an explicit [`rng::DetRng`] seeded by the experiment, so any run can
+//! be reproduced bit-for-bit — which is what makes the statistical
+//! inference experiments testable at all.
+//!
+//! ```
+//! use simnet::prelude::*;
+//!
+//! let mut sim = Simulator::new();
+//! sim.schedule_in(SimDuration::from_millis(5), "world");
+//! sim.schedule_in(SimDuration::from_millis(1), "hello");
+//! let (t1, e1) = sim.next_event().unwrap();
+//! assert_eq!((t1.as_millis_f64(), e1), (1.0, "hello"));
+//! let (t2, e2) = sim.next_event().unwrap();
+//! assert_eq!((t2.as_millis_f64(), e2), (5.0, "world"));
+//! ```
+
+pub mod dist;
+pub mod event;
+pub mod link;
+pub mod rng;
+pub mod sim;
+pub mod time;
+pub mod trace;
+
+/// Glob-import of the commonly used types.
+pub mod prelude {
+    pub use crate::dist::Dist;
+    pub use crate::event::EventQueue;
+    pub use crate::link::Link;
+    pub use crate::rng::DetRng;
+    pub use crate::sim::Simulator;
+    pub use crate::time::{SimDuration, SimTime};
+    pub use crate::trace::{Figure, Series, Summary};
+}

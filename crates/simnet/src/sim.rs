@@ -1,0 +1,148 @@
+//! The simulator: a virtual clock plus an event queue.
+//!
+//! `Simulator` supports two styles, and the Tango reproduction uses both:
+//!
+//! * **closed-loop** — sequential code (e.g. the probing engine) calls
+//!   [`Simulator::advance`] to charge virtual time for each operation it
+//!   performs, reading timestamps with [`Simulator::now`];
+//! * **event-driven** — concurrent machinery (e.g. the network-wide
+//!   scheduler executor) schedules completion events and consumes them
+//!   with [`Simulator::next_event`], which warps the clock forward.
+
+use crate::event::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// A deterministic virtual-time simulator over events of type `E`.
+pub struct Simulator<E = ()> {
+    now: SimTime,
+    queue: EventQueue<E>,
+}
+
+impl<E> Default for Simulator<E> {
+    fn default() -> Self {
+        Simulator::new()
+    }
+}
+
+impl<E> Simulator<E> {
+    /// A simulator at time zero with no pending events.
+    #[must_use]
+    pub fn new() -> Simulator<E> {
+        Simulator {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+        }
+    }
+
+    /// The current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the clock by `d` (closed-loop style).
+    pub fn advance(&mut self, d: SimDuration) {
+        self.now += d;
+    }
+
+    /// Schedules an event at an absolute time. Scheduling in the past is
+    /// a logic error and panics (it would silently reorder causality).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "scheduling at {at} before now {}",
+            self.now
+        );
+        self.queue.push(at, event);
+    }
+
+    /// Schedules an event `d` after the current time.
+    pub fn schedule_in(&mut self, d: SimDuration, event: E) {
+        let at = self.now + d;
+        self.queue.push(at, event);
+    }
+
+    /// Pops the earliest event, warping the clock to its timestamp.
+    pub fn next_event(&mut self) -> Option<(SimTime, E)> {
+        let (at, event) = self.queue.pop()?;
+        debug_assert!(at >= self.now);
+        self.now = at;
+        Some((at, event))
+    }
+
+    /// Timestamp of the next pending event, if any.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Runs the event loop to exhaustion, applying `handler` to each
+    /// event. The handler may schedule further events.
+    pub fn run<F>(&mut self, mut handler: F)
+    where
+        F: FnMut(&mut Simulator<E>, SimTime, E),
+    {
+        while let Some((at, event)) = self.next_event() {
+            handler(self, at, event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_loop_advance() {
+        let mut sim: Simulator = Simulator::new();
+        assert_eq!(sim.now(), SimTime::ZERO);
+        sim.advance(SimDuration::from_millis(3));
+        sim.advance(SimDuration::from_micros(500));
+        assert_eq!(sim.now(), SimTime(3_500_000));
+    }
+
+    #[test]
+    fn event_loop_warps_clock() {
+        let mut sim = Simulator::new();
+        sim.schedule_in(SimDuration::from_millis(10), "late");
+        sim.schedule_in(SimDuration::from_millis(1), "early");
+        let (t, e) = sim.next_event().unwrap();
+        assert_eq!(e, "early");
+        assert_eq!(sim.now(), t);
+        let (t2, e2) = sim.next_event().unwrap();
+        assert_eq!(e2, "late");
+        assert_eq!(t2, SimTime(10_000_000));
+        assert!(sim.next_event().is_none());
+    }
+
+    #[test]
+    fn run_allows_rescheduling() {
+        // A chain of events, each scheduling the next until a countdown
+        // expires; total elapsed time must be the sum.
+        let mut sim = Simulator::new();
+        sim.schedule_in(SimDuration::from_millis(1), 5u32);
+        let mut fired = 0;
+        sim.run(|sim, _at, remaining| {
+            fired += 1;
+            if remaining > 0 {
+                sim.schedule_in(SimDuration::from_millis(1), remaining - 1);
+            }
+        });
+        assert_eq!(fired, 6);
+        assert_eq!(sim.now(), SimTime(6_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling at")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim: Simulator<()> = Simulator::new();
+        sim.advance(SimDuration::from_millis(5));
+        sim.schedule_at(SimTime(1), ());
+    }
+}

@@ -1,0 +1,373 @@
+//! Cache-replacement policies as lexicographic attribute orderings.
+//!
+//! This is the paper's formal model of switch caching (§5.1) implemented
+//! directly:
+//!
+//! * **ATTRIB** — policies read a subset of {insertion time, use time,
+//!   traffic count, priority} ([`Attribute`]).
+//! * **MONOTONE** — each attribute is compared monotonically, either
+//!   preferring high or low values ([`Direction`]).
+//! * **LEX** — a total order is formed lexicographically over a
+//!   permutation of the attributes ([`CachePolicy`]), with the stable
+//!   entry id as the deterministic final tie-break.
+//!
+//! Classic policies are instances: FIFO keeps the *oldest* insertions in
+//! the fast level (which is exactly the paper's Switch #1, whose software
+//! table acts as a FIFO spill buffer for TCAM), LRU keeps the most
+//! recently used, LFU the most trafficked, and priority caching keeps the
+//! highest priorities.
+
+use crate::entry::FlowEntry;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The per-flow attributes a policy may inspect (paper ATTRIB).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Attribute {
+    /// Time the entry was installed.
+    InsertionTime,
+    /// Time a packet last matched the entry.
+    UseTime,
+    /// Number of packets matched.
+    TrafficCount,
+    /// Rule priority.
+    Priority,
+}
+
+impl Attribute {
+    /// All four attributes, in the paper's listing order.
+    pub const ALL: [Attribute; 4] = [
+        Attribute::InsertionTime,
+        Attribute::UseTime,
+        Attribute::TrafficCount,
+        Attribute::Priority,
+    ];
+
+    /// "Serial" attributes take distinct values for every flow (each
+    /// install/use happens at a distinct instant), so an ordering on one
+    /// of them is already total — Algorithm 2 stops recursing when it
+    /// identifies one.
+    #[must_use]
+    pub fn is_serial(self) -> bool {
+        matches!(self, Attribute::InsertionTime | Attribute::UseTime)
+    }
+
+    /// Reads this attribute of an entry, widened to `u64` for comparison.
+    #[must_use]
+    pub fn value_of(self, e: &FlowEntry) -> u64 {
+        match self {
+            Attribute::InsertionTime => e.inserted_at.0,
+            Attribute::UseTime => e.last_used_at.0,
+            Attribute::TrafficCount => e.packet_count,
+            Attribute::Priority => u64::from(e.priority),
+        }
+    }
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Attribute::InsertionTime => "insertion_time",
+            Attribute::UseTime => "use_time",
+            Attribute::TrafficCount => "traffic_count",
+            Attribute::Priority => "priority",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Which extreme of an attribute is *kept* in the fast level (paper
+/// MONOTONE: the comparison is monotonic increasing or decreasing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Higher values are better (kept); lowest evicted.
+    KeepHigh,
+    /// Lower values are better (kept); highest evicted.
+    KeepLow,
+}
+
+impl Direction {
+    /// The opposite direction.
+    #[must_use]
+    pub fn flip(self) -> Direction {
+        match self {
+            Direction::KeepHigh => Direction::KeepLow,
+            Direction::KeepLow => Direction::KeepHigh,
+        }
+    }
+}
+
+/// One sort key: an attribute plus its direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SortKey {
+    /// Attribute inspected.
+    pub attribute: Attribute,
+    /// Which extreme is kept.
+    pub direction: Direction,
+}
+
+/// A cache policy: a lexicographic ordering over sort keys (paper LEX).
+///
+/// [`CachePolicy::cmp_entries`] returns [`Ordering::Greater`] when the
+/// first entry ranks *better* (more deserving of the fast level).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CachePolicy {
+    /// Sort keys, most significant first.
+    pub keys: Vec<SortKey>,
+}
+
+impl CachePolicy {
+    /// Builds a policy from `(attribute, direction)` pairs.
+    #[must_use]
+    pub fn new(keys: Vec<SortKey>) -> CachePolicy {
+        CachePolicy { keys }
+    }
+
+    /// FIFO spill: the oldest insertions stay in the fast level; new
+    /// entries overflow to software (paper's Switch #1 behaviour).
+    #[must_use]
+    pub fn fifo() -> CachePolicy {
+        CachePolicy::new(vec![SortKey {
+            attribute: Attribute::InsertionTime,
+            direction: Direction::KeepLow,
+        }])
+    }
+
+    /// LRU: most recently used entries stay in the fast level.
+    #[must_use]
+    pub fn lru() -> CachePolicy {
+        CachePolicy::new(vec![SortKey {
+            attribute: Attribute::UseTime,
+            direction: Direction::KeepHigh,
+        }])
+    }
+
+    /// LFU: most heavily trafficked entries stay in the fast level.
+    #[must_use]
+    pub fn lfu() -> CachePolicy {
+        CachePolicy::new(vec![SortKey {
+            attribute: Attribute::TrafficCount,
+            direction: Direction::KeepHigh,
+        }])
+    }
+
+    /// Priority caching: highest-priority rules stay in the fast level.
+    #[must_use]
+    pub fn priority() -> CachePolicy {
+        CachePolicy::new(vec![SortKey {
+            attribute: Attribute::Priority,
+            direction: Direction::KeepHigh,
+        }])
+    }
+
+    /// Priority first, LRU tie-break — a composite LEX policy used to
+    /// exercise Algorithm 2's recursion.
+    #[must_use]
+    pub fn priority_then_lru() -> CachePolicy {
+        CachePolicy::new(vec![
+            SortKey {
+                attribute: Attribute::Priority,
+                direction: Direction::KeepHigh,
+            },
+            SortKey {
+                attribute: Attribute::UseTime,
+                direction: Direction::KeepHigh,
+            },
+        ])
+    }
+
+    /// Traffic first, FIFO tie-break (an LFU-with-aging flavour).
+    #[must_use]
+    pub fn lfu_then_fifo() -> CachePolicy {
+        CachePolicy::new(vec![
+            SortKey {
+                attribute: Attribute::TrafficCount,
+                direction: Direction::KeepHigh,
+            },
+            SortKey {
+                attribute: Attribute::InsertionTime,
+                direction: Direction::KeepLow,
+            },
+        ])
+    }
+
+    /// Compares two entries; `Greater` means `a` is *better* (kept over
+    /// `b`). Falls back to entry id (older id better) so the order is
+    /// total and deterministic.
+    #[must_use]
+    pub fn cmp_entries(&self, a: &FlowEntry, b: &FlowEntry) -> Ordering {
+        for key in &self.keys {
+            let va = key.attribute.value_of(a);
+            let vb = key.attribute.value_of(b);
+            let ord = match key.direction {
+                Direction::KeepHigh => va.cmp(&vb),
+                Direction::KeepLow => vb.cmp(&va),
+            };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        // Deterministic tie-break: earlier-installed id wins.
+        b.id.cmp(&a.id)
+    }
+
+    /// Index of the *worst* entry in a slice (the eviction victim).
+    /// Returns `None` for an empty slice.
+    #[must_use]
+    pub fn worst_index(&self, entries: &[FlowEntry]) -> Option<usize> {
+        let mut worst: Option<usize> = None;
+        for (i, e) in entries.iter().enumerate() {
+            match worst {
+                None => worst = Some(i),
+                Some(w) => {
+                    if self.cmp_entries(e, &entries[w]) == Ordering::Less {
+                        worst = Some(i);
+                    }
+                }
+            }
+        }
+        worst
+    }
+
+    /// Index of the *best* entry in a slice (the promotion candidate).
+    #[must_use]
+    pub fn best_index(&self, entries: &[FlowEntry]) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, e) in entries.iter().enumerate() {
+            match best {
+                None => best = Some(i),
+                Some(b) => {
+                    if self.cmp_entries(e, &entries[b]) == Ordering::Greater {
+                        best = Some(i);
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Human-readable form, e.g. `"use_time↑"` or `"priority↑,use_time↑"`.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        self.keys
+            .iter()
+            .map(|k| {
+                let arrow = match k.direction {
+                    Direction::KeepHigh => "↑",
+                    Direction::KeepLow => "↓",
+                };
+                format!("{}{arrow}", k.attribute)
+            })
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::EntryId;
+    use ofwire::flow_match::FlowMatch;
+    use simnet::time::SimTime;
+
+    fn entry(id: u64, inserted: u64, used: u64, pkts: u64, prio: u16) -> FlowEntry {
+        let mut e = FlowEntry::new(
+            EntryId(id),
+            FlowMatch::l3_for_id(id as u32),
+            prio,
+            vec![],
+            SimTime(inserted),
+        );
+        e.last_used_at = SimTime(used);
+        e.packet_count = pkts;
+        e
+    }
+
+    #[test]
+    fn fifo_keeps_oldest() {
+        let p = CachePolicy::fifo();
+        let old = entry(1, 10, 10, 0, 5);
+        let new = entry(2, 20, 20, 0, 5);
+        assert_eq!(p.cmp_entries(&old, &new), Ordering::Greater);
+        let v = vec![old, new];
+        assert_eq!(p.worst_index(&v), Some(1));
+        assert_eq!(p.best_index(&v), Some(0));
+    }
+
+    #[test]
+    fn lru_keeps_most_recent() {
+        let p = CachePolicy::lru();
+        let stale = entry(1, 0, 10, 5, 5);
+        let fresh = entry(2, 0, 99, 1, 5);
+        assert_eq!(p.cmp_entries(&fresh, &stale), Ordering::Greater);
+        assert_eq!(p.worst_index(&[stale, fresh]), Some(0));
+    }
+
+    #[test]
+    fn lfu_keeps_most_trafficked() {
+        let p = CachePolicy::lfu();
+        let hot = entry(1, 0, 0, 100, 1);
+        let cold = entry(2, 0, 0, 2, 9);
+        assert_eq!(p.cmp_entries(&hot, &cold), Ordering::Greater);
+    }
+
+    #[test]
+    fn priority_keeps_highest() {
+        let p = CachePolicy::priority();
+        let hi = entry(1, 0, 0, 0, 200);
+        let lo = entry(2, 0, 0, 0, 100);
+        assert_eq!(p.cmp_entries(&hi, &lo), Ordering::Greater);
+    }
+
+    #[test]
+    fn lex_tie_break_consults_second_key() {
+        let p = CachePolicy::priority_then_lru();
+        let a = entry(1, 0, 50, 0, 100);
+        let b = entry(2, 0, 60, 0, 100); // same priority, fresher use
+        assert_eq!(p.cmp_entries(&b, &a), Ordering::Greater);
+        // Different priorities: first key decides regardless of use time.
+        let c = entry(3, 0, 1, 0, 200);
+        assert_eq!(p.cmp_entries(&c, &b), Ordering::Greater);
+    }
+
+    #[test]
+    fn final_tie_break_is_total_and_deterministic() {
+        let p = CachePolicy::lru();
+        let a = entry(1, 0, 10, 0, 5);
+        let b = entry(2, 0, 10, 0, 5);
+        // Identical attributes: lower id (installed earlier) wins.
+        assert_eq!(p.cmp_entries(&a, &b), Ordering::Greater);
+        assert_eq!(p.cmp_entries(&b, &a), Ordering::Less);
+    }
+
+    #[test]
+    fn worst_and_best_of_empty() {
+        let p = CachePolicy::lru();
+        assert_eq!(p.worst_index(&[]), None);
+        assert_eq!(p.best_index(&[]), None);
+    }
+
+    #[test]
+    fn describe_is_readable() {
+        assert_eq!(CachePolicy::fifo().describe(), "insertion_time↓");
+        assert_eq!(
+            CachePolicy::priority_then_lru().describe(),
+            "priority↑,use_time↑"
+        );
+    }
+
+    #[test]
+    fn direction_flip() {
+        assert_eq!(Direction::KeepHigh.flip(), Direction::KeepLow);
+        assert_eq!(Direction::KeepLow.flip(), Direction::KeepHigh);
+    }
+
+    #[test]
+    fn serial_attributes() {
+        assert!(Attribute::InsertionTime.is_serial());
+        assert!(Attribute::UseTime.is_serial());
+        assert!(!Attribute::TrafficCount.is_serial());
+        assert!(!Attribute::Priority.is_serial());
+    }
+}

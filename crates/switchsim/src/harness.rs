@@ -1,0 +1,413 @@
+//! The testbed harness: one or more agent-wrapped switches behind
+//! latency-modelled control channels, sharing a virtual clock.
+//!
+//! Two interaction styles (matching [`simnet::sim::Simulator`]):
+//!
+//! * **synchronous** — `flow_mod`, `batch`, `probe`: the caller blocks
+//!   (virtually) until the operation completes; the clock advances. This
+//!   is how the probing engine measures per-switch properties.
+//! * **scheduled** — `enqueue_op`: operations are issued at a given time,
+//!   serialize on the per-switch control queue, and return their
+//!   completion time without advancing the shared clock. This is how the
+//!   network-wide schedulers issue concurrent updates to many switches
+//!   and measure makespan.
+
+use crate::agent::{Agent, AgentOutput};
+use crate::pipeline::Hit;
+use crate::profiles::SwitchProfile;
+use crate::switch::Switch;
+use ofwire::barrier::BarrierTracker;
+use ofwire::flow_mod::FlowMod;
+use ofwire::message::Message;
+use ofwire::packet::{PacketOut, RawFrame};
+use ofwire::flow_match::FlowKey;
+use ofwire::types::{Dpid, PortNo, Xid};
+use simnet::link::Link;
+use simnet::rng::DetRng;
+use simnet::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// One switch attached to the testbed.
+struct Attached {
+    agent: Agent,
+    ctrl_link: Link,
+    /// Time until which the switch's control CPU is busy.
+    busy_until: SimTime,
+    next_xid: Xid,
+    /// Outstanding barrier xids → the batch size they fence.
+    barriers: BarrierTracker<usize>,
+}
+
+/// The outcome of a synchronous flow-mod.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpResult {
+    /// Applied successfully.
+    Ok,
+    /// Rejected: all tables full.
+    TableFull,
+}
+
+/// The completion record of a scheduled operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// When the switch finished applying the op.
+    pub done_at: SimTime,
+    /// When the controller observes the ack (done + return latency).
+    pub acked_at: SimTime,
+    /// Whether the op succeeded.
+    pub result: OpResult,
+}
+
+/// A multi-switch testbed with a shared virtual clock.
+pub struct Testbed {
+    clock: SimTime,
+    switches: BTreeMap<Dpid, Attached>,
+    rng: DetRng,
+}
+
+impl Testbed {
+    /// An empty testbed. `seed` drives link jitter.
+    #[must_use]
+    pub fn new(seed: u64) -> Testbed {
+        Testbed {
+            clock: SimTime::ZERO,
+            switches: BTreeMap::new(),
+            rng: DetRng::new(seed),
+        }
+    }
+
+    /// Attaches a switch built from `profile` behind `ctrl_link`.
+    pub fn attach(&mut self, dpid: Dpid, profile: SwitchProfile, ctrl_link: Link) {
+        let seed = self.rng.fork(dpid.0).next_u64_seed();
+        let switch = Switch::new(profile, dpid, seed);
+        self.switches.insert(
+            dpid,
+            Attached {
+                agent: Agent::new(switch),
+                ctrl_link,
+                busy_until: SimTime::ZERO,
+                next_xid: Xid(1),
+                barriers: BarrierTracker::new(),
+            },
+        );
+    }
+
+    /// Attaches with the default low-latency control channel (0.1 ms one
+    /// way — a directly connected management port).
+    pub fn attach_default(&mut self, dpid: Dpid, profile: SwitchProfile) {
+        self.attach(dpid, profile, Link::control_channel(0.1));
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Advances the shared clock (e.g. to model controller think time).
+    pub fn advance(&mut self, d: SimDuration) {
+        self.clock += d;
+    }
+
+    /// Datapath ids attached, in order.
+    #[must_use]
+    pub fn dpids(&self) -> Vec<Dpid> {
+        self.switches.keys().copied().collect()
+    }
+
+    /// Read access to a switch.
+    #[must_use]
+    pub fn switch(&self, dpid: Dpid) -> &Switch {
+        self.switches
+            .get(&dpid)
+            .expect("unknown dpid")
+            .agent
+            .switch()
+    }
+
+    fn attached(&mut self, dpid: Dpid) -> &mut Attached {
+        self.switches.get_mut(&dpid).expect("unknown dpid")
+    }
+
+    fn send_and_process(
+        &mut self,
+        dpid: Dpid,
+        msg: &Message,
+        at: SimTime,
+    ) -> (Vec<AgentOutput>, SimDuration) {
+        let mut link_rng = self.rng.fork(dpid.0 ^ 0xa11ce);
+        let att = self.switches.get_mut(&dpid).expect("unknown dpid");
+        let xid = att.next_xid;
+        att.next_xid = xid.next();
+        let frame = msg.to_bytes(xid);
+        let up = att.ctrl_link.delivery_latency(frame.len(), &mut link_rng);
+        let outs = att
+            .agent
+            .feed(&frame, at + up)
+            .expect("well-formed frame");
+        (outs, up)
+    }
+
+    /// Synchronously applies one flow-mod: send → process → barrier-ack.
+    /// Advances the clock by the full round trip and returns the result
+    /// and the elapsed time.
+    pub fn flow_mod(&mut self, dpid: Dpid, fm: FlowMod) -> (OpResult, SimDuration) {
+        let start = self.clock;
+        let (outs, up) = self.send_and_process(dpid, &Message::FlowMod(fm), start);
+        let mut result = OpResult::Ok;
+        let mut cost = SimDuration::ZERO;
+        for o in &outs {
+            cost += o.cost;
+            if matches!(o.reply, Some(Message::Error(_))) {
+                result = OpResult::TableFull;
+            }
+        }
+        let down = {
+            let mut link_rng = self.rng.fork(dpid.0 ^ 0xd0_17);
+            let att = self.attached(dpid);
+            att.ctrl_link.delivery_latency(16, &mut link_rng)
+        };
+        let elapsed = up + cost + down;
+        self.clock = start + elapsed;
+        let clock = self.clock;
+        let att = self.attached(dpid);
+        att.busy_until = att.busy_until.max(clock);
+        (result, elapsed)
+    }
+
+    /// Synchronously applies a batch of flow-mods followed by a barrier
+    /// (the paper's installation-time measurement methodology). Messages
+    /// are pipelined: one upstream latency, serial processing, one
+    /// downstream latency. Returns (successes, failures, elapsed).
+    pub fn batch(&mut self, dpid: Dpid, fms: Vec<FlowMod>) -> (usize, usize, SimDuration) {
+        let start = self.clock;
+        let mut link_rng = self.rng.fork(dpid.0 ^ 0xba7c4);
+        let att = self.switches.get_mut(&dpid).expect("unknown dpid");
+        let mut bytes = Vec::new();
+        for fm in fms {
+            let xid = att.next_xid;
+            att.next_xid = xid.next();
+            bytes.extend(Message::FlowMod(fm).to_bytes(xid));
+        }
+        let barrier_xid = att.next_xid;
+        att.next_xid = barrier_xid.next();
+        let batch_size = bytes.len();
+        att.barriers.register(barrier_xid, batch_size);
+        bytes.extend(Message::BarrierRequest.to_bytes(barrier_xid));
+        let up = att.ctrl_link.delivery_latency(bytes.len(), &mut link_rng);
+        let outs = att.agent.feed(&bytes, start + up).expect("well-formed");
+        let mut ok = 0;
+        let mut failed = 0;
+        let mut cost = SimDuration::ZERO;
+        for o in &outs {
+            cost += o.cost;
+            match &o.reply {
+                Some(Message::Error(_)) => failed += 1,
+                Some(Message::BarrierReply) => {
+                    // Pair the reply with its request: xid mismatches
+                    // would mean the fence got reordered.
+                    let fenced = att.barriers.complete(o.xid);
+                    assert_eq!(fenced, Some(batch_size), "barrier xid mismatch");
+                }
+                None => ok += 1,
+                _ => {}
+            }
+        }
+        debug_assert!(att.barriers.is_empty(), "no barrier left unanswered");
+        let down = att.ctrl_link.delivery_latency(16, &mut link_rng);
+        let elapsed = up + cost + down;
+        self.clock = start + elapsed;
+        let clock = self.clock;
+        let att = self.attached(dpid);
+        att.busy_until = att.busy_until.max(clock);
+        (ok, failed, elapsed)
+    }
+
+    /// Sends a probe frame matching `key` through the switch's data
+    /// plane via `packet_out`, returning where it was served and the
+    /// measured RTT (generator link + forwarding delay). Advances the
+    /// clock by the RTT.
+    pub fn probe(&mut self, dpid: Dpid, key: &FlowKey) -> (Hit, SimDuration) {
+        let start = self.clock;
+        let frame = RawFrame::build(key, 46);
+        let po = PacketOut::send(frame, PortNo(1));
+        let (outs, up) = self.send_and_process(dpid, &Message::PacketOut(po), start);
+        let (hit, fwd) = outs
+            .iter()
+            .find_map(|o| o.forwarded)
+            .expect("packet_out produces a forwarding outcome");
+        let rtt = up + fwd;
+        self.clock = start + rtt;
+        (hit, rtt)
+    }
+
+    /// Measures one control-channel round trip with an `echo_request`
+    /// of `payload` bytes (the classic liveness/RTT probe). Advances the
+    /// clock by the RTT.
+    pub fn echo(&mut self, dpid: Dpid, payload: usize) -> SimDuration {
+        let start = self.clock;
+        let msg = Message::EchoRequest(vec![0xec; payload]);
+        let (outs, up) = self.send_and_process(dpid, &msg, start);
+        debug_assert!(matches!(
+            outs.first().and_then(|o| o.reply.as_ref()),
+            Some(Message::EchoReply(_))
+        ));
+        let down = {
+            let mut link_rng = self.rng.fork(dpid.0 ^ 0xec0);
+            let att = self.attached(dpid);
+            att.ctrl_link.delivery_latency(payload + 8, &mut link_rng)
+        };
+        let rtt = up + down;
+        self.clock = start + rtt;
+        rtt
+    }
+
+    /// Schedules a flow-mod to be issued at `ready_at` (a controller-side
+    /// time). The op serializes behind earlier ops on the same switch.
+    /// Does not advance the shared clock.
+    pub fn enqueue_op(&mut self, dpid: Dpid, fm: FlowMod, ready_at: SimTime) -> Completion {
+        let mut link_rng = self.rng.fork(dpid.0 ^ 0xec0);
+        let att = self.switches.get_mut(&dpid).expect("unknown dpid");
+        let xid = att.next_xid;
+        att.next_xid = xid.next();
+        let frame = Message::FlowMod(fm).to_bytes(xid);
+        let up = att.ctrl_link.delivery_latency(frame.len(), &mut link_rng);
+        let arrive = ready_at + up;
+        let start = arrive.max(att.busy_until);
+        let outs = att.agent.feed(&frame, start).expect("well-formed");
+        let cost = outs
+            .iter()
+            .fold(SimDuration::ZERO, |acc, o| acc + o.cost);
+        let result = if outs
+            .iter()
+            .any(|o| matches!(o.reply, Some(Message::Error(_))))
+        {
+            OpResult::TableFull
+        } else {
+            OpResult::Ok
+        };
+        let done_at = start + cost;
+        att.busy_until = done_at;
+        let down = att.ctrl_link.delivery_latency(16, &mut link_rng);
+        Completion {
+            done_at,
+            acked_at: done_at + down,
+            result,
+        }
+    }
+
+    /// The time at which every currently scheduled op on every switch has
+    /// completed (network-wide makespan reference point).
+    #[must_use]
+    pub fn all_quiet_at(&self) -> SimTime {
+        self.switches
+            .values()
+            .map(|a| a.busy_until)
+            .max()
+            .unwrap_or(self.clock)
+            .max(self.clock)
+    }
+
+    /// Warps the shared clock to `t` (must not go backwards).
+    pub fn warp_to(&mut self, t: SimTime) {
+        assert!(t >= self.clock, "clock cannot go backwards");
+        self.clock = t;
+    }
+}
+
+/// Extension trait to pull a fresh seed out of a forked RNG.
+trait SeedExt {
+    fn next_u64_seed(self) -> u64;
+}
+
+impl SeedExt for DetRng {
+    fn next_u64_seed(mut self) -> u64 {
+        use rand::RngCore;
+        self.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofwire::flow_match::FlowMatch;
+
+    fn testbed_with(profile: SwitchProfile) -> (Testbed, Dpid) {
+        let mut tb = Testbed::new(1);
+        let dpid = Dpid(1);
+        tb.attach_default(dpid, profile);
+        (tb, dpid)
+    }
+
+    #[test]
+    fn sync_flow_mod_advances_clock() {
+        let (mut tb, dpid) = testbed_with(SwitchProfile::ovs());
+        let t0 = tb.now();
+        let (res, elapsed) = tb.flow_mod(dpid, FlowMod::add(FlowMatch::l3_for_id(1), 10));
+        assert_eq!(res, OpResult::Ok);
+        assert!(elapsed > SimDuration::ZERO);
+        assert_eq!(tb.now(), t0 + elapsed);
+        assert_eq!(tb.switch(dpid).rule_count(), 1);
+    }
+
+    #[test]
+    fn batch_reports_rejections() {
+        let (mut tb, dpid) = testbed_with(SwitchProfile::vendor3());
+        let fms: Vec<FlowMod> = (0..400u32)
+            .map(|i| FlowMod::add(FlowMatch::l2l3_for_id(i), 10))
+            .collect();
+        let (ok, failed, elapsed) = tb.batch(dpid, fms);
+        assert_eq!(ok, 369);
+        assert_eq!(failed, 400 - 369);
+        assert!(elapsed > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn probe_rtt_reflects_path_level() {
+        let (mut tb, dpid) = testbed_with(SwitchProfile::vendor1());
+        tb.flow_mod(dpid, FlowMod::add(FlowMatch::l3_for_id(1), 10));
+        let (hit, fast_rtt) = tb.probe(dpid, &FlowMatch::key_for_id(1));
+        assert!(matches!(hit, Hit::Table { level: 0, .. }));
+        let (miss, ctrl_rtt) = tb.probe(dpid, &FlowMatch::key_for_id(42));
+        assert_eq!(miss, Hit::Miss);
+        assert!(
+            ctrl_rtt.as_millis_f64() > 2.0 * fast_rtt.as_millis_f64(),
+            "controller path ({ctrl_rtt}) should dominate fast path ({fast_rtt})"
+        );
+    }
+
+    #[test]
+    fn enqueue_serializes_per_switch() {
+        let (mut tb, dpid) = testbed_with(SwitchProfile::vendor1());
+        let c1 = tb.enqueue_op(dpid, FlowMod::add(FlowMatch::l3_for_id(1), 10), SimTime::ZERO);
+        let c2 = tb.enqueue_op(dpid, FlowMod::add(FlowMatch::l3_for_id(2), 10), SimTime::ZERO);
+        assert!(c2.done_at > c1.done_at, "ops on one switch serialize");
+        assert!(c1.acked_at > c1.done_at);
+    }
+
+    #[test]
+    fn enqueue_on_different_switches_overlaps() {
+        let mut tb = Testbed::new(3);
+        tb.attach_default(Dpid(1), SwitchProfile::vendor1());
+        tb.attach_default(Dpid(2), SwitchProfile::vendor1());
+        let c1 = tb.enqueue_op(Dpid(1), FlowMod::add(FlowMatch::l3_for_id(1), 10), SimTime::ZERO);
+        let c2 = tb.enqueue_op(Dpid(2), FlowMod::add(FlowMatch::l3_for_id(1), 10), SimTime::ZERO);
+        // Independent switches start immediately; completions are close.
+        let gap = c1.done_at.since(c2.done_at).as_millis_f64().abs()
+            + c2.done_at.since(c1.done_at).as_millis_f64().abs();
+        assert!(gap < 5.0, "parallel switches should overlap (gap {gap} ms)");
+        assert!(tb.all_quiet_at() >= c1.done_at.max(c2.done_at));
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = || {
+            let (mut tb, dpid) = testbed_with(SwitchProfile::vendor1());
+            for i in 0..20u32 {
+                tb.flow_mod(dpid, FlowMod::add(FlowMatch::l3_for_id(i), 100 - i as u16));
+            }
+            tb.now()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,333 @@
+//! Flow tables: a priority-ordered wildcard-match table, and the
+//! exact-match microflow cache that OVS-style switches maintain in the
+//! kernel.
+
+use crate::entry::{EntryId, FlowEntry};
+use ofwire::action::Action;
+use ofwire::flow_match::{FlowKey, FlowMatch};
+use ofwire::types::PortNo;
+use simnet::time::SimTime;
+use std::collections::HashMap;
+
+/// A wildcard-match flow table.
+///
+/// Lookup returns the highest-priority covering entry; among equal
+/// priorities the earliest-installed entry wins (deterministic, and the
+/// common hardware behaviour).
+#[derive(Debug, Clone, Default)]
+pub struct FlowTable {
+    entries: Vec<FlowEntry>,
+}
+
+impl FlowTable {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> FlowTable {
+        FlowTable::default()
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries are installed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in installation order.
+    pub fn iter(&self) -> impl Iterator<Item = &FlowEntry> {
+        self.entries.iter()
+    }
+
+    /// Iterates entries mutably.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut FlowEntry> {
+        self.entries.iter_mut()
+    }
+
+    /// Read access to the backing slice (for policy scans).
+    #[must_use]
+    pub fn as_slice(&self) -> &[FlowEntry] {
+        &self.entries
+    }
+
+    /// Installs an entry.
+    pub fn insert(&mut self, entry: FlowEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Removes and returns the entry at `index`.
+    pub fn remove_at(&mut self, index: usize) -> FlowEntry {
+        self.entries.remove(index)
+    }
+
+    /// Index of the matching entry for `key`: maximal priority, then
+    /// earliest entry id.
+    #[must_use]
+    pub fn lookup(&self, key: &FlowKey) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, e) in self.entries.iter().enumerate() {
+            if !e.flow_match.covers(key) {
+                continue;
+            }
+            match best {
+                None => best = Some(i),
+                Some(b) => {
+                    let cur = &self.entries[b];
+                    if e.priority > cur.priority
+                        || (e.priority == cur.priority && e.id < cur.id)
+                    {
+                        best = Some(i);
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Mutable access by index.
+    pub fn get_mut(&mut self, index: usize) -> &mut FlowEntry {
+        &mut self.entries[index]
+    }
+
+    /// Read access by index.
+    #[must_use]
+    pub fn get(&self, index: usize) -> &FlowEntry {
+        &self.entries[index]
+    }
+
+    /// Finds the entry that *strictly* equals the given match and
+    /// priority (OpenFlow strict semantics).
+    #[must_use]
+    pub fn find_strict(&self, flow_match: &FlowMatch, priority: u16) -> Option<usize> {
+        self.entries
+            .iter()
+            .position(|e| e.priority == priority && e.flow_match == *flow_match)
+    }
+
+    /// Indices of entries selected by a non-strict filter: entries whose
+    /// match is subsumed by `filter`, optionally restricted to entries
+    /// with an output action to `out_port`.
+    #[must_use]
+    pub fn select_loose(&self, filter: &FlowMatch, out_port: PortNo) -> Vec<usize> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| filter.subsumes(&e.flow_match))
+            .filter(|(_, e)| {
+                out_port == PortNo::NONE
+                    || e.actions.iter().any(
+                        |a| matches!(a, Action::Output { port, .. } if *port == out_port),
+                    )
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Removes a set of indices (any order), returning the removed
+    /// entries in descending index order.
+    pub fn remove_indices(&mut self, mut indices: Vec<usize>) -> Vec<FlowEntry> {
+        indices.sort_unstable_by(|a, b| b.cmp(a));
+        indices.dedup();
+        indices
+            .into_iter()
+            .map(|i| self.entries.remove(i))
+            .collect()
+    }
+
+    /// Removes every entry, returning them.
+    pub fn drain_all(&mut self) -> Vec<FlowEntry> {
+        std::mem::take(&mut self.entries)
+    }
+
+    /// Finds an entry by id.
+    #[must_use]
+    pub fn position_of(&self, id: EntryId) -> Option<usize> {
+        self.entries.iter().position(|e| e.id == id)
+    }
+}
+
+/// An exact-match microflow entry in the kernel cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MicroflowEntry {
+    /// The userspace entry this microflow was cloned from.
+    pub parent: EntryId,
+    /// When the microflow was installed.
+    pub installed_at: SimTime,
+    /// When it last matched a packet.
+    pub last_used_at: SimTime,
+}
+
+/// OVS-style kernel cache: exact [`FlowKey`] → microflow entries, with
+/// LRU eviction at a configurable capacity. This implements the paper's
+/// "1-to-N mapping (one user space entry could map to multiple kernel
+/// space entries)".
+#[derive(Debug, Clone)]
+pub struct MicroflowCache {
+    map: HashMap<FlowKey, MicroflowEntry>,
+    capacity: usize,
+}
+
+impl MicroflowCache {
+    /// A cache holding at most `capacity` microflows.
+    #[must_use]
+    pub fn new(capacity: usize) -> MicroflowCache {
+        MicroflowCache {
+            map: HashMap::new(),
+            capacity,
+        }
+    }
+
+    /// Number of cached microflows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up an exact key, refreshing its LRU stamp on hit.
+    pub fn lookup_touch(&mut self, key: &FlowKey, now: SimTime) -> Option<EntryId> {
+        let e = self.map.get_mut(key)?;
+        e.last_used_at = now;
+        Some(e.parent)
+    }
+
+    /// Installs a microflow for `key`, evicting the least recently used
+    /// entry if at capacity.
+    pub fn install(&mut self, key: FlowKey, parent: EntryId, now: SimTime) {
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used_at)
+                .map(|(k, _)| *k)
+            {
+                self.map.remove(&victim);
+            }
+        }
+        self.map.insert(
+            key,
+            MicroflowEntry {
+                parent,
+                installed_at: now,
+                last_used_at: now,
+            },
+        );
+    }
+
+    /// Drops every microflow cloned from `parent` (used when the parent
+    /// rule is deleted or modified, to preserve semantics).
+    pub fn invalidate_parent(&mut self, parent: EntryId) {
+        self.map.retain(|_, e| e.parent != parent);
+    }
+
+    /// Removes everything.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: u64, m: FlowMatch, prio: u16) -> FlowEntry {
+        FlowEntry::new(EntryId(id), m, prio, vec![Action::output(1)], SimTime(id))
+    }
+
+    #[test]
+    fn lookup_prefers_priority_then_age() {
+        let mut t = FlowTable::new();
+        let key = FlowMatch::key_for_id(7);
+        t.insert(entry(1, FlowMatch::l3_for_id(7), 10));
+        t.insert(entry(2, FlowMatch::l2_for_id(7), 20));
+        t.insert(entry(3, FlowMatch::any(), 20)); // same prio as #2, later id
+        let hit = t.lookup(&key).unwrap();
+        assert_eq!(t.get(hit).id, EntryId(2));
+    }
+
+    #[test]
+    fn lookup_miss() {
+        let mut t = FlowTable::new();
+        t.insert(entry(1, FlowMatch::l3_for_id(5), 10));
+        assert!(t.lookup(&FlowMatch::key_for_id(6)).is_none());
+    }
+
+    #[test]
+    fn strict_find_requires_priority_and_match() {
+        let mut t = FlowTable::new();
+        let m = FlowMatch::l3_for_id(1);
+        t.insert(entry(1, m, 10));
+        assert!(t.find_strict(&m, 10).is_some());
+        assert!(t.find_strict(&m, 11).is_none());
+        assert!(t.find_strict(&FlowMatch::l3_for_id(2), 10).is_none());
+    }
+
+    #[test]
+    fn loose_selection_uses_subsumption_and_out_port() {
+        let mut t = FlowTable::new();
+        t.insert(entry(1, FlowMatch::l3_for_id(1), 10)); // output:1
+        let mut e2 = entry(2, FlowMatch::l3_for_id(2), 10);
+        e2.actions = vec![Action::output(9)];
+        t.insert(e2);
+        // The wildcard filter subsumes both.
+        let all = t.select_loose(&FlowMatch::any(), PortNo::NONE);
+        assert_eq!(all.len(), 2);
+        // Out-port restriction narrows to the entry forwarding to 9.
+        let only9 = t.select_loose(&FlowMatch::any(), PortNo(9));
+        assert_eq!(only9.len(), 1);
+        assert_eq!(t.get(only9[0]).id, EntryId(2));
+        // A specific filter selects only what it subsumes.
+        let one = t.select_loose(&FlowMatch::l3_for_id(1), PortNo::NONE);
+        assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn remove_indices_handles_unsorted_dupes() {
+        let mut t = FlowTable::new();
+        for i in 0..5 {
+            t.insert(entry(i, FlowMatch::l3_for_id(i as u32), 1));
+        }
+        let removed = t.remove_indices(vec![3, 1, 3]);
+        assert_eq!(removed.len(), 2);
+        assert_eq!(t.len(), 3);
+        let left: Vec<u64> = t.iter().map(|e| e.id.0).collect();
+        assert_eq!(left, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn microflow_lru_eviction() {
+        let mut c = MicroflowCache::new(2);
+        let k1 = FlowMatch::key_for_id(1);
+        let k2 = FlowMatch::key_for_id(2);
+        let k3 = FlowMatch::key_for_id(3);
+        c.install(k1, EntryId(1), SimTime(10));
+        c.install(k2, EntryId(1), SimTime(20));
+        // Touch k1 so k2 becomes LRU.
+        assert_eq!(c.lookup_touch(&k1, SimTime(30)), Some(EntryId(1)));
+        c.install(k3, EntryId(2), SimTime(40));
+        assert_eq!(c.len(), 2);
+        assert!(c.lookup_touch(&k2, SimTime(50)).is_none());
+        assert!(c.lookup_touch(&k1, SimTime(50)).is_some());
+        assert!(c.lookup_touch(&k3, SimTime(50)).is_some());
+    }
+
+    #[test]
+    fn microflow_parent_invalidation() {
+        let mut c = MicroflowCache::new(10);
+        c.install(FlowMatch::key_for_id(1), EntryId(1), SimTime(0));
+        c.install(FlowMatch::key_for_id(2), EntryId(1), SimTime(0));
+        c.install(FlowMatch::key_for_id(3), EntryId(2), SimTime(0));
+        c.invalidate_parent(EntryId(1));
+        assert_eq!(c.len(), 1);
+        assert!(c.lookup_touch(&FlowMatch::key_for_id(3), SimTime(1)).is_some());
+    }
+}

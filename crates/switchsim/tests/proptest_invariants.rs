@@ -1,0 +1,206 @@
+//! Property-based invariants of the switch model.
+//!
+//! * Rule conservation: installed = added − deleted, always.
+//! * Capacity: a bounded level never exceeds its unit capacity.
+//! * The cache policy relation is a strict total order (antisymmetric,
+//!   transitive, total) for arbitrary attribute values.
+//! * Lookup is deterministic and respects priority.
+
+use ofwire::flow_match::FlowMatch;
+use ofwire::flow_mod::FlowMod;
+use ofwire::types::Dpid;
+use proptest::prelude::*;
+use simnet::time::SimTime;
+use switchsim::cache::{Attribute, CachePolicy, Direction, SortKey};
+use switchsim::entry::{EntryId, FlowEntry};
+use switchsim::profiles::SwitchProfile;
+use switchsim::switch::{FlowModEffect, Switch};
+
+fn arb_policy() -> impl Strategy<Value = CachePolicy> {
+    let key = (0usize..4, prop::bool::ANY).prop_map(|(a, high)| SortKey {
+        attribute: Attribute::ALL[a],
+        direction: if high {
+            Direction::KeepHigh
+        } else {
+            Direction::KeepLow
+        },
+    });
+    proptest::collection::vec(key, 1..4).prop_map(|mut keys| {
+        // LEX orders do not repeat attributes.
+        let mut seen = Vec::new();
+        keys.retain(|k| {
+            if seen.contains(&k.attribute) {
+                false
+            } else {
+                seen.push(k.attribute);
+                true
+            }
+        });
+        CachePolicy::new(keys)
+    })
+}
+
+fn arb_entry(id: u64) -> impl Strategy<Value = FlowEntry> {
+    (any::<u32>(), 0u64..100, 0u64..100, 0u64..50, any::<u16>()).prop_map(
+        move |(fid, ins, used, pkts, prio)| {
+            let mut e = FlowEntry::new(
+                EntryId(id),
+                FlowMatch::l3_for_id(fid),
+                prio,
+                vec![],
+                SimTime(ins),
+            );
+            e.last_used_at = SimTime(ins + used);
+            e.packet_count = pkts;
+            e
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn policy_is_a_strict_total_order(
+        policy in arb_policy(),
+        e1 in arb_entry(1),
+        e2 in arb_entry(2),
+        e3 in arb_entry(3),
+    ) {
+        use std::cmp::Ordering;
+        // Totality & antisymmetry (distinct ids guarantee no Equal).
+        for (a, b) in [(&e1, &e2), (&e1, &e3), (&e2, &e3)] {
+            let ab = policy.cmp_entries(a, b);
+            let ba = policy.cmp_entries(b, a);
+            prop_assert_ne!(ab, Ordering::Equal);
+            prop_assert_eq!(ab, ba.reverse());
+        }
+        // Transitivity over the triple.
+        let mut sorted = [&e1, &e2, &e3];
+        sorted.sort_by(|a, b| policy.cmp_entries(a, b));
+        for w in sorted.windows(2) {
+            prop_assert_eq!(
+                policy.cmp_entries(w[0], w[1]),
+                Ordering::Less
+            );
+        }
+        prop_assert_eq!(
+            policy.cmp_entries(sorted[0], sorted[2]),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn rule_conservation_under_random_op_sequences(
+        ops in proptest::collection::vec((0u8..3, 0u32..40, 1u16..200), 1..120),
+        seed in any::<u64>(),
+    ) {
+        let mut sw = Switch::new(SwitchProfile::vendor2(), Dpid(1), seed);
+        let mut model: std::collections::HashMap<(u32, u16), usize> =
+            std::collections::HashMap::new();
+        let mut t = 0u64;
+        for (op, fid, prio) in ops {
+            t += 1;
+            let m = FlowMatch::l3_for_id(fid);
+            let fm = match op {
+                0 => FlowMod::add(m, prio),
+                1 => FlowMod::modify_strict(m, prio, vec![]),
+                _ => FlowMod::delete_strict(m, prio),
+            };
+            let (res, _) = sw.apply_flow_mod(&fm, SimTime(t));
+            match (op, res) {
+                (0, Ok(FlowModEffect::Added { .. })) => {
+                    *model.entry((fid, prio)).or_insert(0) += 1;
+                }
+                (0, Err(_)) => {}
+                (1, Ok(FlowModEffect::Modified(n))) => {
+                    prop_assert_eq!(n, *model.get(&(fid, prio)).unwrap_or(&0));
+                }
+                (1, Ok(FlowModEffect::Added { .. })) => {
+                    // Modify of an absent rule adds (OpenFlow semantics).
+                    *model.entry((fid, prio)).or_insert(0) += 1;
+                }
+                (_, Ok(FlowModEffect::Deleted(n))) => {
+                    let have = model.remove(&(fid, prio)).unwrap_or(0);
+                    prop_assert_eq!(n, have);
+                }
+                (o, r) => prop_assert!(false, "unexpected {o} → {r:?}"),
+            }
+            let expected: usize = model.values().sum();
+            prop_assert_eq!(sw.rule_count(), expected);
+            // Capacity invariant: vendor2's TCAM holds ≤ 2560.
+            prop_assert!(sw.level_occupancy(0) <= 2560);
+        }
+    }
+
+    #[test]
+    fn lookup_is_deterministic_and_priority_correct(
+        rules in proptest::collection::vec((0u32..10, 1u16..100), 1..30),
+        probe_id in 0u32..10,
+    ) {
+        let mut sw = Switch::new(SwitchProfile::vendor2(), Dpid(1), 7);
+        let mut best: Option<u16> = None;
+        let mut seen: std::collections::HashSet<(u32, u16)> =
+            std::collections::HashSet::new();
+        for (i, &(fid, prio)) in rules.iter().enumerate() {
+            if !seen.insert((fid, prio)) {
+                continue; // strict duplicates would stack confusingly
+            }
+            let fm = FlowMod::add(FlowMatch::l3_for_id(fid), prio);
+            let _ = sw.apply_flow_mod(&fm, SimTime(i as u64));
+            if fid == probe_id {
+                best = Some(best.map_or(prio, |b| b.max(prio)));
+            }
+        }
+        let key = FlowMatch::key_for_id(probe_id);
+        let (h1, _) = sw.inject(&key, SimTime(1000), 64);
+        let (h2, _) = sw.inject(&key, SimTime(1001), 64);
+        // Same membership outcome both times (vendor2 is TCAM-only, so
+        // hits don't change anything).
+        prop_assert_eq!(
+            matches!(h1, switchsim::pipeline::Hit::Table { .. }),
+            matches!(h2, switchsim::pipeline::Hit::Table { .. })
+        );
+        prop_assert_eq!(
+            matches!(h1, switchsim::pipeline::Hit::Table { .. }),
+            best.is_some()
+        );
+        // The matched entry carries the highest priority for the key.
+        if let switchsim::pipeline::Hit::Table { entry, .. } = h1 {
+            let stats = sw.flow_stats(SimTime(2000));
+            let matched = stats
+                .iter()
+                .find(|e| {
+                    e.flow_match.covers(&key) && e.packet_count > 0
+                })
+                .expect("matched entry visible in stats");
+            prop_assert_eq!(Some(matched.priority), best);
+            let _ = entry;
+        }
+    }
+
+    #[test]
+    fn fifo_spill_preserves_insertion_prefix_in_tcam(
+        n in 1usize..60,
+    ) {
+        // Whatever the interleaving of probes, FIFO keeps the first
+        // `cap` insertions in the fast level.
+        let cap = 20u64;
+        let mut sw = Switch::new(
+            SwitchProfile::generic_cached(cap, CachePolicy::fifo()),
+            Dpid(1),
+            3,
+        );
+        for i in 0..n {
+            let fm = FlowMod::add(FlowMatch::l3_for_id(i as u32), 10);
+            sw.apply_flow_mod(&fm, SimTime(i as u64)).0.unwrap();
+            // Interleave traffic to tempt a (wrong) promotion.
+            let key = FlowMatch::key_for_id((i / 2) as u32);
+            sw.inject(&key, SimTime(1000 + i as u64), 64);
+        }
+        prop_assert_eq!(
+            sw.level_occupancy(0),
+            n.min(cap as usize)
+        );
+    }
+}

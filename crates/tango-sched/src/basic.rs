@@ -1,0 +1,243 @@
+//! The Basic Tango Scheduler (Algorithm 3) and the evaluation arms of
+//! Figs 10–12.
+//!
+//! * **Dionysus** — online critical-path dispatch, ack-released,
+//!   oblivious to per-op-type costs and priority ordering.
+//! * **Tango (Type)** — online dispatch ordering each switch's released
+//!   requests deletes → mods → adds, with the guard-time release
+//!   extension.
+//! * **Tango (Type + Priority)** — additionally sorts adds in ascending
+//!   priority.
+//! * [`run_basic_tango`] — the batched Algorithm 3 loop verbatim (used
+//!   where the paper's batch-oriented description applies directly).
+
+use crate::dag::{NodeId, RequestDag};
+use crate::executor::{
+    execute_batched, execute_online, Discipline, ExecReport, Release,
+};
+use crate::patterns::{ordering_tango_oracle, AddOrder, SchedPattern};
+use crate::request::ReqOp;
+use simnet::time::SimDuration;
+use switchsim::harness::Testbed;
+use tango::db::TangoDb;
+
+/// Which Tango optimizations are active (the Fig 10 arms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TangoMode {
+    /// Rule-type phases only; adds stay in submission order.
+    TypeOnly,
+    /// Rule-type phases plus ascending-priority add sorting.
+    TypeAndPriority,
+}
+
+/// The default guard interval for Tango's concurrent-dispatch extension
+/// (§6): comfortably above the per-op cost estimation error, far below
+/// an ack round trip.
+#[must_use]
+pub fn default_guard() -> SimDuration {
+    SimDuration::from_micros(50)
+}
+
+/// Runs the Basic Tango Scheduler (Algorithm 3, batched) over the DAG.
+pub fn run_basic_tango(
+    tb: &mut Testbed,
+    dag: &mut RequestDag,
+    db: &TangoDb,
+    mode: TangoMode,
+) -> ExecReport {
+    match mode {
+        TangoMode::TypeAndPriority => {
+            let mut oracle = |db: &TangoDb, dag: &RequestDag, set: &[NodeId]| {
+                ordering_tango_oracle(db, dag, set)
+            };
+            execute_batched(tb, dag, db, &mut oracle)
+        }
+        TangoMode::TypeOnly => {
+            let pattern = SchedPattern {
+                name: "DEL_MOD_GIVEN_ADD".into(),
+                phases: [ReqOp::Del, ReqOp::Mod, ReqOp::Add],
+                add_order: AddOrder::AsGiven,
+            };
+            let mut oracle = move |_db: &TangoDb, dag: &RequestDag, set: &[NodeId]| {
+                (pattern.apply(dag, set), pattern.name.clone())
+            };
+            execute_batched(tb, dag, db, &mut oracle)
+        }
+    }
+}
+
+/// Runs Tango's online dispatcher with the guard-time extension — the
+/// configuration used for the network-wide comparisons.
+pub fn run_tango_online(tb: &mut Testbed, dag: &mut RequestDag, mode: TangoMode) -> ExecReport {
+    let discipline = match mode {
+        TangoMode::TypeOnly => Discipline::TangoTypeOnly,
+        TangoMode::TypeAndPriority => Discipline::TangoTypePriority,
+    };
+    execute_online(tb, dag, discipline, Release::Guard(default_guard()))
+}
+
+/// Runs the Dionysus baseline: online critical-path dispatch with
+/// ack-released dependencies, no awareness of op-type or priority-order
+/// costs.
+pub fn run_dionysus(tb: &mut Testbed, dag: &mut RequestDag) -> ExecReport {
+    execute_online(tb, dag, Discipline::CriticalPath, Release::Ack)
+}
+
+/// Runs Tango's full online configuration with an explicit guard (used
+/// by the guard-time ablation).
+pub fn run_tango_guarded(
+    tb: &mut Testbed,
+    dag: &mut RequestDag,
+    guard: SimDuration,
+) -> ExecReport {
+    execute_online(
+        tb,
+        dag,
+        Discipline::TangoTypePriority,
+        Release::Guard(guard),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ReqElem;
+    use ofwire::flow_match::FlowMatch;
+    use ofwire::types::Dpid;
+    use simnet::rng::DetRng;
+    use switchsim::profiles::SwitchProfile;
+
+    /// A flat (dependency-free) workload of adds with scattered
+    /// priorities plus some mods and dels — the situation where pattern
+    /// ordering pays.
+    fn flat_workload(n_adds: usize, n_mods: usize, n_dels: usize) -> RequestDag {
+        let mut dag = RequestDag::new();
+        let mut rng = DetRng::new(3);
+        // Pre-existing rules to modify/delete occupy ids 0..n_mods+n_dels.
+        for i in 0..n_mods {
+            dag.add_node(ReqElem::modify(
+                Dpid(1),
+                FlowMatch::l3_for_id(i as u32),
+                500,
+                2,
+            ));
+        }
+        for i in 0..n_dels {
+            dag.add_node(ReqElem::delete(
+                Dpid(1),
+                FlowMatch::l3_for_id((n_mods + i) as u32),
+                3500,
+            ));
+        }
+        let mut prios: Vec<u16> = (0..n_adds).map(|i| 1000 + i as u16).collect();
+        rng.shuffle(&mut prios);
+        for (i, p) in prios.into_iter().enumerate() {
+            dag.add_node(ReqElem::add(
+                Dpid(1),
+                FlowMatch::l3_for_id((10_000 + i) as u32),
+                p,
+                1,
+            ));
+        }
+        dag
+    }
+
+    fn testbed_with_preinstalled(n_mods: usize, n_dels: usize, extra: usize) -> Testbed {
+        let mut tb = Testbed::new(8);
+        tb.attach_default(Dpid(1), SwitchProfile::vendor1());
+        let mut fms: Vec<ofwire::flow_mod::FlowMod> = Vec::new();
+        for i in 0..n_mods {
+            fms.push(ofwire::flow_mod::FlowMod::add(
+                FlowMatch::l3_for_id(i as u32),
+                500,
+            ));
+        }
+        for i in 0..n_dels {
+            fms.push(ofwire::flow_mod::FlowMod::add(
+                FlowMatch::l3_for_id((n_mods + i) as u32),
+                3500,
+            ));
+        }
+        let mut rng = DetRng::new(5);
+        for i in 0..extra {
+            fms.push(ofwire::flow_mod::FlowMod::add(
+                FlowMatch::l3_for_id((100_000 + i) as u32),
+                500 + rng.index(100) as u16,
+            ));
+        }
+        tb.batch(Dpid(1), fms);
+        tb
+    }
+
+    #[test]
+    fn tango_beats_dionysus_on_hardware() {
+        let run = |which: &str| {
+            let mut tb = testbed_with_preinstalled(50, 50, 50);
+            let mut dag = flat_workload(200, 50, 50);
+            match which {
+                "dionysus" => run_dionysus(&mut tb, &mut dag).makespan,
+                "type" => run_tango_online(&mut tb, &mut dag, TangoMode::TypeOnly).makespan,
+                _ => run_tango_online(&mut tb, &mut dag, TangoMode::TypeAndPriority).makespan,
+            }
+        };
+        let dionysus = run("dionysus");
+        let tango_t = run("type");
+        let tango_tp = run("full");
+        assert!(
+            tango_tp.as_millis_f64() < dionysus.as_millis_f64(),
+            "tango {tango_tp} should beat dionysus {dionysus}"
+        );
+        assert!(
+            tango_tp.as_millis_f64() <= tango_t.as_millis_f64() * 1.02,
+            "priority sorting ({tango_tp}) should not lose to type-only ({tango_t})"
+        );
+    }
+
+    #[test]
+    fn batched_algorithm3_also_beats_dionysus_on_flat_dags() {
+        let run_batched = || {
+            let mut tb = testbed_with_preinstalled(50, 50, 50);
+            let mut dag = flat_workload(300, 0, 0);
+            let db = TangoDb::new();
+            run_basic_tango(&mut tb, &mut dag, &db, TangoMode::TypeAndPriority).makespan
+        };
+        let run_dio = || {
+            let mut tb = testbed_with_preinstalled(50, 50, 50);
+            let mut dag = flat_workload(300, 0, 0);
+            run_dionysus(&mut tb, &mut dag).makespan
+        };
+        let batched = run_batched();
+        let dio = run_dio();
+        assert!(
+            batched.as_millis_f64() < dio.as_millis_f64(),
+            "batched tango {batched} vs dionysus {dio}"
+        );
+    }
+
+    #[test]
+    fn all_arms_reach_the_same_final_state() {
+        let final_count = |which: &str| {
+            let mut tb = testbed_with_preinstalled(20, 20, 60);
+            let mut dag = flat_workload(50, 20, 20);
+            let db = TangoDb::new();
+            match which {
+                "dionysus" => run_dionysus(&mut tb, &mut dag),
+                "type" => run_tango_online(&mut tb, &mut dag, TangoMode::TypeOnly),
+                "batched" => {
+                    run_basic_tango(&mut tb, &mut dag, &db, TangoMode::TypeAndPriority)
+                }
+                _ => run_tango_online(&mut tb, &mut dag, TangoMode::TypeAndPriority),
+            };
+            tb.switch(Dpid(1)).rule_count()
+        };
+        let a = final_count("dionysus");
+        let b = final_count("type");
+        let c = final_count("full");
+        let d = final_count("batched");
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(c, d);
+        // 100 preinstalled − 20 deleted + 50 added.
+        assert_eq!(a, 130);
+    }
+}

@@ -1,0 +1,91 @@
+//! Consistent-update ordering (§7.2).
+//!
+//! "We ensure that the flow updates are conducted in reverse order
+//! across the source-destination paths to ensure update consistency
+//! \[18\]": for a path s₁→s₂→…→s_k, the rule at s_k (nearest the
+//! destination) installs first and s₁ last, so no packet ever reaches a
+//! switch without a rule for it.
+
+use crate::dag::{NodeId, RequestDag};
+
+/// Adds the reverse-path dependency chain for one flow's per-switch
+/// requests. `path_nodes[i]` is the request at the `i`-th switch from
+/// the **source**; the resulting edges force destination-first
+/// installation.
+pub fn add_reverse_path_deps(dag: &mut RequestDag, path_nodes: &[NodeId]) {
+    for w in path_nodes.windows(2) {
+        // w[1] is closer to the destination: it must complete first.
+        dag.add_dep(w[1], w[0]);
+    }
+}
+
+/// Checks that an execution order (a permutation of node completion
+/// ranks) respects destination-first semantics for a path.
+#[must_use]
+pub fn is_reverse_path_order(completion_rank: &[usize], path_nodes: &[NodeId]) -> bool {
+    path_nodes
+        .windows(2)
+        .all(|w| completion_rank[w[1].0] < completion_rank[w[0].0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ReqElem;
+    use ofwire::flow_match::FlowMatch;
+    use ofwire::types::Dpid;
+
+    fn path_dag(len: usize) -> (RequestDag, Vec<NodeId>) {
+        let mut dag = RequestDag::new();
+        let nodes: Vec<NodeId> = (0..len)
+            .map(|i| {
+                dag.add_node(ReqElem::add(
+                    Dpid(i as u64 + 1),
+                    FlowMatch::l3_for_id(7),
+                    10,
+                    1,
+                ))
+            })
+            .collect();
+        add_reverse_path_deps(&mut dag, &nodes);
+        (dag, nodes)
+    }
+
+    #[test]
+    fn destination_installs_first() {
+        let (dag, nodes) = path_dag(4);
+        // Only the destination-side request is initially independent.
+        assert_eq!(dag.independent_set(), vec![*nodes.last().unwrap()]);
+    }
+
+    #[test]
+    fn drain_order_is_reverse_path() {
+        let (mut dag, nodes) = path_dag(5);
+        let mut rank = vec![0usize; dag.len()];
+        let mut next = 0;
+        while !dag.all_done() {
+            for id in dag.independent_set() {
+                rank[id.0] = next;
+                next += 1;
+                dag.mark_done(id);
+            }
+        }
+        assert!(is_reverse_path_order(&rank, &nodes));
+    }
+
+    #[test]
+    fn violated_order_detected() {
+        let (_, nodes) = path_dag(3);
+        // Source first = rank 0 for nodes[0]: violates.
+        let rank = vec![0usize, 1, 2];
+        assert!(!is_reverse_path_order(&rank, &nodes));
+    }
+
+    #[test]
+    fn single_hop_paths_are_trivially_consistent() {
+        let mut dag = RequestDag::new();
+        let n = dag.add_node(ReqElem::add(Dpid(1), FlowMatch::any(), 1, 1));
+        add_reverse_path_deps(&mut dag, &[n]);
+        assert_eq!(dag.independent_set(), vec![n]);
+    }
+}

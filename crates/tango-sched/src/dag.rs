@@ -1,0 +1,334 @@
+//! The switch-request DAG (§6, Fig 7).
+//!
+//! Nodes are [`ReqElem`]s; a directed edge `a → b` means request `a`
+//! must complete before `b` may be issued (consistent-update ordering,
+//! priority-barrier ordering, etc.). The scheduler repeatedly extracts
+//! the *independent set* — requests with no unfinished predecessors —
+//! and uses longest-path lengths for critical-path decisions.
+
+use crate::request::{ReqElem, ReqOp};
+use serde::{Deserialize, Serialize};
+
+/// Index of a request within its DAG.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct NodeId(pub usize);
+
+/// A directed acyclic graph of switch requests.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RequestDag {
+    nodes: Vec<ReqElem>,
+    /// Adjacency: successors of each node.
+    succs: Vec<Vec<NodeId>>,
+    /// Number of unfinished predecessors per node.
+    pending_preds: Vec<usize>,
+    /// Completion flags.
+    done: Vec<bool>,
+}
+
+impl RequestDag {
+    /// An empty DAG.
+    #[must_use]
+    pub fn new() -> RequestDag {
+        RequestDag::default()
+    }
+
+    /// Adds a request, returning its id.
+    pub fn add_node(&mut self, req: ReqElem) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(req);
+        self.succs.push(Vec::new());
+        self.pending_preds.push(0);
+        self.done.push(false);
+        id
+    }
+
+    /// Adds the dependency `before → after`. Panics on self-loops; cycle
+    /// detection is via [`RequestDag::validate_acyclic`].
+    pub fn add_dep(&mut self, before: NodeId, after: NodeId) {
+        assert_ne!(before, after, "self-dependency");
+        self.succs[before.0].push(after);
+        self.pending_preds[after.0] += 1;
+    }
+
+    /// Number of requests.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the DAG has no requests at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The request behind a node id.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &ReqElem {
+        &self.nodes[id.0]
+    }
+
+    /// Mutable access (used by priority enforcement).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut ReqElem {
+        &mut self.nodes[id.0]
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// Successors of a node.
+    #[must_use]
+    pub fn successors(&self, id: NodeId) -> &[NodeId] {
+        &self.succs[id.0]
+    }
+
+    /// True once every request has completed.
+    #[must_use]
+    pub fn all_done(&self) -> bool {
+        self.done.iter().all(|&d| d)
+    }
+
+    /// The current independent set: unfinished requests with no
+    /// unfinished predecessors.
+    #[must_use]
+    pub fn independent_set(&self) -> Vec<NodeId> {
+        (0..self.nodes.len())
+            .filter(|&i| !self.done[i] && self.pending_preds[i] == 0)
+            .map(NodeId)
+            .collect()
+    }
+
+    /// Marks a request complete, unblocking its successors. Panics if
+    /// the node was still blocked or already done (a scheduling bug).
+    pub fn mark_done(&mut self, id: NodeId) {
+        assert!(!self.done[id.0], "request completed twice");
+        assert_eq!(
+            self.pending_preds[id.0], 0,
+            "request completed while still blocked"
+        );
+        self.done[id.0] = true;
+        for s in self.succs[id.0].clone() {
+            self.pending_preds[s.0] -= 1;
+        }
+    }
+
+    /// Longest path (in edges) from each node to any sink, over the
+    /// whole DAG (ignores completion state). This is the critical-path
+    /// metric both schedulers use.
+    #[must_use]
+    pub fn longest_path_lengths(&self) -> Vec<usize> {
+        let order = self.topo_order().expect("DAG must be acyclic");
+        let mut lp = vec![0usize; self.nodes.len()];
+        for &NodeId(i) in order.iter().rev() {
+            for &NodeId(s) in &self.succs[i] {
+                lp[i] = lp[i].max(lp[s] + 1);
+            }
+        }
+        lp
+    }
+
+    /// A topological order, or `None` if the graph has a cycle.
+    #[must_use]
+    pub fn topo_order(&self) -> Option<Vec<NodeId>> {
+        let mut indeg: Vec<usize> = vec![0; self.nodes.len()];
+        for succs in &self.succs {
+            for &NodeId(s) in succs {
+                indeg[s] += 1;
+            }
+        }
+        let mut stack: Vec<usize> = (0..self.nodes.len()).filter(|&i| indeg[i] == 0).collect();
+        // Reverse so pop() yields the smallest index first: deterministic.
+        stack.sort_unstable_by(|a, b| b.cmp(a));
+        let mut order = Vec::with_capacity(self.nodes.len());
+        while let Some(i) = stack.pop() {
+            order.push(NodeId(i));
+            let mut newly = Vec::new();
+            for &NodeId(s) in &self.succs[i] {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    newly.push(s);
+                }
+            }
+            newly.sort_unstable_by(|a, b| b.cmp(a));
+            stack.extend(newly);
+        }
+        if order.len() == self.nodes.len() {
+            Some(order)
+        } else {
+            None
+        }
+    }
+
+    /// Validates acyclicity ("If the dependency forms a loop, the upper
+    /// layer must break the loop to make G a DAG").
+    #[must_use]
+    pub fn validate_acyclic(&self) -> bool {
+        self.topo_order().is_some()
+    }
+
+    /// The paper's Fig 7 example DAG, verbatim: nine requests A–J across
+    /// four switches with the dependencies drawn in the figure. Returns
+    /// the DAG plus the node ids in label order
+    /// `[A, B, C, E, F, G, H, I, J]`.
+    #[must_use]
+    pub fn fig7_example() -> (RequestDag, Vec<NodeId>) {
+        use crate::request::ReqElem;
+        use ofwire::flow_match::FlowMatch;
+        use ofwire::types::Dpid;
+        let mut dag = RequestDag::new();
+        // (label, switch, op, priority) per the figure.
+        let specs: [(&str, u64, ReqOp, u16); 9] = [
+            ("A", 1, ReqOp::Add, 1334),
+            ("B", 1, ReqOp::Add, 1244),
+            ("C", 1, ReqOp::Del, 2001),
+            ("E", 1, ReqOp::Mod, 2000),
+            ("F", 2, ReqOp::Mod, 2334),
+            ("G", 4, ReqOp::Mod, 2330),
+            ("H", 1, ReqOp::Del, 1070),
+            ("I", 1, ReqOp::Add, 2350),
+            ("J", 1, ReqOp::Add, 2345),
+        ];
+        let ids: Vec<NodeId> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, sw, op, prio))| {
+                let m = FlowMatch::l3_for_id(i as u32);
+                let base = ReqElem::add(Dpid(sw), m, prio, 1);
+                dag.add_node(ReqElem { op, ..base })
+            })
+            .collect();
+        let [a, b, c, e, f, g, h, i, j] =
+            [ids[0], ids[1], ids[2], ids[3], ids[4], ids[5], ids[6], ids[7], ids[8]];
+        // Edges per the figure: A→B→C, E→F→G, H→F, I→G, I→J.
+        dag.add_dep(a, b);
+        dag.add_dep(b, c);
+        dag.add_dep(e, f);
+        dag.add_dep(f, g);
+        dag.add_dep(h, f);
+        dag.add_dep(i, g);
+        dag.add_dep(i, j);
+        let _ = (c, g, j);
+        (dag, ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{ReqElem, ReqOp};
+    use ofwire::flow_match::FlowMatch;
+    use ofwire::types::Dpid;
+
+    fn req(op: ReqOp, id: u32) -> ReqElem {
+        let base = ReqElem::add(Dpid(1), FlowMatch::l3_for_id(id), 10, 1);
+        ReqElem { op, ..base }
+    }
+
+    /// The example DAG of Fig 7 (nine requests; A,E,H,I independent).
+    fn fig7() -> (RequestDag, Vec<NodeId>) {
+        let mut dag = RequestDag::new();
+        // A B C E F G H I J, in that insertion order.
+        let ids: Vec<NodeId> = (0..9)
+            .map(|i| dag.add_node(req(ReqOp::Add, i)))
+            .collect();
+        let (a, b, c, e, f, g, h, i, j) = (
+            ids[0], ids[1], ids[2], ids[3], ids[4], ids[5], ids[6], ids[7], ids[8],
+        );
+        dag.add_dep(a, b);
+        dag.add_dep(b, c);
+        dag.add_dep(e, f);
+        dag.add_dep(f, g);
+        dag.add_dep(h, f);
+        dag.add_dep(i, g);
+        dag.add_dep(i, j);
+        (dag, vec![a, e, h, i])
+    }
+
+    #[test]
+    fn independent_set_matches_fig7() {
+        let (dag, expect) = fig7();
+        assert_eq!(dag.independent_set(), expect);
+        assert!(dag.validate_acyclic());
+    }
+
+    #[test]
+    fn mark_done_unblocks_successors() {
+        let (mut dag, indep) = fig7();
+        for id in indep {
+            dag.mark_done(id);
+        }
+        // B (A done), F (E and H done), J (I done) become independent.
+        let next = dag.independent_set();
+        assert_eq!(next, vec![NodeId(1), NodeId(4), NodeId(8)]);
+        assert!(!dag.all_done());
+    }
+
+    #[test]
+    #[should_panic(expected = "still blocked")]
+    fn completing_blocked_node_panics() {
+        let (mut dag, _) = fig7();
+        dag.mark_done(NodeId(1)); // B depends on A
+    }
+
+    #[test]
+    fn longest_paths() {
+        let (dag, _) = fig7();
+        let lp = dag.longest_path_lengths();
+        // A→B→C: A has lp 2. E→F→G: 2. I→G and I→J: 1. C, G, J: 0.
+        assert_eq!(lp[0], 2);
+        assert_eq!(lp[3], 2);
+        assert_eq!(lp[7], 1);
+        assert_eq!(lp[2], 0);
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut dag = RequestDag::new();
+        let a = dag.add_node(req(ReqOp::Add, 1));
+        let b = dag.add_node(req(ReqOp::Add, 2));
+        dag.add_dep(a, b);
+        dag.add_dep(b, a);
+        assert!(!dag.validate_acyclic());
+        assert!(dag.topo_order().is_none());
+    }
+
+    #[test]
+    fn topo_order_is_deterministic_and_valid() {
+        let (dag, _) = fig7();
+        let order = dag.topo_order().unwrap();
+        assert_eq!(order.len(), dag.len());
+        // Every edge respects the order.
+        let pos: Vec<usize> = {
+            let mut p = vec![0; dag.len()];
+            for (idx, &NodeId(n)) in order.iter().enumerate() {
+                p[n] = idx;
+            }
+            p
+        };
+        for id in dag.node_ids() {
+            for &NodeId(s) in dag.successors(id) {
+                assert!(pos[id.0] < pos[s]);
+            }
+        }
+        assert_eq!(order, fig7().0.topo_order().unwrap());
+    }
+
+    #[test]
+    fn drain_entire_dag() {
+        let (mut dag, _) = fig7();
+        let mut drained = 0;
+        while !dag.all_done() {
+            let batch = dag.independent_set();
+            assert!(!batch.is_empty(), "acyclic DAG always has a frontier");
+            for id in batch {
+                dag.mark_done(id);
+                drained += 1;
+            }
+        }
+        assert_eq!(drained, 9);
+    }
+}

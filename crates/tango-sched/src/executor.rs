@@ -1,0 +1,520 @@
+//! Executes a scheduled request DAG against a simulated testbed and
+//! measures the makespan — the number every network-wide figure
+//! (Figs 10–12) reports.
+//!
+//! Two execution engines:
+//!
+//! * [`execute_batched`] — Algorithm 3's loop verbatim: extract the
+//!   independent set, order it with an oracle, issue the whole batch,
+//!   wait for every ack, repeat.
+//! * [`execute_online`] — an event-driven dispatcher: each switch runs
+//!   its own queue; whenever a switch comes free, the dispatcher picks
+//!   its next request among the *currently released* ones according to a
+//!   [`Discipline`] — Dionysus' critical-path rule, or Tango's pattern
+//!   ordering (deletes before mods before adds, optionally
+//!   ascending-priority adds). Successors are released either when the
+//!   predecessor's ack arrives, or — Tango's concurrent-dispatch
+//!   extension (§6) — at the predecessor's predicted completion plus a
+//!   guard interval.
+
+use crate::dag::{NodeId, RequestDag};
+use crate::request::{Deadline, ReqOp};
+use ofwire::types::Dpid;
+use simnet::time::{SimDuration, SimTime};
+use switchsim::harness::{OpResult, Testbed};
+use tango::db::TangoDb;
+use std::collections::BTreeMap;
+
+/// The outcome of executing a DAG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecReport {
+    /// Time from first issue to last completion.
+    pub makespan: SimDuration,
+    /// Requests that completed successfully.
+    pub completed: usize,
+    /// Requests rejected by a switch (table full).
+    pub failed: usize,
+    /// Requests whose `install_by` deadline passed before they
+    /// completed (§6's deadline field; best-effort requests never miss).
+    pub deadline_misses: usize,
+    /// For batched execution: (pattern name, batch size) per round.
+    pub rounds: Vec<(String, usize)>,
+}
+
+/// Whether a request completing `elapsed` after submission missed its
+/// deadline.
+fn missed_deadline(deadline: Deadline, elapsed: SimDuration) -> bool {
+    match deadline {
+        Deadline::BestEffort => false,
+        Deadline::WithinMs(ms) => elapsed.as_millis_f64() > ms,
+    }
+}
+
+/// Orders one independent set; returns the issue order plus a label.
+pub type OrderingFn<'a> = dyn FnMut(&TangoDb, &RequestDag, &[NodeId]) -> (Vec<NodeId>, String) + 'a;
+
+/// Runs the batched (Algorithm 3) discipline.
+pub fn execute_batched(
+    tb: &mut Testbed,
+    dag: &mut RequestDag,
+    db: &TangoDb,
+    order: &mut OrderingFn<'_>,
+) -> ExecReport {
+    let start = tb.now();
+    let mut frontier: SimTime = start;
+    let mut completed = 0;
+    let mut failed = 0;
+    let mut deadline_misses = 0;
+    let mut rounds = Vec::new();
+    while !dag.all_done() {
+        let set = dag.independent_set();
+        assert!(!set.is_empty(), "stuck DAG (cycle?)");
+        let (ordered, label) = order(db, dag, &set);
+        assert_eq!(ordered.len(), set.len(), "oracle must permute the set");
+        rounds.push((label, ordered.len()));
+        let mut batch_end = frontier;
+        for id in &ordered {
+            let req = dag.node(*id);
+            let deadline = req.install_by;
+            let c = tb.enqueue_op(req.location, req.to_flow_mod(), frontier);
+            match c.result {
+                OpResult::Ok => completed += 1,
+                OpResult::TableFull => failed += 1,
+            }
+            if missed_deadline(deadline, c.done_at.since(start)) {
+                deadline_misses += 1;
+            }
+            batch_end = batch_end.max(c.acked_at);
+        }
+        for id in ordered {
+            dag.mark_done(id);
+        }
+        frontier = batch_end;
+    }
+    tb.warp_to(frontier.max(tb.now()));
+    ExecReport {
+        makespan: frontier.since(start),
+        completed,
+        failed,
+        deadline_misses,
+        rounds,
+    }
+}
+
+/// How the online dispatcher picks among released requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Discipline {
+    /// Dionysus: longest critical path first, oblivious to op types and
+    /// priority order.
+    CriticalPath,
+    /// Tango rule-type pattern: deletes, then mods, then adds — adds in
+    /// submission order.
+    TangoTypeOnly,
+    /// Tango rule-type + priority pattern: adds additionally sorted in
+    /// ascending priority.
+    TangoTypePriority,
+}
+
+/// When a successor is released after its predecessor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Release {
+    /// Wait for the predecessor's ack round trip (the safe default).
+    Ack,
+    /// Tango's guard-time extension: release at the predecessor's
+    /// completion plus a guard interval, skipping the return latency.
+    Guard(SimDuration),
+}
+
+fn class_rank(op: ReqOp) -> u8 {
+    match op {
+        ReqOp::Del => 0,
+        ReqOp::Mod => 1,
+        ReqOp::Add => 2,
+    }
+}
+
+/// Runs the online (event-driven) dispatcher.
+pub fn execute_online(
+    tb: &mut Testbed,
+    dag: &mut RequestDag,
+    discipline: Discipline,
+    release: Release,
+) -> ExecReport {
+    let start = tb.now();
+    let lp = dag.longest_path_lengths();
+    let n = dag.len();
+    // Accumulated release time per node: the max of its predecessors'
+    // release instants (ack arrival or guarded completion). A node may
+    // only be issued once it is in the DAG's independent set — requests
+    // are marked done at issue time, so "independent" means every
+    // predecessor has been issued, and `release_acc` carries the timing.
+    let mut release_acc: Vec<SimTime> = vec![start; n];
+    let mut busy: BTreeMap<Dpid, SimTime> = BTreeMap::new();
+    let mut completed = 0;
+    let mut failed = 0;
+    let mut deadline_misses = 0;
+    let mut last_done = start;
+
+    while !dag.all_done() {
+        let indep = dag.independent_set();
+        assert!(!indep.is_empty(), "stuck DAG (cycle?)");
+        // Pick the switch that can start work earliest.
+        let earliest = |id: NodeId| {
+            let dpid = dag.node(id).location;
+            let free = busy.get(&dpid).copied().unwrap_or(start);
+            free.max(release_acc[id.0])
+        };
+        let (start_time, dpid) = indep
+            .iter()
+            .map(|&id| (earliest(id), dag.node(id).location))
+            .min()
+            .expect("non-empty independent set");
+        // Eligible: this switch's requests already released by then.
+        let mut eligible: Vec<NodeId> = indep
+            .into_iter()
+            .filter(|&id| {
+                dag.node(id).location == dpid && release_acc[id.0] <= start_time
+            })
+            .collect();
+        debug_assert!(!eligible.is_empty());
+        // Both schedulers put the longest critical path first (§6: the
+        // basic algorithm "schedules the independent request that
+        // belongs to the longest path first"); they differ in how ties
+        // are broken — and a flat independent set is all ties, which is
+        // exactly where the Tango patterns apply.
+        eligible.sort_by(|&a, &b| {
+            let (ra, rb) = (dag.node(a), dag.node(b));
+            let cp = lp[b.0].cmp(&lp[a.0]);
+            match discipline {
+                Discipline::CriticalPath => cp
+                    .then(release_acc[a.0].cmp(&release_acc[b.0]))
+                    .then(a.0.cmp(&b.0)),
+                Discipline::TangoTypeOnly => cp
+                    .then(class_rank(ra.op).cmp(&class_rank(rb.op)))
+                    .then(a.0.cmp(&b.0)),
+                Discipline::TangoTypePriority => cp
+                    .then(class_rank(ra.op).cmp(&class_rank(rb.op)))
+                    .then(ra.effective_priority().cmp(&rb.effective_priority()))
+                    .then(a.0.cmp(&b.0)),
+            }
+        });
+        let id = eligible[0];
+        let req = dag.node(id);
+        let deadline = req.install_by;
+        let c = tb.enqueue_op(req.location, req.to_flow_mod(), release_acc[id.0]);
+        match c.result {
+            OpResult::Ok => completed += 1,
+            OpResult::TableFull => failed += 1,
+        }
+        if missed_deadline(deadline, c.done_at.since(start)) {
+            deadline_misses += 1;
+        }
+        busy.insert(dpid, c.done_at);
+        last_done = last_done.max(c.done_at);
+        let rel = match release {
+            Release::Ack => c.acked_at,
+            Release::Guard(g) => c.done_at + g,
+        };
+        let succs: Vec<NodeId> = dag.successors(id).to_vec();
+        dag.mark_done(id);
+        for s in succs {
+            release_acc[s.0] = release_acc[s.0].max(rel);
+        }
+    }
+    tb.warp_to(last_done.max(tb.now()));
+    ExecReport {
+        makespan: last_done.since(start),
+        completed,
+        failed,
+        deadline_misses,
+        rounds: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::ordering_tango_oracle;
+    use crate::request::ReqElem;
+    use ofwire::flow_match::FlowMatch;
+    use switchsim::profiles::SwitchProfile;
+
+    fn chain_dag(dpid: Dpid, len: usize) -> RequestDag {
+        let mut dag = RequestDag::new();
+        let ids: Vec<NodeId> = (0..len)
+            .map(|i| {
+                dag.add_node(ReqElem::add(
+                    dpid,
+                    FlowMatch::l3_for_id(i as u32),
+                    10 + i as u16,
+                    1,
+                ))
+            })
+            .collect();
+        for w in ids.windows(2) {
+            dag.add_dep(w[0], w[1]);
+        }
+        dag
+    }
+
+    fn testbed() -> Testbed {
+        let mut tb = Testbed::new(4);
+        tb.attach_default(Dpid(1), SwitchProfile::vendor1());
+        tb.attach_default(Dpid(2), SwitchProfile::vendor1());
+        tb
+    }
+
+    #[test]
+    fn batched_executes_whole_dag() {
+        let mut tb = testbed();
+        let mut dag = chain_dag(Dpid(1), 5);
+        let db = TangoDb::new();
+        let mut oracle =
+            |db: &TangoDb, dag: &RequestDag, set: &[NodeId]| ordering_tango_oracle(db, dag, set);
+        let report = execute_batched(&mut tb, &mut dag, &db, &mut oracle);
+        assert!(dag.all_done());
+        assert_eq!(report.completed, 5);
+        assert_eq!(report.failed, 0);
+        // A 5-chain forces 5 single-element rounds.
+        assert_eq!(report.rounds.len(), 5);
+        assert!(report.makespan > SimDuration::ZERO);
+        assert_eq!(tb.switch(Dpid(1)).rule_count(), 5);
+    }
+
+    #[test]
+    fn online_executes_whole_dag() {
+        let mut tb = testbed();
+        let mut dag = chain_dag(Dpid(1), 5);
+        let report = execute_online(
+            &mut tb,
+            &mut dag,
+            Discipline::CriticalPath,
+            Release::Ack,
+        );
+        assert!(dag.all_done());
+        assert_eq!(report.completed, 5);
+        assert_eq!(tb.switch(Dpid(1)).rule_count(), 5);
+    }
+
+    #[test]
+    fn guard_time_beats_ack_waiting_on_chains() {
+        let run = |release| {
+            let mut tb = testbed();
+            let mut dag = chain_dag(Dpid(1), 40);
+            execute_online(&mut tb, &mut dag, Discipline::CriticalPath, release).makespan
+        };
+        let with_ack = run(Release::Ack);
+        let with_guard = run(Release::Guard(SimDuration::from_micros(50)));
+        assert!(
+            with_guard < with_ack,
+            "guard {with_guard} should beat ack-wait {with_ack}"
+        );
+    }
+
+    #[test]
+    fn tango_discipline_orders_adds_ascending() {
+        // A flat set of adds with shuffled priorities on one switch: the
+        // Tango discipline must beat critical-path (submission) order.
+        let build = || {
+            let mut dag = RequestDag::new();
+            let mut prios: Vec<u16> = (0..150u16).map(|i| 1000 + i).collect();
+            let mut rng = simnet::rng::DetRng::new(5);
+            rng.shuffle(&mut prios);
+            for (i, p) in prios.into_iter().enumerate() {
+                dag.add_node(ReqElem::add(
+                    Dpid(1),
+                    FlowMatch::l3_for_id(i as u32),
+                    p,
+                    1,
+                ));
+            }
+            dag
+        };
+        let cp = {
+            let mut tb = testbed();
+            let mut dag = build();
+            execute_online(&mut tb, &mut dag, Discipline::CriticalPath, Release::Ack).makespan
+        };
+        let tango = {
+            let mut tb = testbed();
+            let mut dag = build();
+            execute_online(
+                &mut tb,
+                &mut dag,
+                Discipline::TangoTypePriority,
+                Release::Ack,
+            )
+            .makespan
+        };
+        assert!(
+            tango.as_millis_f64() < 0.8 * cp.as_millis_f64(),
+            "tango {tango} vs critical-path {cp}"
+        );
+    }
+
+    #[test]
+    fn independent_requests_overlap_across_switches() {
+        // Two independent 20-chains on two switches: online execution
+        // should take ~one chain's time, not two.
+        let mut tb = testbed();
+        let mut dag = RequestDag::new();
+        for (d, base) in [(Dpid(1), 0u32), (Dpid(2), 1000)] {
+            let ids: Vec<NodeId> = (0..20)
+                .map(|i| {
+                    dag.add_node(ReqElem::add(
+                        d,
+                        FlowMatch::l3_for_id(base + i),
+                        10 + i as u16,
+                        1,
+                    ))
+                })
+                .collect();
+            for w in ids.windows(2) {
+                dag.add_dep(w[0], w[1]);
+            }
+        }
+        let both =
+            execute_online(&mut tb, &mut dag, Discipline::CriticalPath, Release::Ack).makespan;
+
+        let mut tb1 = testbed();
+        let mut one = chain_dag(Dpid(1), 20);
+        let single =
+            execute_online(&mut tb1, &mut one, Discipline::CriticalPath, Release::Ack).makespan;
+        assert!(
+            both.as_millis_f64() < 1.4 * single.as_millis_f64(),
+            "two parallel chains ({both}) should cost about one ({single})"
+        );
+    }
+
+    #[test]
+    fn batched_respects_dependencies_on_switch_state() {
+        // A delete that depends on its own add must find the rule there.
+        let mut tb = testbed();
+        let mut dag = RequestDag::new();
+        let m = FlowMatch::l3_for_id(1);
+        let a = dag.add_node(ReqElem::add(Dpid(1), m, 10, 1));
+        let d = dag.add_node(ReqElem::delete(Dpid(1), m, 10));
+        dag.add_dep(a, d);
+        let db = TangoDb::new();
+        let mut oracle =
+            |db: &TangoDb, dag: &RequestDag, set: &[NodeId]| ordering_tango_oracle(db, dag, set);
+        let report = execute_batched(&mut tb, &mut dag, &db, &mut oracle);
+        assert_eq!(report.completed, 2);
+        assert_eq!(tb.switch(Dpid(1)).rule_count(), 0);
+    }
+
+    #[test]
+    fn online_respects_dependencies() {
+        let mut tb = testbed();
+        let mut dag = RequestDag::new();
+        let m = FlowMatch::l3_for_id(1);
+        let a = dag.add_node(ReqElem::add(Dpid(1), m, 10, 1));
+        let d = dag.add_node(ReqElem::delete(Dpid(2), m, 10));
+        dag.add_dep(a, d);
+        let report = execute_online(
+            &mut tb,
+            &mut dag,
+            Discipline::TangoTypeOnly,
+            Release::Guard(SimDuration::from_micros(10)),
+        );
+        assert_eq!(report.completed, 2);
+        assert_eq!(tb.switch(Dpid(1)).rule_count(), 1);
+        assert_eq!(tb.switch(Dpid(2)).rule_count(), 0);
+    }
+}
+
+#[cfg(test)]
+mod deadline_tests {
+    use super::*;
+    use crate::request::{Deadline, ReqElem};
+    use ofwire::flow_match::FlowMatch;
+    use switchsim::profiles::SwitchProfile;
+
+    fn add_with_deadline(dpid: Dpid, id: u32, ms: Option<f64>) -> ReqElem {
+        let mut r = ReqElem::add(dpid, FlowMatch::l3_for_id(id), 100 + id as u16, 1);
+        r.install_by = match ms {
+            None => Deadline::BestEffort,
+            Some(ms) => Deadline::WithinMs(ms),
+        };
+        r
+    }
+
+    #[test]
+    fn generous_deadlines_are_met() {
+        let mut tb = Testbed::new(1);
+        tb.attach_default(Dpid(1), SwitchProfile::vendor1());
+        let mut dag = RequestDag::new();
+        for i in 0..20 {
+            dag.add_node(add_with_deadline(Dpid(1), i, Some(10_000.0)));
+        }
+        let report = execute_online(
+            &mut tb,
+            &mut dag,
+            Discipline::TangoTypePriority,
+            Release::Ack,
+        );
+        assert_eq!(report.deadline_misses, 0);
+    }
+
+    #[test]
+    fn impossible_deadlines_are_reported() {
+        let mut tb = Testbed::new(1);
+        tb.attach_default(Dpid(1), SwitchProfile::vendor1());
+        let mut dag = RequestDag::new();
+        // 50 serialized adds cannot all land within 1 ms.
+        for i in 0..50 {
+            dag.add_node(add_with_deadline(Dpid(1), i, Some(1.0)));
+        }
+        let report = execute_online(
+            &mut tb,
+            &mut dag,
+            Discipline::TangoTypePriority,
+            Release::Ack,
+        );
+        assert!(
+            report.deadline_misses > 40,
+            "misses {}",
+            report.deadline_misses
+        );
+    }
+
+    #[test]
+    fn best_effort_never_misses() {
+        let mut tb = Testbed::new(1);
+        tb.attach_default(Dpid(1), SwitchProfile::vendor1());
+        let mut dag = RequestDag::new();
+        for i in 0..200 {
+            dag.add_node(add_with_deadline(Dpid(1), i, None));
+        }
+        let report = execute_online(
+            &mut tb,
+            &mut dag,
+            Discipline::CriticalPath,
+            Release::Ack,
+        );
+        assert_eq!(report.deadline_misses, 0);
+    }
+
+    #[test]
+    fn tango_ordering_saves_deadlines() {
+        // Shuffled priorities with a tight-but-feasible deadline: the
+        // ascending order finishes the batch sooner and misses fewer.
+        let run = |discipline| {
+            let mut tb = Testbed::new(2);
+            tb.attach_default(Dpid(1), SwitchProfile::vendor1());
+            let mut dag = RequestDag::new();
+            let mut prios: Vec<u16> = (0..150u16).map(|i| 1000 + i).collect();
+            simnet::rng::DetRng::new(9).shuffle(&mut prios);
+            for (i, p) in prios.iter().enumerate() {
+                let mut r =
+                    ReqElem::add(Dpid(1), FlowMatch::l3_for_id(i as u32), *p, 1);
+                r.install_by = Deadline::WithinMs(80.0);
+                dag.add_node(r);
+            }
+            execute_online(&mut tb, &mut dag, discipline, Release::Ack).deadline_misses
+        };
+        let cp = run(Discipline::CriticalPath);
+        let tango = run(Discipline::TangoTypePriority);
+        assert!(tango < cp, "tango misses {tango} vs critical-path {cp}");
+    }
+}

@@ -1,0 +1,41 @@
+//! # tango-sched — the Tango network scheduler and its baselines
+//!
+//! Implements §6 of the paper: switch requests ([`request`]), the
+//! switch-request DAG ([`dag`]), the pattern-scoring ordering oracle
+//! ([`patterns`]), the Basic Tango Scheduler and its Fig-10 arms
+//! ([`basic`]), the non-greedy batching and guard-time extensions
+//! ([`extensions`]), priority assignment per Maple ([`priority`]),
+//! consistent-update ordering ([`consistency`]), and the execution
+//! harness measuring makespans over simulated testbeds ([`executor`]).
+//!
+//! The Dionysus baseline (critical-path scheduling, oblivious to switch
+//! diversity) lives in [`basic::run_dionysus`].
+
+pub mod basic;
+pub mod consistency;
+pub mod controller;
+pub mod dag;
+pub mod executor;
+pub mod extensions;
+pub mod patterns;
+pub mod priority;
+pub mod request;
+
+/// Glob-import of the commonly used types.
+pub mod prelude {
+    pub use crate::basic::{
+        default_guard, run_basic_tango, run_dionysus, run_tango_guarded, run_tango_online,
+        TangoMode,
+    };
+    pub use crate::consistency::add_reverse_path_deps;
+    pub use crate::controller::{TangoController, UnderstandOptions};
+    pub use crate::dag::{NodeId, RequestDag};
+    pub use crate::executor::{execute_batched, execute_online, Discipline, ExecReport, Release};
+    pub use crate::extensions::{execute_batched_greedy, execute_batched_lookahead};
+    pub use crate::patterns::{ordering_tango_oracle, pattern_score, AddOrder, SchedPattern};
+    pub use crate::priority::{
+        ascending_install_order, r_priorities, satisfies, topological_priorities,
+        PriorityAssignment,
+    };
+    pub use crate::request::{Deadline, ReqElem, ReqOp};
+}

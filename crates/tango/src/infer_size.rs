@@ -1,0 +1,377 @@
+//! Algorithm 1 — the size-probing algorithm (§5.2).
+//!
+//! Three stages, implemented faithfully:
+//!
+//! 1. **Doubling insertion** — install rules in doubling batches, sending
+//!    one probe packet per installed rule (so the cache holds no wasted
+//!    slots), until the switch rejects an add (`ALL_TABLES_FULL`) or a
+//!    configured cap is hit (switches with unbounded software tables
+//!    never reject).
+//! 2. **Clustering** — probe every installed rule once and cluster the
+//!    RTTs; each cluster is one flow-table layer.
+//! 3. **Sampling** — for each layer, repeatedly pick uniformly random
+//!    rules and count consecutive probes whose RTT stays in that layer's
+//!    cluster. The run lengths are negative-binomial; the MLE
+//!    `p̂ = ΣX/(k+ΣX)` gives the layer's fraction of the `m` installed
+//!    rules, hence its size `n̂ᵢ = m·p̂`.
+//!
+//! The total work is `O(n)` rule installations in `O(log n)` batches and
+//! `O(n)` probe packets — asymptotically optimal, since any size probe
+//! must install and exercise at least `n` rules.
+
+use crate::cluster::{cluster_rtts, kmeans_auto, Clustering};
+use crate::probe::ProbingEngine;
+use crate::stats::nb_hit_probability;
+use ofwire::flow_mod::FlowMod;
+use simnet::rng::DetRng;
+use serde::{Deserialize, Serialize};
+
+/// Which clustering method stage 2 uses (the ablation axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClusterMethod {
+    /// Gap-based splitting (default).
+    Gaps,
+    /// Elbow-selected 1-D k-means.
+    KMeans,
+}
+
+/// Configuration for the size probe.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SizeProbeConfig {
+    /// Trials per layer in stage 3 (the paper's
+    /// `NUM_TRIALS_PER_ITERATION`). More trials → tighter estimate: the
+    /// estimate's relative standard deviation is `(1-p)/sqrt(k·p)` for a
+    /// layer holding fraction `p` of the installed rules, so the default
+    /// of 600 keeps a half-full layer within the paper's 5 % headline.
+    pub trials_per_level: usize,
+    /// Upper bound on rules installed, for switches that never reject
+    /// (unbounded software tables).
+    pub max_flows: usize,
+    /// Priority used for all probe rules (constant, so insertion cost is
+    /// minimal and priority plays no role in caching during this probe).
+    pub priority: u16,
+    /// RNG seed for the random sampling stage.
+    pub seed: u64,
+    /// Clustering method for stage 2.
+    pub cluster_method: ClusterMethod,
+}
+
+impl Default for SizeProbeConfig {
+    fn default() -> SizeProbeConfig {
+        SizeProbeConfig {
+            trials_per_level: 600,
+            max_flows: 8192,
+            priority: 100,
+            seed: 0x7a60,
+            cluster_method: ClusterMethod::Gaps,
+        }
+    }
+}
+
+/// The estimate for one flow-table layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LevelEstimate {
+    /// RTT cluster center (ms) — identifies the layer.
+    pub rtt_ms: f64,
+    /// Estimated number of rules resident in the layer.
+    pub estimated_size: f64,
+    /// Rules of the stage-2 sweep observed in this cluster (a cheap
+    /// secondary estimate).
+    pub swept_count: usize,
+    /// True if a sampling trial ran `m` consecutive hits — the layer
+    /// holds (essentially) every installed rule.
+    pub saturated: bool,
+}
+
+/// The complete result of a size probe.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SizeEstimate {
+    /// Rules successfully installed (`m`).
+    pub m: usize,
+    /// Whether the switch rejected an add (bounded total capacity) or the
+    /// cap was reached (unbounded).
+    pub hit_rejection: bool,
+    /// Per-layer estimates, fastest first.
+    pub levels: Vec<LevelEstimate>,
+    /// The stage-2 clustering.
+    pub clustering: Clustering,
+    /// Total rule installations attempted.
+    pub rules_attempted: usize,
+    /// Total probe packets sent (all stages).
+    pub packets_sent: usize,
+    /// Number of doubling batches used in stage 1.
+    pub batches: usize,
+}
+
+impl SizeEstimate {
+    /// The estimated size of the fastest (hardware) layer.
+    #[must_use]
+    pub fn fast_layer_size(&self) -> Option<f64> {
+        self.levels.first().map(|l| l.estimated_size)
+    }
+}
+
+/// Runs Algorithm 1 against the engine's switch.
+pub fn probe_sizes(engine: &mut ProbingEngine<'_>, config: &SizeProbeConfig) -> SizeEstimate {
+    let mut rng = DetRng::new(config.seed);
+    let kind = engine.kind();
+    let dpid = engine.dpid();
+
+    // ---- Stage 1: doubling insertion, one probe packet per rule. ----
+    let mut m: usize = 0; // rules successfully installed
+    let mut attempted = 0;
+    let mut packets = 0;
+    let mut batches = 0;
+    let mut hit_rejection = false;
+    let mut x: usize = 1;
+    while !hit_rejection && m < config.max_flows {
+        let target = x.min(config.max_flows);
+        if target > m {
+            let fms: Vec<FlowMod> = (m..target)
+                .map(|i| FlowMod::add(kind.flow_match(i as u32), config.priority))
+                .collect();
+            attempted += fms.len();
+            batches += 1;
+            let (ok, failed, _elapsed) = engine.testbed_mut().batch(dpid, fms);
+            // Sends are processed in order: the first `ok` adds of this
+            // batch succeeded.
+            for i in m..m + ok {
+                engine.probe_one(i as u32);
+                packets += 1;
+            }
+            m += ok;
+            if failed > 0 {
+                hit_rejection = true;
+                break;
+            }
+        }
+        x *= 2;
+    }
+
+    // ---- Stage 2: sweep every rule once (shuffled), cluster RTTs. ----
+    let mut order: Vec<u32> = (0..m as u32).collect();
+    rng.shuffle(&mut order);
+    let mut rtts = Vec::with_capacity(m);
+    for id in order {
+        let s = engine.probe_one(id);
+        packets += 1;
+        rtts.push(s.rtt_ms);
+    }
+    let clustering = match config.cluster_method {
+        ClusterMethod::Gaps => cluster_rtts(&rtts),
+        ClusterMethod::KMeans => kmeans_auto(&rtts, 4),
+    };
+
+    // ---- Stage 3: per-layer negative-binomial sampling. ----
+    let mut levels = Vec::new();
+    for level in 0..clustering.k() {
+        let mut runs: Vec<u64> = Vec::with_capacity(config.trials_per_level);
+        let mut saturated = false;
+        for _ in 0..config.trials_per_level {
+            let mut j: u64 = 0;
+            loop {
+                let id = rng.range_u64(0, m as u64) as u32;
+                let s = engine.probe_one(id);
+                packets += 1;
+                if clustering.within(s.rtt_ms, level) && (j as usize) < m {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            if j as usize >= m {
+                saturated = true;
+                break;
+            }
+            runs.push(j);
+        }
+        let estimated_size = if saturated {
+            m as f64
+        } else {
+            m as f64 * nb_hit_probability(&runs)
+        };
+        levels.push(LevelEstimate {
+            rtt_ms: clustering.centers[level],
+            estimated_size,
+            swept_count: clustering.sizes[level],
+            saturated,
+        });
+    }
+
+    SizeEstimate {
+        m,
+        hit_rejection,
+        levels,
+        clustering,
+        rules_attempted: attempted,
+        packets_sent: packets,
+        batches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::RuleKind;
+    use crate::stats::relative_error;
+    use ofwire::types::Dpid;
+    use switchsim::cache::CachePolicy;
+    use switchsim::harness::Testbed;
+    use switchsim::profiles::SwitchProfile;
+
+    fn run_probe(profile: SwitchProfile, kind: RuleKind, cfg: &SizeProbeConfig) -> SizeEstimate {
+        let mut tb = Testbed::new(5);
+        let dpid = Dpid(1);
+        tb.attach_default(dpid, profile);
+        let mut eng = ProbingEngine::new(&mut tb, dpid, kind);
+        probe_sizes(&mut eng, cfg)
+    }
+
+    #[test]
+    fn tcam_only_switch_size_is_exact() {
+        // Switch #2: rejection happens at exactly 2560; every rule is in
+        // the single (fast) layer, so the estimate saturates at m = 2560.
+        let est = run_probe(
+            SwitchProfile::vendor2(),
+            RuleKind::L3,
+            &SizeProbeConfig {
+                trials_per_level: 32,
+                ..SizeProbeConfig::default()
+            },
+        );
+        assert!(est.hit_rejection);
+        assert_eq!(est.m, 2560);
+        assert_eq!(est.levels.len(), 1);
+        assert_eq!(est.levels[0].estimated_size, 2560.0);
+        assert!(est.levels[0].saturated);
+    }
+
+    #[test]
+    fn fifo_cached_switch_within_five_percent() {
+        // A generic FIFO-cached switch with a 512-entry TCAM and
+        // unbounded software: Algorithm 1 stops at the cap, clusters two
+        // layers, and the fast-layer estimate lands within 5 %.
+        let cfg = SizeProbeConfig {
+            max_flows: 1024,
+            ..SizeProbeConfig::default()
+        };
+        let est = run_probe(
+            SwitchProfile::generic_cached(512, CachePolicy::fifo()),
+            RuleKind::L3,
+            &cfg,
+        );
+        assert!(!est.hit_rejection);
+        assert_eq!(est.m, 1024);
+        assert_eq!(est.levels.len(), 2, "clusters: {:?}", est.clustering.centers);
+        let err = relative_error(est.levels[0].estimated_size, 512.0);
+        assert!(
+            err < 0.05,
+            "fast layer {} should be within 5% of 512 (err {err:.3})",
+            est.levels[0].estimated_size
+        );
+        // The stage-2 sweep count is exact in simulation.
+        assert_eq!(est.levels[0].swept_count, 512);
+    }
+
+    #[test]
+    fn lru_cached_switch_within_five_percent() {
+        // LRU churns membership during sampling; the estimator is built
+        // for exactly that (hits don't change membership, misses end the
+        // trial).
+        let cfg = SizeProbeConfig {
+            max_flows: 600,
+            ..SizeProbeConfig::default()
+        };
+        let est = run_probe(
+            SwitchProfile::generic_cached(300, CachePolicy::lru()),
+            RuleKind::L3,
+            &cfg,
+        );
+        let err = relative_error(est.levels[0].estimated_size, 300.0);
+        assert!(err < 0.05, "estimate {} err {err:.3}", est.levels[0].estimated_size);
+    }
+
+    #[test]
+    fn ovs_reports_single_unbounded_layer() {
+        // Every probe during stage 1 clones a kernel microflow, so all
+        // sweep probes are fast-path: one cluster, saturated at the cap.
+        let cfg = SizeProbeConfig {
+            max_flows: 256,
+            trials_per_level: 16,
+            ..SizeProbeConfig::default()
+        };
+        let est = run_probe(SwitchProfile::ovs(), RuleKind::L3, &cfg);
+        assert!(!est.hit_rejection);
+        assert_eq!(est.levels.len(), 1);
+        assert!(est.levels[0].saturated);
+        assert_eq!(est.levels[0].estimated_size, 256.0);
+    }
+
+    #[test]
+    fn probing_cost_is_linear_with_log_batches() {
+        let cfg = SizeProbeConfig {
+            max_flows: 1024,
+            trials_per_level: 64,
+            ..SizeProbeConfig::default()
+        };
+        let est = run_probe(
+            SwitchProfile::generic_cached(256, CachePolicy::fifo()),
+            RuleKind::L3,
+            &cfg,
+        );
+        // Stage 1 installs exactly m rules in ~log2(m) batches.
+        assert_eq!(est.rules_attempted, 1024);
+        assert!(est.batches <= 12, "batches {}", est.batches);
+        // Packets: one per install + one per sweep + sampling runs. The
+        // sampling stage is O(k · E[run]) = O(m); assert a generous
+        // linear bound.
+        assert!(
+            est.packets_sent < 8 * est.m + 16 * cfg.trials_per_level,
+            "packets {} not linear in m {}",
+            est.packets_sent,
+            est.m
+        );
+    }
+
+    #[test]
+    fn kmeans_method_agrees_with_gaps() {
+        let base = SizeProbeConfig {
+            max_flows: 512,
+            ..SizeProbeConfig::default()
+        };
+        let gaps = run_probe(
+            SwitchProfile::generic_cached(200, CachePolicy::fifo()),
+            RuleKind::L3,
+            &base,
+        );
+        let km = run_probe(
+            SwitchProfile::generic_cached(200, CachePolicy::fifo()),
+            RuleKind::L3,
+            &SizeProbeConfig {
+                cluster_method: ClusterMethod::KMeans,
+                ..base
+            },
+        );
+        assert_eq!(gaps.levels.len(), km.levels.len());
+        let e1 = gaps.levels[0].estimated_size;
+        let e2 = km.levels[0].estimated_size;
+        assert!(
+            relative_error(e1, 200.0) < 0.08 && relative_error(e2, 200.0) < 0.08,
+            "gaps {e1}, kmeans {e2}"
+        );
+    }
+
+    #[test]
+    fn width_sensitivity_table1_row() {
+        // Probing Switch #3 with L3-only vs combined rules recovers the
+        // 767 / 369 Table-1 row from pure black-box measurements.
+        let cfg = SizeProbeConfig {
+            trials_per_level: 16,
+            ..SizeProbeConfig::default()
+        };
+        let l3 = run_probe(SwitchProfile::vendor3(), RuleKind::L3, &cfg);
+        let l2l3 = run_probe(SwitchProfile::vendor3(), RuleKind::L2L3, &cfg);
+        assert_eq!(l3.m, 767);
+        assert_eq!(l2l3.m, 369);
+    }
+}

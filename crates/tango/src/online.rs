@@ -1,0 +1,148 @@
+//! Online (in-service) probing (§4: "The collection of switch
+//! measurements can be either offline testing of the switch before it is
+//! plugged in the network, but online testing when the switch is
+//! running").
+//!
+//! Online probes must not disturb application state. The headroom probe
+//! installs its rules in a reserved flow-id namespace, measures the
+//! remaining hardware capacity, then strictly removes exactly what it
+//! installed — leaving every application rule (and its counters)
+//! untouched.
+
+use crate::probe::ProbingEngine;
+use ofwire::flow_mod::FlowMod;
+use serde::{Deserialize, Serialize};
+
+/// Flow-id namespace reserved for online probes; applications should
+/// keep their ids below this.
+pub const ONLINE_PROBE_ID_BASE: u32 = 0xf000_0000;
+
+/// The result of an online headroom probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Headroom {
+    /// Probe rules accepted before rejection (or the cap).
+    pub accepted: usize,
+    /// Whether the switch rejected an add (true capacity boundary) or
+    /// the cap stopped the probe.
+    pub hit_rejection: bool,
+    /// Probe rules successfully removed afterwards (must equal
+    /// `accepted`).
+    pub cleaned: usize,
+}
+
+/// Measures how many more rules the switch can accept right now,
+/// without touching application rules. `priority` should be low so the
+/// probe rules cannot shadow production traffic; `cap` bounds the probe
+/// on switches with unbounded software tables.
+pub fn probe_headroom(
+    engine: &mut ProbingEngine<'_>,
+    priority: u16,
+    cap: usize,
+) -> Headroom {
+    let kind = engine.kind();
+    let dpid = engine.dpid();
+    let mut accepted = 0usize;
+    let mut hit_rejection = false;
+    // Doubling batches, as in Algorithm 1 stage 1.
+    let mut x = 1usize;
+    while !hit_rejection && accepted < cap {
+        let target = x.min(cap);
+        if target > accepted {
+            let fms: Vec<FlowMod> = (accepted..target)
+                .map(|i| {
+                    FlowMod::add(
+                        kind.flow_match(ONLINE_PROBE_ID_BASE + i as u32),
+                        priority,
+                    )
+                })
+                .collect();
+            let (ok, failed, _) = engine.testbed_mut().batch(dpid, fms);
+            accepted += ok;
+            if failed > 0 {
+                hit_rejection = true;
+            }
+        }
+        x *= 2;
+    }
+    // Clean up strictly: only the probe's own rules.
+    let dels: Vec<FlowMod> = (0..accepted)
+        .map(|i| {
+            FlowMod::delete_strict(
+                kind.flow_match(ONLINE_PROBE_ID_BASE + i as u32),
+                priority,
+            )
+        })
+        .collect();
+    let n_dels = dels.len();
+    let (ok, failed, _) = engine.testbed_mut().batch(dpid, dels);
+    debug_assert_eq!(failed, 0);
+    debug_assert_eq!(ok, n_dels);
+    Headroom {
+        accepted,
+        hit_rejection,
+        cleaned: ok,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::RuleKind;
+    use ofwire::flow_match::FlowMatch;
+    use ofwire::types::Dpid;
+    use switchsim::harness::Testbed;
+    use switchsim::profiles::SwitchProfile;
+
+    #[test]
+    fn headroom_measures_remaining_capacity_nondisruptively() {
+        let mut tb = Testbed::new(5);
+        let dpid = Dpid(1);
+        tb.attach_default(dpid, SwitchProfile::vendor3());
+        // The "application" has 200 rules installed, with traffic.
+        let fms: Vec<FlowMod> = (0..200)
+            .map(|i| FlowMod::add(FlowMatch::l3_for_id(i), 500))
+            .collect();
+        tb.batch(dpid, fms);
+        for i in 0..200 {
+            tb.probe(dpid, &FlowMatch::key_for_id(i));
+        }
+
+        let mut eng = ProbingEngine::new(&mut tb, dpid, RuleKind::L3);
+        let h = probe_headroom(&mut eng, 1, 2048);
+        assert!(h.hit_rejection);
+        assert_eq!(h.accepted, 767 - 200);
+        assert_eq!(h.cleaned, h.accepted);
+
+        // Application state is untouched: same rule count, same
+        // counters.
+        assert_eq!(tb.switch(dpid).rule_count(), 200);
+        let stats = tb.switch(dpid).flow_stats(simnet::time::SimTime(0));
+        assert_eq!(stats.len(), 200);
+        assert!(stats.iter().all(|e| e.packet_count == 1));
+        assert!(stats.iter().all(|e| e.priority == 500));
+    }
+
+    #[test]
+    fn headroom_on_unbounded_switch_reports_cap() {
+        let mut tb = Testbed::new(6);
+        let dpid = Dpid(1);
+        tb.attach_default(dpid, SwitchProfile::ovs());
+        let mut eng = ProbingEngine::new(&mut tb, dpid, RuleKind::L3);
+        let h = probe_headroom(&mut eng, 1, 300);
+        assert!(!h.hit_rejection);
+        assert_eq!(h.accepted, 300);
+        assert_eq!(tb.switch(dpid).rule_count(), 0);
+    }
+
+    #[test]
+    fn repeated_probes_are_idempotent() {
+        let mut tb = Testbed::new(7);
+        let dpid = Dpid(1);
+        tb.attach_default(dpid, SwitchProfile::vendor2());
+        let mut eng = ProbingEngine::new(&mut tb, dpid, RuleKind::L3);
+        let h1 = probe_headroom(&mut eng, 1, 4096);
+        let h2 = probe_headroom(&mut eng, 1, 4096);
+        assert_eq!(h1.accepted, 2560);
+        assert_eq!(h1.accepted, h2.accepted);
+    }
+}

@@ -1,0 +1,327 @@
+//! The probing engine: executes Tango patterns against a switch and
+//! collects measurements (§4, "Probing Engine").
+//!
+//! Consecutive flow-mods are pipelined into one barriered batch — exactly
+//! the paper's measurement methodology — and each [`PatternStep::Probe`]
+//! sends a real data packet and records its RTT.
+
+use crate::pattern::{PatternStep, RuleKind, TangoPattern};
+use ofwire::action::Action;
+use ofwire::flow_mod::FlowMod;
+use ofwire::types::Dpid;
+use simnet::time::SimDuration;
+use switchsim::harness::Testbed;
+use switchsim::pipeline::Hit;
+
+/// One timed segment of a pattern run (a barriered flow-mod batch).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    /// Operations in the batch.
+    pub ops: usize,
+    /// Rejected operations (table full).
+    pub rejected: usize,
+    /// Wall-clock (virtual) time the batch took, barrier included.
+    pub elapsed: SimDuration,
+}
+
+/// One probe measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeSample {
+    /// Probe-flow id.
+    pub id: u32,
+    /// Where the packet was served.
+    pub hit: Hit,
+    /// Measured round-trip time in milliseconds.
+    pub rtt_ms: f64,
+}
+
+/// The full result of running one pattern.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PatternResult {
+    /// Timed flow-mod segments, in order.
+    pub segments: Vec<Segment>,
+    /// Probe measurements, in order.
+    pub probes: Vec<ProbeSample>,
+}
+
+impl PatternResult {
+    /// Total time spent in flow-mod segments.
+    #[must_use]
+    pub fn install_time(&self) -> SimDuration {
+        self.segments
+            .iter()
+            .fold(SimDuration::ZERO, |acc, s| acc + s.elapsed)
+    }
+
+    /// Total rejected operations.
+    #[must_use]
+    pub fn rejected(&self) -> usize {
+        self.segments.iter().map(|s| s.rejected).sum()
+    }
+
+    /// Probe RTTs in milliseconds, in probe order.
+    #[must_use]
+    pub fn rtts_ms(&self) -> Vec<f64> {
+        self.probes.iter().map(|p| p.rtt_ms).collect()
+    }
+}
+
+/// The probing engine, bound to one switch of a testbed.
+pub struct ProbingEngine<'a> {
+    tb: &'a mut Testbed,
+    dpid: Dpid,
+    kind: RuleKind,
+}
+
+impl<'a> ProbingEngine<'a> {
+    /// Binds the engine to `dpid`, probing with rules of `kind`.
+    pub fn new(tb: &'a mut Testbed, dpid: Dpid, kind: RuleKind) -> ProbingEngine<'a> {
+        ProbingEngine { tb, dpid, kind }
+    }
+
+    /// The testbed (for direct inspection in tests).
+    #[must_use]
+    pub fn testbed(&self) -> &Testbed {
+        self.tb
+    }
+
+    /// Mutable access to the testbed.
+    pub fn testbed_mut(&mut self) -> &mut Testbed {
+        self.tb
+    }
+
+    /// The bound switch.
+    #[must_use]
+    pub fn dpid(&self) -> Dpid {
+        self.dpid
+    }
+
+    /// The probe-rule kind in use.
+    #[must_use]
+    pub fn kind(&self) -> RuleKind {
+        self.kind
+    }
+
+    fn flow_mod_for(&self, step: &PatternStep) -> Option<FlowMod> {
+        match *step {
+            PatternStep::Add { id, priority } => {
+                Some(FlowMod::add(self.kind.flow_match(id), priority))
+            }
+            PatternStep::Modify {
+                id,
+                priority,
+                out_port,
+            } => Some(FlowMod::modify_strict(
+                self.kind.flow_match(id),
+                priority,
+                vec![Action::output(out_port)],
+            )),
+            PatternStep::Delete { id, priority } => {
+                Some(FlowMod::delete_strict(self.kind.flow_match(id), priority))
+            }
+            PatternStep::Probe { .. } | PatternStep::Barrier => None,
+        }
+    }
+
+    /// Runs a pattern to completion.
+    pub fn run(&mut self, pattern: &TangoPattern) -> PatternResult {
+        assert_eq!(
+            pattern.kind, self.kind,
+            "pattern kind must match engine kind"
+        );
+        let mut result = PatternResult::default();
+        let mut pending: Vec<FlowMod> = Vec::new();
+        for step in &pattern.steps {
+            if let Some(fm) = self.flow_mod_for(step) {
+                pending.push(fm);
+                continue;
+            }
+            // Probe or explicit barrier: flush pending flow-mods first.
+            if !pending.is_empty() {
+                let batch = std::mem::take(&mut pending);
+                let ops = batch.len();
+                let (_ok, rejected, elapsed) = self.tb.batch(self.dpid, batch);
+                result.segments.push(Segment {
+                    ops,
+                    rejected,
+                    elapsed,
+                });
+            }
+            if let PatternStep::Probe { id } = step {
+                let (hit, rtt) = self.tb.probe(self.dpid, &self.kind.key(*id));
+                result.probes.push(ProbeSample {
+                    id: *id,
+                    hit,
+                    rtt_ms: rtt.as_millis_f64(),
+                });
+            }
+        }
+        if !pending.is_empty() {
+            let ops = pending.len();
+            let (_ok, rejected, elapsed) = self.tb.batch(self.dpid, std::mem::take(&mut pending));
+            result.segments.push(Segment {
+                ops,
+                rejected,
+                elapsed,
+            });
+        }
+        result
+    }
+
+    /// Installs one probe rule immediately (no batching); returns whether
+    /// it was accepted.
+    pub fn install_one(&mut self, id: u32, priority: u16) -> bool {
+        let fm = FlowMod::add(self.kind.flow_match(id), priority);
+        matches!(
+            self.tb.flow_mod(self.dpid, fm).0,
+            switchsim::harness::OpResult::Ok
+        )
+    }
+
+    /// Sends one probe packet for flow `id`, returning the sample.
+    pub fn probe_one(&mut self, id: u32) -> ProbeSample {
+        let (hit, rtt) = self.tb.probe(self.dpid, &self.kind.key(id));
+        ProbeSample {
+            id,
+            hit,
+            rtt_ms: rtt.as_millis_f64(),
+        }
+    }
+
+    /// Measures the control channel's round-trip time with `samples`
+    /// echo probes, returning the RTTs in milliseconds. Separating the
+    /// channel RTT from rule-processing time is what lets the latency
+    /// curves attribute costs to the switch itself.
+    pub fn measure_control_rtt(&mut self, samples: usize) -> Vec<f64> {
+        (0..samples)
+            .map(|_| self.tb.echo(self.dpid, 32).as_millis_f64())
+            .collect()
+    }
+
+    /// Removes every rule from the switch (pattern cleanup).
+    pub fn clear_rules(&mut self) {
+        self.tb.flow_mod(self.dpid, FlowMod::delete_all());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::PriorityOrder;
+    use switchsim::profiles::SwitchProfile;
+
+    fn engine_on(profile: SwitchProfile) -> (Testbed, Dpid) {
+        let mut tb = Testbed::new(11);
+        let dpid = Dpid(1);
+        tb.attach_default(dpid, profile);
+        (tb, dpid)
+    }
+
+    #[test]
+    fn run_priority_pattern_installs_rules() {
+        let (mut tb, dpid) = engine_on(SwitchProfile::ovs());
+        let mut eng = ProbingEngine::new(&mut tb, dpid, RuleKind::L3);
+        let pat = TangoPattern::priority_insertion(50, PriorityOrder::Ascending, RuleKind::L3);
+        let res = eng.run(&pat);
+        assert_eq!(res.segments.len(), 1);
+        assert_eq!(res.segments[0].ops, 50);
+        assert_eq!(res.rejected(), 0);
+        assert!(res.install_time() > SimDuration::ZERO);
+        assert_eq!(tb.switch(dpid).rule_count(), 50);
+    }
+
+    #[test]
+    fn descending_costs_more_than_ascending_on_hardware() {
+        let run_order = |order| {
+            let (mut tb, dpid) = engine_on(SwitchProfile::vendor1());
+            let mut eng = ProbingEngine::new(&mut tb, dpid, RuleKind::L3);
+            let pat = TangoPattern::priority_insertion(500, order, RuleKind::L3);
+            eng.run(&pat).install_time()
+        };
+        let asc = run_order(PriorityOrder::Ascending);
+        let desc = run_order(PriorityOrder::Descending);
+        assert!(
+            desc.as_millis_f64() > 3.0 * asc.as_millis_f64(),
+            "desc {desc} should far exceed asc {asc}"
+        );
+    }
+
+    #[test]
+    fn probes_flush_pending_mods_first() {
+        let (mut tb, dpid) = engine_on(SwitchProfile::vendor2());
+        let mut eng = ProbingEngine::new(&mut tb, dpid, RuleKind::L3);
+        let pat = TangoPattern {
+            name: "add-then-probe".into(),
+            kind: RuleKind::L3,
+            steps: vec![
+                PatternStep::Add { id: 1, priority: 5 },
+                PatternStep::Probe { id: 1 },
+            ],
+        };
+        let res = eng.run(&pat);
+        assert_eq!(res.segments.len(), 1);
+        assert_eq!(res.probes.len(), 1);
+        assert!(
+            matches!(res.probes[0].hit, Hit::Table { level: 0, .. }),
+            "the probe must see the rule already installed"
+        );
+    }
+
+    #[test]
+    fn rejections_surface_in_segments() {
+        let (mut tb, dpid) = engine_on(SwitchProfile::vendor3());
+        let mut eng = ProbingEngine::new(&mut tb, dpid, RuleKind::L2L3);
+        let pat = TangoPattern::priority_insertion(400, PriorityOrder::Same, RuleKind::L2L3);
+        let res = eng.run(&pat);
+        assert_eq!(res.rejected(), 400 - 369);
+    }
+
+    #[test]
+    fn clear_rules_empties_switch() {
+        let (mut tb, dpid) = engine_on(SwitchProfile::ovs());
+        let mut eng = ProbingEngine::new(&mut tb, dpid, RuleKind::L3);
+        for i in 0..10 {
+            assert!(eng.install_one(i, 5));
+        }
+        eng.clear_rules();
+        assert_eq!(tb.switch(dpid).rule_count(), 0);
+    }
+
+    #[test]
+    fn probe_one_reports_miss_for_unknown_flow() {
+        let (mut tb, dpid) = engine_on(SwitchProfile::vendor2());
+        let mut eng = ProbingEngine::new(&mut tb, dpid, RuleKind::L3);
+        let s = eng.probe_one(9999);
+        assert_eq!(s.hit, Hit::Miss);
+        assert!(s.rtt_ms > 5.0, "controller path RTT, got {}", s.rtt_ms);
+    }
+}
+
+#[cfg(test)]
+mod echo_tests {
+    use super::*;
+    use switchsim::profiles::SwitchProfile;
+    use simnet::trace::Summary;
+
+    #[test]
+    fn control_rtt_reflects_the_channel_not_the_tables() {
+        let mut tb = Testbed::new(77);
+        let dpid = Dpid(1);
+        tb.attach(
+            dpid,
+            SwitchProfile::vendor1(),
+            simnet::link::Link::control_channel(1.5),
+        );
+        let mut eng = ProbingEngine::new(&mut tb, dpid, RuleKind::L3);
+        let rtts = eng.measure_control_rtt(200);
+        let s = Summary::of(rtts);
+        // Two crossings of a ~1.5 ms one-way channel.
+        assert!((s.mean - 3.0).abs() < 0.3, "mean {}", s.mean);
+        // Installing rules must not change the echo RTT.
+        for i in 0..500 {
+            eng.install_one(i, 10);
+        }
+        let s2 = Summary::of(eng.measure_control_rtt(200));
+        assert!((s2.mean - s.mean).abs() < 0.2, "{} vs {}", s2.mean, s.mean);
+    }
+}

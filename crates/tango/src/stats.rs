@@ -1,0 +1,139 @@
+//! Statistical primitives for the inference algorithms: Pearson
+//! correlation (Algorithm 2's attribute identification) and the
+//! negative-binomial maximum-likelihood estimator (Algorithm 1's size
+//! estimate).
+
+/// Pearson correlation coefficient between two equal-length samples.
+/// Returns `None` when either sample is degenerate (zero variance or
+/// fewer than two points) — e.g. an attribute held constant.
+#[must_use]
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= f64::EPSILON || syy <= f64::EPSILON {
+        return None;
+    }
+    Some(sxy / (sxx.sqrt() * syy.sqrt()))
+}
+
+/// Maximum-likelihood estimate of the hit probability `p` from `k`
+/// negative-binomial trials, where `runs[i]` is the number of consecutive
+/// cache hits before the first miss in trial `i`.
+///
+/// From the paper (§5.2): `p̂ = ΣX / (k + ΣX)`.
+#[must_use]
+pub fn nb_hit_probability(runs: &[u64]) -> f64 {
+    if runs.is_empty() {
+        return 0.0;
+    }
+    let k = runs.len() as f64;
+    let s: f64 = runs.iter().map(|&x| x as f64).sum();
+    s / (k + s)
+}
+
+/// Mean of a sample (0 for empty input).
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Relative error `|estimate - actual| / actual` (infinite if actual is
+/// zero and estimate isn't).
+#[must_use]
+pub fn relative_error(estimate: f64, actual: f64) -> f64 {
+    if actual == 0.0 {
+        if estimate == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (estimate - actual).abs() / actual.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_correlations() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let up = [10.0, 20.0, 30.0, 40.0];
+        let down = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &up).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &down).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_uncorrelated_is_small() {
+        // A balanced design: x alternates independently of y.
+        let xs = [0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0];
+        let ys = [0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 1.0];
+        assert!(pearson(&xs, &ys).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_inputs() {
+        assert!(pearson(&[1.0], &[2.0]).is_none());
+        assert!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_none());
+        assert!(pearson(&[1.0, 2.0], &[5.0, 5.0]).is_none());
+        assert!(pearson(&[1.0, 2.0], &[1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn nb_estimator_recovers_p() {
+        // Simulate NB trials with known p, check the MLE comes back close.
+        use simnet::rng::DetRng;
+        let mut rng = DetRng::new(77);
+        for &p in &[0.3, 0.5, 0.8] {
+            let runs: Vec<u64> = (0..5000)
+                .map(|_| {
+                    let mut j = 0;
+                    while rng.chance(p) {
+                        j += 1;
+                    }
+                    j
+                })
+                .collect();
+            let p_hat = nb_hit_probability(&runs);
+            assert!(
+                (p_hat - p).abs() < 0.02,
+                "p={p}, estimated {p_hat}"
+            );
+        }
+    }
+
+    #[test]
+    fn nb_edge_cases() {
+        assert_eq!(nb_hit_probability(&[]), 0.0);
+        assert_eq!(nb_hit_probability(&[0, 0, 0]), 0.0);
+        // All long runs → p near 1.
+        assert!(nb_hit_probability(&[1000, 1000]) > 0.99);
+    }
+
+    #[test]
+    fn relative_error_cases() {
+        assert_eq!(relative_error(95.0, 100.0), 0.05);
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert!(relative_error(1.0, 0.0).is_infinite());
+    }
+}

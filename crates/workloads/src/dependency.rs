@@ -1,0 +1,101 @@
+//! Rule-dependency extraction.
+//!
+//! Two rules of an ACL are order-dependent iff their matches overlap —
+//! some packet hits both — in which case the rule earlier in the list
+//! must take precedence (get the higher priority and, during
+//! installation, be protected from transient inversion). The resulting
+//! edges `(hi, lo)` feed the priority-assignment algorithms in
+//! `tango-sched` (Table 2's two columns).
+
+use ofwire::flow_match::FlowMatch;
+
+/// Extracts dependency edges `(earlier, later)` for every overlapping
+/// pair, where the earlier (higher-precedence) rule is first. `O(n²)`
+/// overlap tests — fine for ACLs of a few thousand rules.
+#[must_use]
+pub fn rule_dependencies(rules: &[FlowMatch]) -> Vec<(usize, usize)> {
+    let mut deps = Vec::new();
+    for i in 0..rules.len() {
+        for j in i + 1..rules.len() {
+            if rules[i].overlaps(&rules[j]) {
+                deps.push((i, j));
+            }
+        }
+    }
+    deps
+}
+
+/// The length (in nodes) of the longest dependency chain — the number of
+/// distinct priority levels a minimal assignment needs.
+#[must_use]
+pub fn chain_depth(n: usize, deps: &[(usize, usize)]) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    // deps edges always point forward (i < j), so index order is a
+    // topological order.
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(hi, lo) in deps {
+        debug_assert!(hi < lo, "ACL dependencies point forward");
+        succs[hi].push(lo);
+    }
+    let mut depth = vec![1usize; n];
+    for i in (0..n).rev() {
+        for &s in &succs[i] {
+            depth[i] = depth[i].max(depth[s] + 1);
+        }
+    }
+    depth.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofwire::flow_match::Ipv4Prefix;
+
+    fn prefix_rule(addr: u32, len: u8) -> FlowMatch {
+        FlowMatch {
+            dl_type: Some(0x0800),
+            nw_dst: Some(Ipv4Prefix::new(addr, len)),
+            ..FlowMatch::default()
+        }
+    }
+
+    #[test]
+    fn nested_rules_depend() {
+        let rules = vec![
+            prefix_rule(0x0a000000, 24), // 10.0.0/24 (specific, first)
+            prefix_rule(0x0a000000, 16), // 10.0/16
+            prefix_rule(0x0b000000, 16), // 11.0/16 (disjoint)
+        ];
+        let deps = rule_dependencies(&rules);
+        assert_eq!(deps, vec![(0, 1)]);
+        assert_eq!(chain_depth(3, &deps), 2);
+    }
+
+    #[test]
+    fn disjoint_rules_are_independent() {
+        let rules: Vec<FlowMatch> = (0u32..10)
+            .map(|i| prefix_rule(i << 24, 8))
+            .collect();
+        assert!(rule_dependencies(&rules).is_empty());
+        assert_eq!(chain_depth(10, &[]), 1);
+    }
+
+    #[test]
+    fn chain_depth_of_full_chain() {
+        let rules: Vec<FlowMatch> = (0..8)
+            .map(|i| prefix_rule(0x0a000000, 32 - i as u8))
+            .collect();
+        let deps = rule_dependencies(&rules);
+        // Every pair overlaps: 28 edges, depth 8.
+        assert_eq!(deps.len(), 28);
+        assert_eq!(chain_depth(8, &deps), 8);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(rule_dependencies(&[]).is_empty());
+        assert_eq!(chain_depth(0, &[]), 0);
+    }
+}

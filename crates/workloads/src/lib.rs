@@ -1,0 +1,34 @@
+//! # workloads — workload and topology substrates for the Tango
+//! reproduction
+//!
+//! Everything the evaluation needs that is not a switch or a scheduler:
+//!
+//! * [`classbench`] — ClassBench-like ACL generation calibrated to
+//!   Table 2 (829/989/972 rules at 64/38/33 dependency levels).
+//! * [`dependency`] — overlap-derived rule-dependency extraction.
+//! * [`topology`] — the 3-switch hardware triangle and Google's B4
+//!   backbone (12 sites, 19 links).
+//! * [`routing`] — hop-count shortest paths and simple-path enumeration.
+//! * [`maxmin`] — B4's max-min fair allocation (progressive filling).
+//! * [`scenarios`] — link-failure and traffic-engineering request
+//!   generators (the Fig 10–12 workloads).
+
+pub mod classbench;
+pub mod dependency;
+pub mod maxmin;
+pub mod routing;
+pub mod scenarios;
+pub mod topology;
+
+/// Glob-import of the commonly used types.
+pub mod prelude {
+    pub use crate::classbench::{generate, AclRule, ClassBenchConfig};
+    pub use crate::dependency::{chain_depth, rule_dependencies};
+    pub use crate::maxmin::{max_min_fair, Demand};
+    pub use crate::routing::{path_links, shortest_path, simple_paths};
+    pub use crate::scenarios::{
+        b4_traffic_engineering, link_failure, traffic_engineering, ScenOp, Scenario,
+        ScenarioRequest,
+    };
+    pub use crate::topology::{NodeIdx, Topology};
+}

@@ -1,0 +1,212 @@
+//! Max-min fair bandwidth allocation — the TE algorithm B4 runs \[5\],
+//! used to derive the Fig 12 traffic-engineering workload.
+//!
+//! Classic progressive filling over fixed paths: grow every flow's rate
+//! uniformly; when a link saturates, freeze the flows crossing it and
+//! continue with the rest.
+
+use crate::routing::{path_links, Path};
+use crate::topology::Topology;
+
+/// One demand: a path and the rate it would like (Gb/s).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Demand {
+    /// The (precomputed) path the flow uses.
+    pub path: Path,
+    /// Requested rate; the allocation never exceeds it.
+    pub demand: f64,
+}
+
+/// The allocation result: one rate per demand, in input order.
+#[must_use]
+pub fn max_min_fair(topo: &Topology, demands: &[Demand]) -> Vec<f64> {
+    let n = demands.len();
+    let mut alloc = vec![0.0f64; n];
+    let mut frozen = vec![false; n];
+    let mut remaining_cap: Vec<f64> = topo.links.iter().map(|&(_, _, c)| c).collect();
+    let links_of: Vec<Vec<usize>> = demands
+        .iter()
+        .map(|d| path_links(topo, &d.path))
+        .collect();
+
+    loop {
+        // Active flows per link.
+        let mut active_on_link = vec![0usize; topo.links.len()];
+        for (i, links) in links_of.iter().enumerate() {
+            if !frozen[i] {
+                for &l in links {
+                    active_on_link[l] += 1;
+                }
+            }
+        }
+        // The uniform increment each unfrozen flow could still take:
+        // bounded by link fair shares and by each flow's own remaining
+        // demand.
+        let mut step = f64::INFINITY;
+        for (i, d) in demands.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            step = step.min(d.demand - alloc[i]);
+            for &l in &links_of[i] {
+                step = step.min(remaining_cap[l] / active_on_link[l] as f64);
+            }
+        }
+        if !step.is_finite() {
+            break; // nothing unfrozen
+        }
+        let step = step.max(0.0);
+        // Apply the increment.
+        for (i, _) in demands.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            alloc[i] += step;
+            for &l in &links_of[i] {
+                remaining_cap[l] -= step;
+            }
+        }
+        // Freeze satisfied flows and flows crossing saturated links.
+        let mut progressed = false;
+        for (i, d) in demands.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            let satisfied = alloc[i] >= d.demand - 1e-12;
+            let blocked = links_of[i].iter().any(|&l| remaining_cap[l] <= 1e-12);
+            if satisfied || blocked {
+                frozen[i] = true;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break; // numerical guard; should not happen
+        }
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::shortest_path;
+
+    fn line_topology(caps: &[f64]) -> Topology {
+        let names = (0..=caps.len()).map(|i| format!("n{i}")).collect();
+        let links = caps
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i, i + 1, c))
+            .collect();
+        Topology::new(names, links)
+    }
+
+    #[test]
+    fn equal_shares_on_one_bottleneck() {
+        // Three flows over one 9-capacity link: 3 each.
+        let t = line_topology(&[9.0]);
+        let d = Demand {
+            path: vec![0, 1],
+            demand: 100.0,
+        };
+        let alloc = max_min_fair(&t, &[d.clone(), d.clone(), d]);
+        for a in alloc {
+            assert!((a - 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn small_demand_is_capped_and_redistributed() {
+        // Flow 0 wants only 1; flows 1,2 split the remaining 8 → 4 each.
+        let t = line_topology(&[9.0]);
+        let mk = |demand| Demand {
+            path: vec![0, 1],
+            demand,
+        };
+        let alloc = max_min_fair(&t, &[mk(1.0), mk(100.0), mk(100.0)]);
+        assert!((alloc[0] - 1.0).abs() < 1e-9);
+        assert!((alloc[1] - 4.0).abs() < 1e-9);
+        assert!((alloc[2] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classic_two_link_example() {
+        // Links A(cap 10), B(cap 10). Flow 1 uses A+B, flow 2 uses A,
+        // flow 3 uses B. Max-min: every flow gets 5.
+        let t = line_topology(&[10.0, 10.0]);
+        let f1 = Demand {
+            path: vec![0, 1, 2],
+            demand: 100.0,
+        };
+        let f2 = Demand {
+            path: vec![0, 1],
+            demand: 100.0,
+        };
+        let f3 = Demand {
+            path: vec![1, 2],
+            demand: 100.0,
+        };
+        let alloc = max_min_fair(&t, &[f1, f2, f3]);
+        for a in &alloc {
+            assert!((a - 5.0).abs() < 1e-9, "{alloc:?}");
+        }
+    }
+
+    #[test]
+    fn asymmetric_bottlenecks() {
+        // A(cap 2), B(cap 10). Long flow A+B limited to 1 by A's fair
+        // share; short flow on B then takes 9.
+        let t = line_topology(&[2.0, 10.0]);
+        let long = Demand {
+            path: vec![0, 1, 2],
+            demand: 100.0,
+        };
+        let a_only = Demand {
+            path: vec![0, 1],
+            demand: 100.0,
+        };
+        let b_only = Demand {
+            path: vec![1, 2],
+            demand: 100.0,
+        };
+        let alloc = max_min_fair(&t, &[long, a_only, b_only]);
+        assert!((alloc[0] - 1.0).abs() < 1e-9, "{alloc:?}");
+        assert!((alloc[1] - 1.0).abs() < 1e-9, "{alloc:?}");
+        assert!((alloc[2] - 9.0).abs() < 1e-9, "{alloc:?}");
+    }
+
+    #[test]
+    fn capacity_never_exceeded_on_b4() {
+        let t = Topology::b4();
+        // Many random-ish demands over shortest paths.
+        let mut demands = Vec::new();
+        for a in 0..t.len() {
+            for b in (a + 1)..t.len() {
+                if (a + b) % 3 == 0 {
+                    demands.push(Demand {
+                        path: shortest_path(&t, a, b).unwrap(),
+                        demand: 40.0,
+                    });
+                }
+            }
+        }
+        let alloc = max_min_fair(&t, &demands);
+        let mut used = vec![0.0f64; t.links.len()];
+        for (d, &a) in demands.iter().zip(&alloc) {
+            assert!(a >= 0.0);
+            assert!(a <= d.demand + 1e-9);
+            for l in path_links(&t, &d.path) {
+                used[l] += a;
+            }
+        }
+        for (l, &(_, _, cap)) in t.links.iter().enumerate() {
+            assert!(used[l] <= cap + 1e-6, "link {l} used {}", used[l]);
+        }
+    }
+
+    #[test]
+    fn empty_demands() {
+        let t = Topology::triangle();
+        assert!(max_min_fair(&t, &[]).is_empty());
+    }
+}

@@ -1,0 +1,152 @@
+//! Path computation over [`Topology`]: hop-count shortest paths and
+//! simple-path enumeration for rerouting choices.
+
+use crate::topology::{NodeIdx, Topology};
+use std::collections::VecDeque;
+
+/// A path as a node sequence from source to destination.
+pub type Path = Vec<NodeIdx>;
+
+/// BFS shortest path by hop count, `None` if disconnected. Ties resolve
+/// to the lexicographically smallest path (deterministic).
+#[must_use]
+pub fn shortest_path(topo: &Topology, src: NodeIdx, dst: NodeIdx) -> Option<Path> {
+    if src == dst {
+        return Some(vec![src]);
+    }
+    let mut prev: Vec<Option<NodeIdx>> = vec![None; topo.len()];
+    let mut seen = vec![false; topo.len()];
+    let mut q = VecDeque::new();
+    seen[src] = true;
+    q.push_back(src);
+    while let Some(n) = q.pop_front() {
+        for m in topo.neighbors(n) {
+            if !seen[m] {
+                seen[m] = true;
+                prev[m] = Some(n);
+                if m == dst {
+                    let mut path = vec![dst];
+                    let mut cur = dst;
+                    while let Some(p) = prev[cur] {
+                        path.push(p);
+                        cur = p;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                q.push_back(m);
+            }
+        }
+    }
+    None
+}
+
+/// All simple paths from `src` to `dst` with at most `max_hops` edges,
+/// in lexicographic order. Used to pick detours after link failures.
+#[must_use]
+pub fn simple_paths(topo: &Topology, src: NodeIdx, dst: NodeIdx, max_hops: usize) -> Vec<Path> {
+    let mut out = Vec::new();
+    let mut current = vec![src];
+    let mut visited = vec![false; topo.len()];
+    visited[src] = true;
+    fn recur(
+        topo: &Topology,
+        dst: NodeIdx,
+        max_hops: usize,
+        current: &mut Vec<NodeIdx>,
+        visited: &mut Vec<bool>,
+        out: &mut Vec<Path>,
+    ) {
+        let last = *current.last().expect("non-empty");
+        if last == dst {
+            out.push(current.clone());
+            return;
+        }
+        if current.len() > max_hops {
+            return;
+        }
+        for m in topo.neighbors(last) {
+            if !visited[m] {
+                visited[m] = true;
+                current.push(m);
+                recur(topo, dst, max_hops, current, visited, out);
+                current.pop();
+                visited[m] = false;
+            }
+        }
+    }
+    recur(topo, dst, max_hops, &mut current, &mut visited, &mut out);
+    out
+}
+
+/// The links (as topology link indices) a path traverses.
+#[must_use]
+pub fn path_links(topo: &Topology, path: &[NodeIdx]) -> Vec<usize> {
+    path.windows(2)
+        .map(|w| {
+            topo.link_between(w[0], w[1])
+                .expect("path uses existing links")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_paths() {
+        let t = Topology::triangle();
+        assert_eq!(shortest_path(&t, 0, 1), Some(vec![0, 1]));
+        // After the s1–s2 link fails, the reroute goes via s3 — the
+        // paper's LF scenario.
+        let broken = t.without_link(0, 1);
+        assert_eq!(shortest_path(&broken, 0, 1), Some(vec![0, 2, 1]));
+    }
+
+    #[test]
+    fn b4_paths_exist_between_all_pairs() {
+        let t = Topology::b4();
+        for a in 0..t.len() {
+            for b in 0..t.len() {
+                let p = shortest_path(&t, a, b).expect("B4 is connected");
+                assert_eq!(p[0], a);
+                assert_eq!(*p.last().unwrap(), b);
+            }
+        }
+    }
+
+    #[test]
+    fn self_path_is_singleton() {
+        let t = Topology::triangle();
+        assert_eq!(shortest_path(&t, 2, 2), Some(vec![2]));
+    }
+
+    #[test]
+    fn disconnected_returns_none() {
+        let t = Topology::new(
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![(0, 1, 1.0)],
+        );
+        assert_eq!(shortest_path(&t, 0, 2), None);
+    }
+
+    #[test]
+    fn simple_paths_enumeration() {
+        let t = Topology::triangle();
+        let paths = simple_paths(&t, 0, 1, 3);
+        assert_eq!(paths, vec![vec![0, 1], vec![0, 2, 1]]);
+        // Hop bound excludes the detour.
+        let short_only = simple_paths(&t, 0, 1, 1);
+        assert_eq!(short_only, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn path_links_resolve() {
+        let t = Topology::triangle();
+        let links = path_links(&t, &[0, 2, 1]);
+        assert_eq!(links.len(), 2);
+        assert_eq!(links[0], t.link_between(0, 2).unwrap());
+        assert_eq!(links[1], t.link_between(2, 1).unwrap());
+    }
+}

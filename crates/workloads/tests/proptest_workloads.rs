@@ -1,0 +1,149 @@
+//! Property-based invariants of the workload substrates.
+//!
+//! * Max-min fairness: allocations are non-negative, never exceed
+//!   demand, never oversubscribe a link, and are *max-min*: no flow can
+//!   be increased without decreasing a flow of equal-or-smaller rate.
+//! * ClassBench generation: exact rule counts, dependency depth equals
+//!   the configured level count, all dependencies point forward.
+//! * Scenario generation: dependencies are forward edges, every mod/del
+//!   has a preinstall record.
+
+use proptest::prelude::*;
+use workloads::classbench::{generate, ClassBenchConfig};
+use workloads::dependency::{chain_depth, rule_dependencies};
+use workloads::maxmin::{max_min_fair, Demand};
+use workloads::routing::{path_links, shortest_path};
+use workloads::scenarios::{traffic_engineering, ScenOp};
+use workloads::topology::Topology;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn maxmin_is_feasible_and_maximal(
+        pairs in proptest::collection::vec((0usize..12, 0usize..12, 0.5f64..40.0), 1..40),
+    ) {
+        let topo = Topology::b4();
+        let demands: Vec<Demand> = pairs
+            .into_iter()
+            .filter(|&(a, b, _)| a != b)
+            .map(|(a, b, demand)| Demand {
+                path: shortest_path(&topo, a, b).expect("connected"),
+                demand,
+            })
+            .collect();
+        prop_assume!(!demands.is_empty());
+        let alloc = max_min_fair(&topo, &demands);
+
+        // Feasibility.
+        let mut used = vec![0.0f64; topo.links.len()];
+        for (d, &a) in demands.iter().zip(&alloc) {
+            prop_assert!(a >= -1e-12);
+            prop_assert!(a <= d.demand + 1e-9);
+            for l in path_links(&topo, &d.path) {
+                used[l] += a;
+            }
+        }
+        for (l, &(_, _, cap)) in topo.links.iter().enumerate() {
+            prop_assert!(used[l] <= cap + 1e-6, "link {l}: {} > {cap}", used[l]);
+        }
+
+        // Maximality: every unsatisfied flow crosses a saturated link.
+        for (d, &a) in demands.iter().zip(&alloc) {
+            if a < d.demand - 1e-9 {
+                let blocked = path_links(&topo, &d.path)
+                    .into_iter()
+                    .any(|l| used[l] >= topo.links[l].2 - 1e-6);
+                prop_assert!(blocked, "flow got {a} of {} with slack", d.demand);
+            }
+        }
+
+        // Max-min property: an unsatisfied flow's rate is ≥ every other
+        // flow's rate on some saturated link it crosses (it cannot be
+        // raised by lowering someone larger).
+        for (i, (d, &a)) in demands.iter().zip(&alloc).enumerate() {
+            if a < d.demand - 1e-9 {
+                let bottlenecks: Vec<usize> = path_links(&topo, &d.path)
+                    .into_iter()
+                    .filter(|&l| used[l] >= topo.links[l].2 - 1e-6)
+                    .collect();
+                let can_take_from_larger = bottlenecks.iter().any(|&l| {
+                    demands.iter().zip(&alloc).enumerate().all(|(j, (dj, &aj))| {
+                        i == j
+                            || !path_links(&topo, &dj.path).contains(&l)
+                            || aj <= a + 1e-6
+                    })
+                });
+                prop_assert!(
+                    can_take_from_larger,
+                    "flow {i} at {a} is not max-min"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn classbench_depth_matches_config(
+        rules in 30usize..160,
+        levels in 4usize..25,
+        cluster_depth in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(rules >= levels && cluster_depth <= levels);
+        let cfg = ClassBenchConfig { rules, levels, cluster_depth, seed };
+        let acl = generate(&cfg);
+        prop_assert_eq!(acl.len(), rules);
+        let matches: Vec<_> = acl.iter().map(|r| r.flow_match).collect();
+        let deps = rule_dependencies(&matches);
+        prop_assert_eq!(chain_depth(matches.len(), &deps), levels);
+        for &(a, b) in &deps {
+            prop_assert!(a < b, "ACL dependencies point forward");
+        }
+    }
+
+    #[test]
+    fn te_scenarios_are_well_formed(
+        n in 1usize..150,
+        wa in 0u32..4,
+        wd in 0u32..4,
+        wm in 0u32..4,
+        levels in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(wa + wd + wm > 0);
+        let topo = Topology::triangle();
+        let s = traffic_engineering(&topo, "p", n, (wa, wd, wm), levels, false, seed);
+        prop_assert_eq!(s.requests.len(), n);
+        for &(before, after) in &s.deps {
+            prop_assert!(before < after);
+            prop_assert!(after < n);
+        }
+        for r in &s.requests {
+            prop_assert!(r.node < topo.len());
+            if matches!(r.op, ScenOp::Mod | ScenOp::Del) {
+                prop_assert!(
+                    s.preinstall
+                        .iter()
+                        .any(|&(node, f, _)| node == r.node && f == r.flow_id),
+                    "{r:?} lacks a preinstall"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_paths_are_simple_and_minimal(
+        a in 0usize..12,
+        b in 0usize..12,
+    ) {
+        let topo = Topology::b4();
+        let p = shortest_path(&topo, a, b).expect("connected");
+        // Simple: no repeated nodes.
+        let mut nodes = p.clone();
+        nodes.sort_unstable();
+        nodes.dedup();
+        prop_assert_eq!(nodes.len(), p.len());
+        // Each hop is a real link (path_links panics otherwise).
+        prop_assert_eq!(path_links(&topo, &p).len(), p.len().saturating_sub(1));
+    }
+}

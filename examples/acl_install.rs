@@ -1,0 +1,72 @@
+//! ACL installation with automatic priority assignment — the Fig 8/9
+//! workflow as an application would use it:
+//!
+//! 1. generate (or load) an ACL;
+//! 2. extract its rule dependencies;
+//! 3. let Tango assign minimal topological priorities;
+//! 4. install in the probed-optimal (ascending) order;
+//! 5. compare against the naive random-order installation.
+//!
+//! ```sh
+//! cargo run --release --example acl_install
+//! ```
+
+use ofwire::flow_mod::FlowMod;
+use ofwire::types::Dpid;
+use simnet::rng::DetRng;
+use switchsim::harness::Testbed;
+use switchsim::profiles::SwitchProfile;
+use tango_sched::priority::{
+    ascending_install_order, r_priorities, satisfies, topological_priorities,
+};
+use workloads::classbench::{generate, ClassBenchConfig};
+use workloads::dependency::rule_dependencies;
+
+fn install(matches: &[ofwire::flow_match::FlowMatch], prios: &[u16], order: &[usize]) -> f64 {
+    let mut tb = Testbed::new(0xac1);
+    let dpid = Dpid(1);
+    tb.attach_default(dpid, SwitchProfile::vendor1());
+    let fms: Vec<FlowMod> = order
+        .iter()
+        .map(|&i| FlowMod::add(matches[i], prios[i]))
+        .collect();
+    let (ok, failed, elapsed) = tb.batch(dpid, fms);
+    assert_eq!(failed, 0);
+    assert_eq!(ok, matches.len());
+    elapsed.as_secs_f64()
+}
+
+fn main() {
+    for (name, cfg) in ClassBenchConfig::presets() {
+        let rules = generate(&cfg);
+        let matches: Vec<_> = rules.iter().map(|r| r.flow_match).collect();
+        let deps = rule_dependencies(&matches);
+        println!("── {name}: {} rules, {} dependencies ──", rules.len(), deps.len());
+
+        // Tango's two assignments.
+        let topo = topological_priorities(matches.len(), &deps);
+        let r = r_priorities(matches.len(), &deps);
+        assert!(satisfies(&topo.priorities, &deps));
+        assert!(satisfies(&r.priorities, &deps));
+        println!(
+            "  priority levels: topological = {}, 1-to-1 (R) = {}",
+            topo.distinct, r.distinct
+        );
+
+        // Installation orders: probed-optimal ascending vs naive random.
+        let asc = ascending_install_order(&topo.priorities);
+        let mut rand_order: Vec<usize> = (0..matches.len()).collect();
+        DetRng::new(1).shuffle(&mut rand_order);
+
+        let t_opt = install(&matches, &topo.priorities, &asc);
+        let t_rand = install(&matches, &topo.priorities, &rand_order);
+        let t_r_rand = install(&matches, &r.priorities, &rand_order);
+        println!("  topo priorities, ascending order: {t_opt:.3} s");
+        println!("  topo priorities, random order:    {t_rand:.3} s");
+        println!("  R priorities,    random order:    {t_r_rand:.3} s");
+        println!(
+            "  → Tango's assignment + ordering cuts installation by {:.0}%\n",
+            (1.0 - t_opt / t_r_rand) * 100.0
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! The wire protocol over a real TCP socket: a simulated switch served
+//! behind a loopback `TcpListener`, probed by a controller on the other
+//! end of the connection — demonstrating that `ofwire`'s framing and
+//! codec are genuine transport-grade plumbing, not simulation-only
+//! types.
+//!
+//! ```sh
+//! cargo run --release --example wire_over_tcp
+//! ```
+
+use ofwire::prelude::*;
+use simnet::time::SimTime;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Instant;
+use switchsim::agent::Agent;
+use switchsim::profiles::SwitchProfile;
+use switchsim::switch::Switch;
+
+/// Serves one connection: bytes in → agent → reply bytes out.
+fn serve_switch(listener: TcpListener, profile: SwitchProfile) {
+    let (mut stream, peer) = listener.accept().expect("accept");
+    println!("[switch] controller connected from {peer}");
+    let mut agent = Agent::new(Switch::new(profile, Dpid(0xbeef), 7));
+    let started = Instant::now();
+    let mut buf = [0u8; 4096];
+    loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) => break, // controller hung up
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("[switch] read error: {e}");
+                break;
+            }
+        };
+        let now = SimTime(started.elapsed().as_nanos() as u64);
+        let outs = agent.feed(&buf[..n], now).expect("well-formed stream");
+        for o in outs {
+            if let Some(reply) = o.reply {
+                stream
+                    .write_all(&reply.to_bytes(o.xid))
+                    .expect("write reply");
+            }
+        }
+    }
+    println!(
+        "[switch] session over; {} rules installed",
+        agent.switch().rule_count()
+    );
+}
+
+/// A tiny blocking controller: send one message, collect replies until
+/// the expected count arrives.
+struct TcpController {
+    stream: TcpStream,
+    framer: Framer,
+    next_xid: Xid,
+}
+
+impl TcpController {
+    fn send(&mut self, msg: Message) -> Xid {
+        let xid = self.next_xid;
+        self.next_xid = xid.next();
+        self.stream.write_all(&msg.to_bytes(xid)).expect("send");
+        xid
+    }
+
+    fn recv(&mut self) -> (Header, Message) {
+        let mut buf = [0u8; 4096];
+        loop {
+            if let Some(pair) = self.framer.next_message().expect("parse") {
+                return pair;
+            }
+            let n = self.stream.read(&mut buf).expect("recv");
+            assert!(n > 0, "switch closed early");
+            self.framer.push(&buf[..n]);
+        }
+    }
+}
+
+fn main() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || serve_switch(listener, SwitchProfile::vendor3()));
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    println!("[ctrl]   connected to simulated switch at {addr}");
+    let mut ctrl = TcpController {
+        stream,
+        framer: Framer::new(),
+        next_xid: Xid(1),
+    };
+
+    // Handshake.
+    ctrl.send(Message::Hello);
+    let (_, hello) = ctrl.recv();
+    assert_eq!(hello, Message::Hello);
+    ctrl.send(Message::FeaturesRequest);
+    let (_, features) = ctrl.recv();
+    if let Message::FeaturesReply(fr) = &features {
+        println!(
+            "[ctrl]   switch {} claims {} table(s), {} port(s)",
+            fr.datapath_id,
+            fr.n_tables,
+            fr.ports.len()
+        );
+    }
+
+    // Install rules until the TCAM rejects — black-box capacity
+    // discovery over an actual socket.
+    let mut installed = 0u32;
+    loop {
+        let fm = FlowMod::add(FlowMatch::l3_for_id(installed), 40);
+        ctrl.send(Message::FlowMod(fm));
+        let barrier_xid = ctrl.send(Message::BarrierRequest);
+        let (hdr, reply) = ctrl.recv();
+        match reply {
+            Message::BarrierReply => {
+                assert_eq!(hdr.xid, barrier_xid);
+                installed += 1;
+            }
+            Message::Error(e) => {
+                assert!(e.is_table_full());
+                // Drain the barrier reply that follows the error.
+                let (_, b) = ctrl.recv();
+                assert_eq!(b, Message::BarrierReply);
+                break;
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        if installed.is_multiple_of(100) {
+            println!("[ctrl]   {installed} rules installed…");
+        }
+    }
+    println!(
+        "[ctrl]   capacity discovered over TCP: {installed} rules \
+         (Switch #3's L3 capacity is 767)"
+    );
+    assert_eq!(installed, 767);
+
+    // Flow stats round trip.
+    ctrl.send(Message::StatsRequest(StatsRequestBody::Table));
+    let (_, stats) = ctrl.recv();
+    if let Message::StatsReply(StatsBody::Table(tables)) = stats {
+        for t in tables {
+            println!(
+                "[ctrl]   table '{}': {} active entries",
+                t.name, t.active_count
+            );
+        }
+    }
+
+    drop(ctrl);
+    server.join().expect("server thread");
+}

@@ -1,0 +1,26 @@
+//! # tango-repro — a full reproduction of *Tango: Simplifying SDN
+//! Control with Automatic Switch Property Inference, Abstraction, and
+//! Optimization* (CoNEXT 2014)
+//!
+//! This façade crate re-exports every subsystem of the reproduction so
+//! the examples and integration tests can use one import. See
+//! `README.md` for the tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`ofwire`] | OpenFlow 1.0-flavoured wire protocol (from scratch) |
+//! | [`simnet`] | deterministic discrete-event simulation substrate |
+//! | [`switchsim`] | emulated diverse switches (OVS + three vendors) |
+//! | [`tango`] | the paper's contribution: probing + inference |
+//! | [`tango_sched`] | the Tango scheduler and Dionysus baseline |
+//! | [`workloads`] | ClassBench-like ACLs, topologies, TE/LF scenarios |
+//! | `bench` | experiment harness regenerating every table/figure |
+
+pub use ::bench;
+pub use ofwire;
+pub use simnet;
+pub use switchsim;
+pub use tango;
+pub use tango_sched;
+pub use workloads;

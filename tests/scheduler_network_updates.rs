@@ -1,0 +1,119 @@
+//! Cross-crate integration: network-wide updates executed end to end —
+//! scenarios lowered onto a multi-switch testbed, scheduled by Dionysus
+//! and by Tango, with correctness invariants checked on the final switch
+//! states.
+
+use bench::lower::{attach_triangle, b4_testbed, lower_scenario};
+use ofwire::types::Dpid;
+use switchsim::harness::Testbed;
+use tango_sched::basic::{run_dionysus, run_tango_online, TangoMode};
+use workloads::scenarios::{b4_traffic_engineering, link_failure, traffic_engineering, ScenOp};
+use workloads::topology::Topology;
+
+fn triangle(seed: u64) -> (Testbed, Vec<Dpid>) {
+    let mut tb = Testbed::new(seed);
+    let dpids = attach_triangle(&mut tb);
+    (tb, dpids)
+}
+
+#[test]
+fn all_schedulers_reach_identical_final_rule_counts() {
+    let topo = Topology::triangle();
+    let scen = traffic_engineering(&topo, "TE", 300, (2, 1, 1), 1, false, 3);
+    let (adds, _mods, dels) = scen.op_counts();
+    let preinstalled = scen.preinstall.len();
+
+    let mut counts = Vec::new();
+    for which in ["dionysus", "type", "full"] {
+        let (mut tb, dpids) = triangle(1);
+        let mut dag = lower_scenario(&mut tb, &dpids, &scen);
+        let report = match which {
+            "dionysus" => run_dionysus(&mut tb, &mut dag),
+            "type" => run_tango_online(&mut tb, &mut dag, TangoMode::TypeOnly),
+            _ => run_tango_online(&mut tb, &mut dag, TangoMode::TypeAndPriority),
+        };
+        assert_eq!(report.completed, scen.requests.len(), "{which}");
+        assert_eq!(report.failed, 0, "{which}");
+        let total: usize = dpids.iter().map(|&d| tb.switch(d).rule_count()).collect::<Vec<_>>().iter().sum();
+        counts.push(total);
+    }
+    assert_eq!(counts[0], counts[1]);
+    assert_eq!(counts[1], counts[2]);
+    assert_eq!(counts[0], preinstalled + adds - dels);
+}
+
+#[test]
+fn tango_never_loses_to_dionysus_across_scenarios() {
+    let topo = Topology::triangle();
+    let scens = vec![
+        link_failure(&topo, (0, 1), 150, 0x51),
+        traffic_engineering(&topo, "TE", 300, (2, 1, 1), 1, false, 0x52),
+        traffic_engineering(&topo, "TE", 300, (1, 1, 1), 2, false, 0x53),
+    ];
+    for scen in scens {
+        let dio = {
+            let (mut tb, dpids) = triangle(2);
+            let mut dag = lower_scenario(&mut tb, &dpids, &scen);
+            run_dionysus(&mut tb, &mut dag).makespan
+        };
+        let tango = {
+            let (mut tb, dpids) = triangle(2);
+            let mut dag = lower_scenario(&mut tb, &dpids, &scen);
+            run_tango_online(&mut tb, &mut dag, TangoMode::TypeAndPriority).makespan
+        };
+        assert!(
+            tango.as_millis_f64() <= dio.as_millis_f64() * 1.02,
+            "{}: tango {tango} vs dionysus {dio}",
+            scen.name
+        );
+    }
+}
+
+#[test]
+fn lf_update_is_destination_first_on_the_wire() {
+    // After the LF scenario, every s1 add must have been applied after
+    // its flow's s2 mod. We verify through the virtual clock: run with a
+    // one-flow scenario and check switch states mid-flight is not
+    // possible post-hoc, so instead verify the DAG lowering produced the
+    // dependency and the executor completed everything without failure
+    // (the executor asserts blocked nodes are never issued).
+    let topo = Topology::triangle();
+    let scen = link_failure(&topo, (0, 1), 100, 0x54);
+    let (mut tb, dpids) = triangle(3);
+    let mut dag = lower_scenario(&mut tb, &dpids, &scen);
+    // Destination-side mods are the only initially independent requests.
+    for id in dag.independent_set() {
+        assert_eq!(dag.node(id).location, dpids[1]);
+    }
+    let report = run_tango_online(&mut tb, &mut dag, TangoMode::TypeAndPriority);
+    assert_eq!(report.failed, 0);
+    // s1 carries the 100 new detour routes; the old routes lived in
+    // the scenario only as s2 state.
+    assert_eq!(tb.switch(dpids[0]).rule_count(), 100);
+    assert_eq!(tb.switch(dpids[1]).rule_count(), 100);
+}
+
+#[test]
+fn b4_scale_update_executes_cleanly() {
+    let scen = b4_traffic_engineering(400, 0x55);
+    let (mut tb, dpids) = b4_testbed(0x55);
+    let mut dag = lower_scenario(&mut tb, &dpids, &scen);
+    let n = dag.len();
+    let report = run_tango_online(&mut tb, &mut dag, TangoMode::TypeAndPriority);
+    assert_eq!(report.completed + report.failed, n);
+    assert_eq!(report.failed, 0);
+    // Deleted flows are gone: every Del target no longer matches.
+    for r in &scen.requests {
+        if r.op == ScenOp::Del {
+            let key = ofwire::flow_match::FlowMatch::key_for_id(r.flow_id);
+            let (hit, _) = tb.probe(dpids[r.node], &key);
+            assert_eq!(
+                hit,
+                switchsim::pipeline::Hit::Miss,
+                "deleted flow {} still matches on node {}",
+                r.flow_id,
+                r.node
+            );
+        }
+    }
+}
