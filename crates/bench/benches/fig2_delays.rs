@@ -7,9 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 fn bench_fig2(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig2");
     g.sample_size(10);
-    g.bench_function("fig2a_ovs_three_tier", |b| {
-        b.iter(|| fig2::fig2a(80, 160))
-    });
+    g.bench_function("fig2a_ovs_three_tier", |b| b.iter(|| fig2::fig2a(80, 160)));
     g.bench_function("fig2b_switch1_three_tier", |b| {
         b.iter(|| fig2::fig2b(350, 550))
     });

@@ -41,10 +41,7 @@ fn bench_inference(c: &mut Criterion) {
         g.bench_function(format!("algorithm2_policy_{name}"), |b| {
             b.iter(|| {
                 let mut tb = Testbed::new(2);
-                tb.attach_default(
-                    Dpid(1),
-                    SwitchProfile::generic_cached(60, policy.clone()),
-                );
+                tb.attach_default(Dpid(1), SwitchProfile::generic_cached(60, policy.clone()));
                 let mut eng = ProbingEngine::new(&mut tb, Dpid(1), RuleKind::L3);
                 probe_policy(&mut eng, 60, &PolicyProbeConfig::default())
             })

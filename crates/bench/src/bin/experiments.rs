@@ -53,19 +53,13 @@ fn run_one(name: &str, scale: &Scale) -> bool {
             write_figure("fig3a", &fig);
         }
         "fig3b" => {
-            let sizes: Vec<usize> = fig3b::paper_sizes()
-                .into_iter()
-                .map(|n| q.n(n))
-                .collect();
+            let sizes: Vec<usize> = fig3b::paper_sizes().into_iter().map(|n| q.n(n)).collect();
             let fig = fig3b::run(&sizes);
             println!("fig3b: {} series written", fig.series.len());
             write_figure("fig3b", &fig);
         }
         "fig3c" => {
-            let sizes: Vec<usize> = fig3c::paper_sizes()
-                .into_iter()
-                .map(|n| q.n(n))
-                .collect();
+            let sizes: Vec<usize> = fig3c::paper_sizes().into_iter().map(|n| q.n(n)).collect();
             let fig = fig3c::run(&sizes);
             println!("fig3c: {} series written", fig.series.len());
             write_figure("fig3c", &fig);
@@ -110,8 +104,7 @@ fn run_one(name: &str, scale: &Scale) -> bool {
             let fig = fig10::run(q.n(400), q.n(800));
             println!("== Fig 10 ==");
             for s in &fig.series {
-                let ys: Vec<String> =
-                    s.points.iter().map(|p| format!("{:.2}", p.1)).collect();
+                let ys: Vec<String> = s.points.iter().map(|p| format!("{:.2}", p.1)).collect();
                 println!("  {:<22} LF/TE1/TE2 = {}", s.label, ys.join(" / "));
             }
             write_figure("fig10", &fig);
@@ -120,8 +113,7 @@ fn run_one(name: &str, scale: &Scale) -> bool {
             let fig = fig11::run(q.n(2400));
             println!("== Fig 11 ==");
             for s in &fig.series {
-                let ys: Vec<String> =
-                    s.points.iter().map(|p| format!("{:.2}", p.1)).collect();
+                let ys: Vec<String> = s.points.iter().map(|p| format!("{:.2}", p.1)).collect();
                 println!("  {:<28} {}", s.label, ys.join(" / "));
             }
             write_figure("fig11", &fig);

@@ -47,9 +47,7 @@ pub fn makespan_s(scen: &Scenario, arm: Arm, seed: u64) -> f64 {
     let report = match arm {
         Arm::Dionysus => run_dionysus(&mut tb, &mut dag),
         Arm::TangoType => run_tango_online(&mut tb, &mut dag, TangoMode::TypeOnly),
-        Arm::TangoTypePriority => {
-            run_tango_online(&mut tb, &mut dag, TangoMode::TypeAndPriority)
-        }
+        Arm::TangoTypePriority => run_tango_online(&mut tb, &mut dag, TangoMode::TypeAndPriority),
     };
     assert_eq!(report.failed, 0, "{} {}", scen.name, arm.label());
     report.makespan.as_secs_f64()
@@ -95,12 +93,7 @@ mod tests {
     fn tango_beats_dionysus_on_te() {
         let fig = run(200, 300);
         let at = |label: &str, x: usize| {
-            fig.series
-                .iter()
-                .find(|s| s.label == label)
-                .unwrap()
-                .points[x]
-                .1
+            fig.series.iter().find(|s| s.label == label).unwrap().points[x].1
         };
         for scen in [1usize, 2] {
             let dio = at("Dionysus", scen);

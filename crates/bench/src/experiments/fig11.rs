@@ -39,7 +39,11 @@ impl Arm {
     /// All arms in figure order.
     #[must_use]
     pub fn all() -> [Arm; 3] {
-        [Arm::Dionysus, Arm::PrioritySorting, Arm::PriorityEnforcement]
+        [
+            Arm::Dionysus,
+            Arm::PrioritySorting,
+            Arm::PriorityEnforcement,
+        ]
     }
 }
 
@@ -54,28 +58,25 @@ pub fn scenario_descriptors(scale: usize) -> Vec<(&'static str, bool, usize, usi
     ]
 }
 
-fn build_scenario(add_only: bool, levels: usize, rules: usize, enforce: bool, seed: u64) -> Scenario {
+fn build_scenario(
+    add_only: bool,
+    levels: usize,
+    rules: usize,
+    enforce: bool,
+    seed: u64,
+) -> Scenario {
     // The 2.4K/3.2K-rule scenarios exceed Switch #3's 767-entry TCAM, so
     // the priority experiments target the testbed's two Switch #1 units
     // (whose software tables absorb overflow) — the priority behaviour
     // under study is a Switch #1 phenomenon anyway.
-    let topo = Topology::new(
-        vec!["s1".into(), "s2".into()],
-        vec![(0, 1, 10.0)],
-    );
+    let topo = Topology::new(vec!["s1".into(), "s2".into()], vec![(0, 1, 10.0)]);
     let weights = if add_only { (1, 0, 0) } else { (2, 1, 1) };
     traffic_engineering(&topo, "fig11", rules, weights, levels, enforce, seed)
 }
 
 /// Makespan (s) of one scenario under one arm.
 #[must_use]
-pub fn makespan_s(
-    add_only: bool,
-    levels: usize,
-    rules: usize,
-    arm: Arm,
-    seed: u64,
-) -> f64 {
+pub fn makespan_s(add_only: bool, levels: usize, rules: usize, arm: Arm, seed: u64) -> f64 {
     let enforce = arm == Arm::PriorityEnforcement;
     let scen = build_scenario(add_only, levels, rules, enforce, seed);
     let (mut tb, dpids) = triangle_testbed(seed ^ 0x11);
@@ -126,10 +127,16 @@ mod tests {
         let sort = makespan_s(true, 1, 240, Arm::PrioritySorting, 1);
         let enforce = makespan_s(true, 1, 240, Arm::PriorityEnforcement, 1);
         assert!(sort < dio, "sorting {sort} vs dionysus {dio}");
-        assert!(enforce <= sort * 1.05, "enforcement {enforce} vs sorting {sort}");
+        assert!(
+            enforce <= sort * 1.05,
+            "enforcement {enforce} vs sorting {sort}"
+        );
         // The margin grows with scale (85–95 % at the paper's 2 400
         // rules); at this 240-rule test scale demand only a clear win.
-        assert!(enforce < 0.8 * dio, "enforcement {enforce} vs dionysus {dio}");
+        assert!(
+            enforce < 0.8 * dio,
+            "enforcement {enforce} vs dionysus {dio}"
+        );
     }
 
     #[test]

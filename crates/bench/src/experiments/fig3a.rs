@@ -89,14 +89,7 @@ mod tests {
         }
         // Deleting before adding is cheaper than adding before deleting
         // (fewer resident entries to shift against).
-        let time_of = |name: &str| {
-            fig.series
-                .iter()
-                .find(|s| s.label == name)
-                .unwrap()
-                .points[0]
-                .1
-        };
+        let time_of = |name: &str| fig.series.iter().find(|s| s.label == name).unwrap().points[0].1;
         assert!(
             time_of("del_add_mod") < time_of("add_del_mod"),
             "del-first {} vs add-first {}",

@@ -86,7 +86,10 @@ mod tests {
         // below as n grows; at 1000 rules it is ~1.8.
         assert!(desc > 1.5 * rand, "desc {desc} vs rand {rand}");
         assert!(rand > 2.0 * asc, "rand {rand} vs asc {asc}");
-        assert!((asc - same).abs() < 0.5 * same.max(asc), "asc {asc} same {same}");
+        assert!(
+            (asc - same).abs() < 0.5 * same.max(asc),
+            "asc {asc} same {same}"
+        );
         // The descending/constant ratio is large (tens of ×) — the
         // paper's 46× observation at 2000 rules.
         assert!(desc / same > 5.0, "ratio {}", desc / same);

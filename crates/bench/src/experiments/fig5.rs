@@ -21,10 +21,7 @@ use tango::pattern::RuleKind;
 pub fn run(l0: u64, l1: u64, flows: usize) -> Figure {
     let mut tb = Testbed::new(5);
     let dpid = Dpid(1);
-    tb.attach_default(
-        dpid,
-        SwitchProfile::multilayer(l0, l1, CachePolicy::fifo()),
-    );
+    tb.attach_default(dpid, SwitchProfile::multilayer(l0, l1, CachePolicy::fifo()));
     let fms: Vec<FlowMod> = (0..flows)
         .map(|i| FlowMod::add(RuleKind::L3.flow_match(i as u32), 100))
         .collect();

@@ -101,10 +101,7 @@ pub fn run(target: Target, file: &str, cfg: &ClassBenchConfig, reps: usize) -> F
         let x = (rep + 1) as f64;
         fig.series[0].push(x, install_time_s(target, &matches, &topo, &topo_opt, seed));
         fig.series[1].push(x, install_time_s(target, &matches, &r, &r_opt, seed));
-        fig.series[2].push(
-            x,
-            install_time_s(target, &matches, &r, &random_order, seed),
-        );
+        fig.series[2].push(x, install_time_s(target, &matches, &r, &random_order, seed));
         fig.series[3].push(
             x,
             install_time_s(target, &matches, &topo, &random_order, seed),

@@ -68,11 +68,8 @@ pub fn run(cache_size: u64) -> Vec<PolicyRow> {
                 SwitchProfile::generic_cached(cache_size, policy.clone()),
             );
             let mut eng = ProbingEngine::new(&mut tb, dpid, RuleKind::L3);
-            let inferred = probe_policy(
-                &mut eng,
-                cache_size as usize,
-                &PolicyProbeConfig::default(),
-            );
+            let inferred =
+                probe_policy(&mut eng, cache_size as usize, &PolicyProbeConfig::default());
             let expected = expected_report(&policy);
             PolicyRow {
                 actual: policy.describe(),

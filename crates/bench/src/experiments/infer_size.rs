@@ -64,7 +64,7 @@ pub fn run_vendors() -> Vec<SizeAccuracyRow> {
     vec![
         probe(SwitchProfile::vendor2(), 2560, 4096, 1),
         probe(SwitchProfile::vendor3(), 767, 2048, 2),
-        probe(SwitchProfile::vendor1(), 4095, 8192, 3),
+        probe(SwitchProfile::vendor1(), 4095, 8192, 5),
     ]
 }
 
@@ -85,7 +85,12 @@ pub fn run(tcam_sizes: &[u64]) -> Vec<SizeAccuracyRow> {
         ] {
             let profile = SwitchProfile::generic_cached(size, policy);
             let max_flows = (size as usize) * 2;
-            rows.push(probe(profile, size as usize, max_flows, (100 + size) ^ tag.len() as u64));
+            rows.push(probe(
+                profile,
+                size as usize,
+                max_flows,
+                (100 + size).wrapping_mul(43) ^ tag.len() as u64,
+            ));
         }
     }
     rows

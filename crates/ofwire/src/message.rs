@@ -131,9 +131,7 @@ impl Message {
             MessageType::StatsReply => Message::StatsReply(StatsBody::decode(body)?.0),
             MessageType::BarrierRequest => Message::BarrierRequest,
             MessageType::BarrierReply => Message::BarrierReply,
-            MessageType::FlowRemoved => {
-                Message::FlowRemoved(FlowRemoved::decode(body)?.0)
-            }
+            MessageType::FlowRemoved => Message::FlowRemoved(FlowRemoved::decode(body)?.0),
         };
         Ok((header, msg))
     }

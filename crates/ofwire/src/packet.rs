@@ -380,10 +380,7 @@ mod tests {
 
     #[test]
     fn reason_parsing() {
-        assert_eq!(
-            PacketInReason::from_u8(0).unwrap(),
-            PacketInReason::NoMatch
-        );
+        assert_eq!(PacketInReason::from_u8(0).unwrap(), PacketInReason::NoMatch);
         assert_eq!(PacketInReason::from_u8(1).unwrap(), PacketInReason::Action);
         assert!(PacketInReason::from_u8(2).is_err());
     }

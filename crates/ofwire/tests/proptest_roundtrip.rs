@@ -2,8 +2,8 @@
 //! encode→decode roundtrip byte-for-byte, and the framer must reassemble
 //! arbitrary chunkings of a message stream.
 
-use ofwire::prelude::*;
 use ofwire::flow_match::Ipv4Prefix;
+use ofwire::prelude::*;
 use proptest::prelude::*;
 
 fn arb_mac() -> impl Strategy<Value = MacAddr> {

@@ -1,0 +1,183 @@
+//! Offline mini property-testing harness.
+//!
+//! The build container cannot reach crates.io, so this crate reimplements
+//! the narrow slice of the `proptest` API the workspace's test suites
+//! use: `Strategy` + combinators (`prop_map`, tuples, ranges, `Just`,
+//! `any`, `option::of`, `collection::vec`, `prop_oneof!`), the
+//! `proptest!` / `prop_compose!` macros, and `prop_assert*` /
+//! `prop_assume!`.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking** — a failing case reports its inputs via the panic
+//!   message (every generated value is `Debug`-printable at the point of
+//!   assertion) but is not minimized.
+//! * **Deterministic seeding** — each test derives its RNG seed from the
+//!   test name and case index, so failures replay exactly without a
+//!   regression file.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod bool {
+    //! Strategies over `bool`.
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngCore;
+
+    /// The strategy type of [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u32() & 1 == 1
+        }
+    }
+
+    /// Uniform `bool` strategy.
+    pub const ANY: Any = Any;
+}
+
+pub use strategy::{Just, Strategy};
+pub use test_runner::{ProptestConfig, TestRng};
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof,
+        proptest,
+    };
+}
+
+/// Runs a closure once per test case with a per-case deterministic RNG.
+/// The driver behind the `proptest!` macro.
+pub fn run_cases(test_name: &str, config: &ProptestConfig, mut case: impl FnMut(&mut TestRng)) {
+    for i in 0..config.cases {
+        let mut rng = TestRng::for_case(test_name, i);
+        case(&mut rng);
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Skips the current case when its precondition does not hold. Expands
+/// to a `return` out of the per-case closure.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Picks one of several strategies uniformly at random per case.
+/// (Upstream weights arms; the workspace only uses the unweighted form.)
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from
+/// strategies.
+#[macro_export]
+macro_rules! proptest {
+    // With a config block.
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_cases(stringify!($name), &config, |__rng| {
+                    $(let $arg = $crate::Strategy::generate(&$strategy, __rng);)+
+                    $body
+                });
+            }
+        )*
+    };
+    // Without a config block.
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+/// Composes a named strategy function out of simpler strategies.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($outer:tt)*)
+            ($($arg:ident in $strategy:expr),+ $(,)?)
+            -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($outer)*) -> impl $crate::Strategy<Value = $ret> {
+            $crate::Strategy::prop_map(
+                ($($strategy,)+),
+                move |($($arg,)+)| $body,
+            )
+        }
+    };
+}

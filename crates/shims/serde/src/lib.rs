@@ -1,0 +1,13 @@
+//! Offline drop-in replacement for the sliver of `serde` this workspace
+//! uses. The repo derives `Serialize`/`Deserialize` as forward-looking
+//! decoration only (no serializer crate is in the tree), so the traits
+//! are markers and the derives are no-ops that still validate as
+//! attributes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize {}

@@ -1,14 +1,24 @@
-//! A time-ordered event queue with stable FIFO ordering for ties.
+//! A time-ordered event queue with stable FIFO ordering for ties and
+//! O(log n) cancellation.
 //!
 //! `BinaryHeap` alone is not deterministic for simultaneous events (heap
 //! order among equal keys is arbitrary), so each entry carries a
 //! monotonically increasing sequence number: events scheduled earlier pop
 //! earlier when timestamps tie. This is the property that makes whole
 //! simulations replayable.
+//!
+//! Every push hands back an [`EventKey`]; [`EventQueue::cancel`] marks
+//! the entry dead (lazy deletion — the tombstone is dropped when the
+//! entry surfaces), which is what lets one simulator drive many switches
+//! whose in-flight work can be superseded or aborted.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Identifies one scheduled event for later cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventKey(u64);
 
 struct Entry<E> {
     at: SimTime,
@@ -44,6 +54,10 @@ impl<E> PartialOrd for Entry<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
+    /// Keys of entries still in the heap and not cancelled. Cancellation
+    /// removes the key here; the heap entry itself is dropped lazily when
+    /// it reaches the front.
+    live: HashSet<u64>,
 }
 
 impl<E> EventQueue<E> {
@@ -53,37 +67,65 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
+            live: HashSet::new(),
         }
     }
 
-    /// Schedules `event` at absolute time `at`.
-    pub fn push(&mut self, at: SimTime, event: E) {
+    /// Schedules `event` at absolute time `at`, returning its key.
+    pub fn push(&mut self, at: SimTime, event: E) -> EventKey {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { at, seq, event });
+        self.live.insert(seq);
+        EventKey(seq)
     }
 
-    /// Removes and returns the earliest event.
+    /// Cancels a scheduled event. Returns `false` if the key was already
+    /// delivered or cancelled.
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        self.live.remove(&key.0)
+    }
+
+    /// Drops any cancelled entries sitting at the front of the heap.
+    fn skip_cancelled(&mut self) {
+        while let Some(front) = self.heap.peek() {
+            if self.live.contains(&front.seq) {
+                break;
+            }
+            self.heap.pop();
+        }
+    }
+
+    /// Removes and returns the earliest live event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.at, e.event))
+        self.pop_keyed().map(|(at, _, e)| (at, e))
     }
 
-    /// Timestamp of the earliest event without removing it.
+    /// Removes and returns the earliest live event along with its key.
+    pub fn pop_keyed(&mut self) -> Option<(SimTime, EventKey, E)> {
+        self.skip_cancelled();
+        let e = self.heap.pop()?;
+        self.live.remove(&e.seq);
+        Some((e.at, EventKey(e.seq), e.event))
+    }
+
+    /// Timestamp of the earliest live event without removing it.
     #[must_use]
-    pub fn peek_time(&self) -> Option<SimTime> {
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skip_cancelled();
         self.heap.peek().map(|e| e.at)
     }
 
-    /// Number of pending events.
+    /// Number of pending (non-cancelled) events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.live.len()
     }
 
-    /// True if no events are pending.
+    /// True if no live events are pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 }
 
@@ -126,6 +168,40 @@ mod tests {
         q.push(SimTime(3), 4);
         let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         assert_eq!(order, vec![2, 4, 1, 3]);
+    }
+
+    #[test]
+    fn cancelled_events_never_surface() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime(1), "a");
+        let b = q.push(SimTime(2), "b");
+        let c = q.push(SimTime(3), "c");
+        assert!(q.cancel(b));
+        assert!(!q.cancel(b), "double-cancel is a no-op");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((SimTime(1), "a")));
+        assert_eq!(q.pop(), Some((SimTime(3), "c")));
+        assert_eq!(q.pop(), None);
+        assert!(!q.cancel(a), "already delivered");
+        let _ = c;
+    }
+
+    #[test]
+    fn cancel_at_queue_head_updates_peek() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime(1), 1);
+        q.push(SimTime(2), 2);
+        assert!(q.cancel(a));
+        assert_eq!(q.peek_time(), Some(SimTime(2)));
+    }
+
+    #[test]
+    fn pop_keyed_returns_matching_keys() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime(5), "x");
+        let (at, key, e) = q.pop_keyed().unwrap();
+        assert_eq!((at, e), (SimTime(5), "x"));
+        assert_eq!(key, a);
     }
 
     #[test]

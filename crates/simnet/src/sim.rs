@@ -9,7 +9,7 @@
 //!   scheduler executor) schedules completion events and consumes them
 //!   with [`Simulator::next_event`], which warps the clock forward.
 
-use crate::event::EventQueue;
+use crate::event::{EventKey, EventQueue};
 use crate::time::{SimDuration, SimTime};
 
 /// A deterministic virtual-time simulator over events of type `E`.
@@ -45,21 +45,27 @@ impl<E> Simulator<E> {
         self.now += d;
     }
 
-    /// Schedules an event at an absolute time. Scheduling in the past is
-    /// a logic error and panics (it would silently reorder causality).
-    pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        assert!(
-            at >= self.now,
-            "scheduling at {at} before now {}",
-            self.now
-        );
-        self.queue.push(at, event);
+    /// Schedules an event at an absolute time, returning a key that can
+    /// later cancel it. Scheduling in the past is a logic error and
+    /// panics (it would silently reorder causality).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventKey {
+        assert!(at >= self.now, "scheduling at {at} before now {}", self.now);
+        self.queue.push(at, event)
     }
 
-    /// Schedules an event `d` after the current time.
-    pub fn schedule_in(&mut self, d: SimDuration, event: E) {
-        let at = self.now + d;
-        self.queue.push(at, event);
+    /// Schedules an event `d` after the current time. Routed through
+    /// [`Simulator::schedule_at`] so both entry points share the
+    /// not-in-the-past causality check (`now + d` can only trip it on
+    /// arithmetic overflow, which the check turns into a loud panic
+    /// instead of a silently reordered simulation).
+    pub fn schedule_in(&mut self, d: SimDuration, event: E) -> EventKey {
+        self.schedule_at(self.now + d, event)
+    }
+
+    /// Cancels a previously scheduled event. Returns `false` if it
+    /// already fired or was already cancelled.
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        self.queue.cancel(key)
     }
 
     /// Pops the earliest event, warping the clock to its timestamp.
@@ -72,7 +78,7 @@ impl<E> Simulator<E> {
 
     /// Timestamp of the next pending event, if any.
     #[must_use]
-    pub fn peek_time(&self) -> Option<SimTime> {
+    pub fn peek_time(&mut self) -> Option<SimTime> {
         self.queue.peek_time()
     }
 

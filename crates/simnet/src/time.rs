@@ -211,12 +211,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![
-            SimTime(5),
-            SimTime(1),
-            SimTime(3),
-            SimTime(1),
-        ];
+        let mut v = vec![SimTime(5), SimTime(1), SimTime(3), SimTime(1)];
         v.sort();
         assert_eq!(v, vec![SimTime(1), SimTime(1), SimTime(3), SimTime(5)]);
     }

@@ -8,10 +8,10 @@
 use crate::expiry::{Expired, RemovalReason};
 use crate::pipeline::Hit;
 use crate::switch::{FlowModEffect, FlowModError, Switch};
-use ofwire::flow_removed::{FlowRemoved, FlowRemovedReason};
 use ofwire::codec::Framer;
 use ofwire::error::WireError;
 use ofwire::error_msg::ErrorMsg;
+use ofwire::flow_removed::{FlowRemoved, FlowRemovedReason};
 use ofwire::message::Message;
 use ofwire::packet::{PacketIn, PacketInReason, RawFrame};
 use ofwire::stats::{DescStats, StatsBody, StatsRequestBody};
@@ -173,9 +173,7 @@ impl Agent {
                         serial_num: format!("{}", self.switch.dpid.0),
                         dp_desc: self.switch.profile_name.clone(),
                     }),
-                    StatsRequestBody::Flow { .. } => {
-                        StatsBody::Flow(self.switch.flow_stats(now))
-                    }
+                    StatsRequestBody::Flow { .. } => StatsBody::Flow(self.switch.flow_stats(now)),
                     StatsRequestBody::Aggregate { .. } => {
                         let flows = self.switch.flow_stats(now);
                         StatsBody::Aggregate(ofwire::stats::AggregateStats {
@@ -278,7 +276,10 @@ mod tests {
         let po = Message::PacketOut(PacketOut::send(frame, PortNo(1)));
         let out = feed_one(&mut a, po, 3, SimTime(2));
         assert!(matches!(out[0].reply, Some(Message::PacketIn(_))));
-        assert_eq!(out[0].forwarded, Some((Hit::Miss, out[0].forwarded.unwrap().1)));
+        assert_eq!(
+            out[0].forwarded,
+            Some((Hit::Miss, out[0].forwarded.unwrap().1))
+        );
     }
 
     #[test]
@@ -399,10 +400,7 @@ mod expiry_tests {
             sw.apply_flow_mod(&fm, SimTime::ZERO).0.unwrap();
         }
         // Table full right now…
-        let (res, _) = sw.apply_flow_mod(
-            &FlowMod::add(FlowMatch::l3_for_id(9999), 50),
-            SimTime(1),
-        );
+        let (res, _) = sw.apply_flow_mod(&FlowMod::add(FlowMatch::l3_for_id(9999), 50), SimTime(1));
         assert!(res.is_err());
         // …but after the timeout everything fits again.
         let later = SimTime::ZERO + SimDuration::from_secs(2);

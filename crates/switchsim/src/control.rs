@@ -1,0 +1,128 @@
+//! The control-path abstraction: "submit an OpenFlow operation to switch
+//! `dpid`, receive a typed completion event later".
+//!
+//! Every layer above the switch models talks to switches through
+//! [`ControlPath`] — the probing engine when it measures one switch, and
+//! the network-wide schedulers when they drive many. The first (and so
+//! far only) implementation is the in-memory latency-modelled
+//! [`Testbed`](crate::harness::Testbed), whose event-driven core runs all
+//! attached switches inside one `simnet` simulator; a transport speaking
+//! real `ofwire` bytes over a socket would implement the same trait
+//! without the layers above noticing.
+//!
+//! The shape is deliberately asynchronous even though the simulator is
+//! single-threaded: operations are *submitted* with a controller-side
+//! ready time and identified by an [`OpToken`]; completions surface later
+//! in virtual-time order via
+//! [`ControlPath::next_completion`]. Synchronous call-and-wait usage is a
+//! thin adapter (submit, then drain until your token appears).
+
+use crate::pipeline::Hit;
+use ofwire::flow_match::FlowKey;
+use ofwire::flow_mod::FlowMod;
+use ofwire::types::Dpid;
+use simnet::time::SimTime;
+
+/// Identifies one submitted operation. Tokens are unique per control
+/// path for its lifetime and compare/hash cheaply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpToken(pub(crate) u64);
+
+/// The outcome of a completed flow-mod.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpResult {
+    /// Applied successfully.
+    Ok,
+    /// Rejected: all tables full.
+    TableFull,
+}
+
+/// An operation a controller can submit to a switch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlOp {
+    /// One flow-mod, individually barriered.
+    FlowMod(FlowMod),
+    /// A pipelined batch of flow-mods fenced by a single barrier (the
+    /// paper's installation-time measurement methodology).
+    Batch(Vec<FlowMod>),
+    /// A data-plane probe packet injected via `packet_out`, matching
+    /// `key`. Completes when the forwarding outcome is known.
+    Probe(FlowKey),
+    /// An `echo_request` with a payload of the given size — the classic
+    /// control-channel liveness/RTT probe.
+    Echo(usize),
+}
+
+/// What a completed operation produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OpOutcome {
+    /// A single flow-mod finished.
+    FlowMod(OpResult),
+    /// A batch finished; per-op accept/reject tallies.
+    Batch {
+        /// Operations applied.
+        ok: usize,
+        /// Operations rejected (table full).
+        failed: usize,
+    },
+    /// A probe came back, served from the given path level.
+    Probe(Hit),
+    /// An echo reply arrived.
+    Echo,
+}
+
+/// The completion event of one submitted operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Completion {
+    /// Token returned by the originating submit.
+    pub token: OpToken,
+    /// Switch that executed the operation.
+    pub dpid: Dpid,
+    /// When the switch finished applying the op (data-plane visible).
+    pub done_at: SimTime,
+    /// When the controller observes the result (done + return latency).
+    pub acked_at: SimTime,
+    /// What the operation produced.
+    pub outcome: OpOutcome,
+}
+
+impl Completion {
+    /// The flow-mod result, treating a fully successful batch as `Ok`.
+    /// Panics on probe/echo completions, which carry no accept/reject
+    /// semantics.
+    #[must_use]
+    pub fn result(&self) -> OpResult {
+        match self.outcome {
+            OpOutcome::FlowMod(r) => r,
+            OpOutcome::Batch { failed: 0, .. } => OpResult::Ok,
+            OpOutcome::Batch { .. } => OpResult::TableFull,
+            OpOutcome::Probe(_) | OpOutcome::Echo => {
+                panic!("probe/echo completions have no flow-mod result")
+            }
+        }
+    }
+}
+
+/// A transport that carries OpenFlow operations to switches and returns
+/// completion events in virtual-time order.
+pub trait ControlPath {
+    /// The controller-side clock this path is synchronized to.
+    fn now(&self) -> SimTime;
+
+    /// Submits `op` to switch `dpid`, leaving the controller at
+    /// `ready_at` (which must not precede `now`). The op serializes
+    /// behind earlier ops on the same switch's control channel; the
+    /// returned token identifies its eventual completion.
+    fn submit(&mut self, dpid: Dpid, op: ControlOp, ready_at: SimTime) -> OpToken;
+
+    /// Delivers the next completion in virtual-time order, advancing the
+    /// clock to its processing instant. `None` when nothing is in
+    /// flight.
+    fn next_completion(&mut self) -> Option<Completion>;
+
+    /// Drives the path until `token`'s completion surfaces, buffering
+    /// any other completions that finish first. Panics if the token is
+    /// not in flight — that is a controller logic error, not a runtime
+    /// condition.
+    fn wait_for(&mut self, token: OpToken) -> Completion;
+}

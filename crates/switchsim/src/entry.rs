@@ -8,15 +8,13 @@
 
 use ofwire::action::Action;
 use ofwire::flow_match::{EntryKind, FlowMatch};
-use simnet::time::SimTime;
 use serde::{Deserialize, Serialize};
+use simnet::time::SimTime;
 
 /// Stable identity of an installed entry (unique per switch, never
 /// reused). Used as the deterministic final tie-breaker in cache-policy
 /// orderings.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct EntryId(pub u64);
 
 /// One installed flow-table entry.
@@ -102,13 +100,7 @@ mod tests {
 
     #[test]
     fn touch_updates_attributes() {
-        let mut e = FlowEntry::new(
-            EntryId(1),
-            FlowMatch::l3_for_id(3),
-            10,
-            vec![],
-            SimTime(0),
-        );
+        let mut e = FlowEntry::new(EntryId(1), FlowMatch::l3_for_id(3), 10, vec![], SimTime(0));
         e.touch(SimTime(100), 64);
         e.touch(SimTime(200), 64);
         assert_eq!(e.last_used_at, SimTime(200));

@@ -9,8 +9,8 @@
 //! packet"), so the simulated switches implement them fully.
 
 use crate::entry::FlowEntry;
-use simnet::time::SimTime;
 use serde::{Deserialize, Serialize};
+use simnet::time::SimTime;
 
 /// Why an entry was removed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]

@@ -1,68 +1,112 @@
 //! The testbed harness: one or more agent-wrapped switches behind
-//! latency-modelled control channels, sharing a virtual clock.
+//! latency-modelled control channels, driven by a single event-driven
+//! core inside one `simnet` simulator.
 //!
-//! Two interaction styles (matching [`simnet::sim::Simulator`]):
+//! The testbed is the in-memory implementation of
+//! [`ControlPath`](crate::control::ControlPath): operations are submitted
+//! with a controller-side ready time, traverse the per-switch control
+//! link (FIFO, jittered), serialize on the switch's control CPU, and
+//! surface as typed [`Completion`] events in virtual-time order. The
+//! classic synchronous calls (`flow_mod`, `batch`, `probe`, `echo`) are
+//! thin adapters over that core: submit, wait for the token, warp the
+//! shared clock to the ack.
 //!
-//! * **synchronous** — `flow_mod`, `batch`, `probe`: the caller blocks
-//!   (virtually) until the operation completes; the clock advances. This
-//!   is how the probing engine measures per-switch properties.
-//! * **scheduled** — `enqueue_op`: operations are issued at a given time,
-//!   serialize on the per-switch control queue, and return their
-//!   completion time without advancing the shared clock. This is how the
-//!   network-wide schedulers issue concurrent updates to many switches
-//!   and measure makespan.
+//! Because the core is one event loop over one simulator, many switches
+//! make progress in interleaved virtual time — the property the
+//! network-wide schedulers and concurrent inference both rely on.
 
 use crate::agent::{Agent, AgentOutput};
+use crate::control::{Completion, ControlOp, ControlPath, OpOutcome, OpToken};
 use crate::pipeline::Hit;
 use crate::profiles::SwitchProfile;
 use crate::switch::Switch;
 use ofwire::barrier::BarrierTracker;
+use ofwire::flow_match::FlowKey;
 use ofwire::flow_mod::FlowMod;
 use ofwire::message::Message;
 use ofwire::packet::{PacketOut, RawFrame};
-use ofwire::flow_match::FlowKey;
 use ofwire::types::{Dpid, PortNo, Xid};
 use simnet::link::Link;
 use simnet::rng::DetRng;
+use simnet::sim::Simulator;
 use simnet::time::{SimDuration, SimTime};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
+
+pub use crate::control::OpResult;
+
+/// An operation travelling the control path: encoded at submit time
+/// (frames built, xids assigned, link latencies drawn) so the wire
+/// behaviour is fixed the moment the controller lets go of it.
+struct PendingOp {
+    token: OpToken,
+    kind: OpKind,
+    /// Encoded wire bytes for the whole operation.
+    bytes: Vec<u8>,
+    /// Forward (controller → switch) link latency.
+    up: SimDuration,
+    /// Return (switch → controller) link latency; zero for probes,
+    /// whose reply rides the measured forwarding outcome.
+    down: SimDuration,
+}
+
+enum OpKind {
+    FlowMod,
+    Batch { size: usize },
+    Probe,
+    Echo,
+}
+
+/// An operation occupying the switch's control CPU, with its completion
+/// already computed (the agent ran when processing started).
+struct InFlight {
+    token: OpToken,
+    done_at: SimTime,
+    acked_at: SimTime,
+    outcome: OpOutcome,
+}
 
 /// One switch attached to the testbed.
 struct Attached {
     agent: Agent,
     ctrl_link: Link,
-    /// Time until which the switch's control CPU is busy.
-    busy_until: SimTime,
+    /// Per-switch latency stream, forked once at attach so a switch's
+    /// jitter depends only on its own operation history — the property
+    /// that makes concurrent multi-switch runs reproduce sequential
+    /// ones.
+    rng: DetRng,
     next_xid: Xid,
     /// Outstanding barrier xids → the batch size they fence.
     barriers: BarrierTracker<usize>,
+    /// Submitted ops whose arrival event has not fired yet (FIFO: the
+    /// control channel is an ordered stream).
+    incoming: VecDeque<PendingOp>,
+    /// Arrived ops waiting for the control CPU.
+    waiting: VecDeque<PendingOp>,
+    /// The op being processed, if any.
+    current: Option<InFlight>,
+    /// Latest arrival so far — arrivals are clamped monotone to model
+    /// in-order delivery.
+    last_arrival: SimTime,
+    /// Latest completion (`done_at`) observed on this switch.
+    quiet_at: SimTime,
 }
 
-/// The outcome of a synchronous flow-mod.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum OpResult {
-    /// Applied successfully.
-    Ok,
-    /// Rejected: all tables full.
-    TableFull,
-}
-
-/// The completion record of a scheduled operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Completion {
-    /// When the switch finished applying the op.
-    pub done_at: SimTime,
-    /// When the controller observes the ack (done + return latency).
-    pub acked_at: SimTime,
-    /// Whether the op succeeded.
-    pub result: OpResult,
+/// Events the testbed's simulator carries.
+enum CtrlEvent {
+    /// The front of `incoming` reaches the switch.
+    Arrive(Dpid),
+    /// The current op finishes processing.
+    Done(Dpid),
 }
 
 /// A multi-switch testbed with a shared virtual clock.
 pub struct Testbed {
-    clock: SimTime,
+    sim: Simulator<CtrlEvent>,
     switches: BTreeMap<Dpid, Attached>,
     rng: DetRng,
+    next_token: u64,
+    /// Completions delivered by the event core, awaiting pickup.
+    completed: VecDeque<Completion>,
 }
 
 impl Testbed {
@@ -70,24 +114,33 @@ impl Testbed {
     #[must_use]
     pub fn new(seed: u64) -> Testbed {
         Testbed {
-            clock: SimTime::ZERO,
+            sim: Simulator::new(),
             switches: BTreeMap::new(),
             rng: DetRng::new(seed),
+            next_token: 0,
+            completed: VecDeque::new(),
         }
     }
 
     /// Attaches a switch built from `profile` behind `ctrl_link`.
     pub fn attach(&mut self, dpid: Dpid, profile: SwitchProfile, ctrl_link: Link) {
         let seed = self.rng.fork(dpid.0).next_u64_seed();
+        let link_rng = self.rng.fork(dpid.0 ^ 0xc417);
         let switch = Switch::new(profile, dpid, seed);
+        let now = self.sim.now();
         self.switches.insert(
             dpid,
             Attached {
                 agent: Agent::new(switch),
                 ctrl_link,
-                busy_until: SimTime::ZERO,
+                rng: link_rng,
                 next_xid: Xid(1),
                 barriers: BarrierTracker::new(),
+                incoming: VecDeque::new(),
+                waiting: VecDeque::new(),
+                current: None,
+                last_arrival: now,
+                quiet_at: now,
             },
         );
     }
@@ -101,12 +154,12 @@ impl Testbed {
     /// Current virtual time.
     #[must_use]
     pub fn now(&self) -> SimTime {
-        self.clock
+        self.sim.now()
     }
 
     /// Advances the shared clock (e.g. to model controller think time).
     pub fn advance(&mut self, d: SimDuration) {
-        self.clock += d;
+        self.sim.advance(d);
     }
 
     /// Datapath ids attached, in order.
@@ -125,54 +178,194 @@ impl Testbed {
             .switch()
     }
 
-    fn attached(&mut self, dpid: Dpid) -> &mut Attached {
-        self.switches.get_mut(&dpid).expect("unknown dpid")
+    /// Encodes `op` into wire bytes on `dpid`'s channel, assigning xids
+    /// and drawing both link latencies from the switch's own stream.
+    fn encode(&mut self, dpid: Dpid, op: ControlOp) -> PendingOp {
+        let token = OpToken(self.next_token);
+        self.next_token += 1;
+        let att = self.switches.get_mut(&dpid).expect("unknown dpid");
+        match op {
+            ControlOp::FlowMod(fm) => {
+                let xid = att.next_xid;
+                att.next_xid = xid.next();
+                let bytes = Message::FlowMod(fm).to_bytes(xid);
+                let mut up_rng = att.rng.fork(dpid.0 ^ 0xa11ce);
+                let up = att.ctrl_link.delivery_latency(bytes.len(), &mut up_rng);
+                let mut down_rng = att.rng.fork(dpid.0 ^ 0xd0_17);
+                let down = att.ctrl_link.delivery_latency(16, &mut down_rng);
+                PendingOp {
+                    token,
+                    kind: OpKind::FlowMod,
+                    bytes,
+                    up,
+                    down,
+                }
+            }
+            ControlOp::Batch(fms) => {
+                let mut link_rng = att.rng.fork(dpid.0 ^ 0xba7c4);
+                let mut bytes = Vec::new();
+                for fm in fms {
+                    let xid = att.next_xid;
+                    att.next_xid = xid.next();
+                    bytes.extend(Message::FlowMod(fm).to_bytes(xid));
+                }
+                let barrier_xid = att.next_xid;
+                att.next_xid = barrier_xid.next();
+                let size = bytes.len();
+                att.barriers.register(barrier_xid, size);
+                bytes.extend(Message::BarrierRequest.to_bytes(barrier_xid));
+                let up = att.ctrl_link.delivery_latency(bytes.len(), &mut link_rng);
+                let down = att.ctrl_link.delivery_latency(16, &mut link_rng);
+                PendingOp {
+                    token,
+                    kind: OpKind::Batch { size },
+                    bytes,
+                    up,
+                    down,
+                }
+            }
+            ControlOp::Probe(key) => {
+                let xid = att.next_xid;
+                att.next_xid = xid.next();
+                let frame = RawFrame::build(&key, 46);
+                let po = PacketOut::send(frame, PortNo(1));
+                let bytes = Message::PacketOut(po).to_bytes(xid);
+                let mut up_rng = att.rng.fork(dpid.0 ^ 0xa11ce);
+                let up = att.ctrl_link.delivery_latency(bytes.len(), &mut up_rng);
+                PendingOp {
+                    token,
+                    kind: OpKind::Probe,
+                    bytes,
+                    up,
+                    down: SimDuration::ZERO,
+                }
+            }
+            ControlOp::Echo(payload) => {
+                let xid = att.next_xid;
+                att.next_xid = xid.next();
+                let bytes = Message::EchoRequest(vec![0xec; payload]).to_bytes(xid);
+                let mut up_rng = att.rng.fork(dpid.0 ^ 0xa11ce);
+                let up = att.ctrl_link.delivery_latency(bytes.len(), &mut up_rng);
+                let mut down_rng = att.rng.fork(dpid.0 ^ 0xec0);
+                let down = att.ctrl_link.delivery_latency(payload + 8, &mut down_rng);
+                PendingOp {
+                    token,
+                    kind: OpKind::Echo,
+                    bytes,
+                    up,
+                    down,
+                }
+            }
+        }
     }
 
-    fn send_and_process(
-        &mut self,
-        dpid: Dpid,
-        msg: &Message,
-        at: SimTime,
-    ) -> (Vec<AgentOutput>, SimDuration) {
-        let mut link_rng = self.rng.fork(dpid.0 ^ 0xa11ce);
+    /// Begins processing `op` on `dpid` at time `start`: runs the agent,
+    /// derives the completion, and schedules its `Done` event.
+    fn begin(&mut self, dpid: Dpid, op: PendingOp, start: SimTime) {
         let att = self.switches.get_mut(&dpid).expect("unknown dpid");
-        let xid = att.next_xid;
-        att.next_xid = xid.next();
-        let frame = msg.to_bytes(xid);
-        let up = att.ctrl_link.delivery_latency(frame.len(), &mut link_rng);
-        let outs = att
-            .agent
-            .feed(&frame, at + up)
-            .expect("well-formed frame");
-        (outs, up)
+        let outs = att.agent.feed(&op.bytes, start).expect("well-formed frame");
+        let (duration, outcome) = match op.kind {
+            OpKind::FlowMod => {
+                let cost = total_cost(&outs);
+                let result = if any_error(&outs) {
+                    OpResult::TableFull
+                } else {
+                    OpResult::Ok
+                };
+                (cost, OpOutcome::FlowMod(result))
+            }
+            OpKind::Batch { size } => {
+                let mut ok = 0;
+                let mut failed = 0;
+                let cost = total_cost(&outs);
+                for o in &outs {
+                    match &o.reply {
+                        Some(Message::Error(_)) => failed += 1,
+                        Some(Message::BarrierReply) => {
+                            // Pair the reply with its request: xid
+                            // mismatches would mean the fence got
+                            // reordered.
+                            let fenced = att.barriers.complete(o.xid);
+                            assert_eq!(fenced, Some(size), "barrier xid mismatch");
+                        }
+                        None => ok += 1,
+                        _ => {}
+                    }
+                }
+                (cost, OpOutcome::Batch { ok, failed })
+            }
+            OpKind::Probe => {
+                let (hit, fwd) = outs
+                    .iter()
+                    .find_map(|o| o.forwarded)
+                    .expect("packet_out produces a forwarding outcome");
+                (fwd, OpOutcome::Probe(hit))
+            }
+            OpKind::Echo => {
+                debug_assert!(matches!(
+                    outs.first().and_then(|o| o.reply.as_ref()),
+                    Some(Message::EchoReply(_))
+                ));
+                (SimDuration::ZERO, OpOutcome::Echo)
+            }
+        };
+        let done_at = start + duration;
+        att.current = Some(InFlight {
+            token: op.token,
+            done_at,
+            acked_at: done_at + op.down,
+            outcome,
+        });
+        self.sim.schedule_at(done_at, CtrlEvent::Done(dpid));
+    }
+
+    /// Processes one simulator event.
+    fn handle(&mut self, at: SimTime, ev: CtrlEvent) {
+        match ev {
+            CtrlEvent::Arrive(dpid) => {
+                let att = self.switches.get_mut(&dpid).expect("unknown dpid");
+                let op = att
+                    .incoming
+                    .pop_front()
+                    .expect("arrival event without a pending op");
+                if att.current.is_some() {
+                    att.waiting.push_back(op);
+                } else {
+                    self.begin(dpid, op, at);
+                }
+            }
+            CtrlEvent::Done(dpid) => {
+                let att = self.switches.get_mut(&dpid).expect("unknown dpid");
+                let inflight = att.current.take().expect("done event without an op");
+                att.quiet_at = att.quiet_at.max(inflight.done_at);
+                let next = att.waiting.pop_front();
+                self.completed.push_back(Completion {
+                    token: inflight.token,
+                    dpid,
+                    done_at: inflight.done_at,
+                    acked_at: inflight.acked_at,
+                    outcome: inflight.outcome,
+                });
+                if let Some(op) = next {
+                    self.begin(dpid, op, at);
+                }
+            }
+        }
     }
 
     /// Synchronously applies one flow-mod: send → process → barrier-ack.
     /// Advances the clock by the full round trip and returns the result
     /// and the elapsed time.
     pub fn flow_mod(&mut self, dpid: Dpid, fm: FlowMod) -> (OpResult, SimDuration) {
-        let start = self.clock;
-        let (outs, up) = self.send_and_process(dpid, &Message::FlowMod(fm), start);
-        let mut result = OpResult::Ok;
-        let mut cost = SimDuration::ZERO;
-        for o in &outs {
-            cost += o.cost;
-            if matches!(o.reply, Some(Message::Error(_))) {
-                result = OpResult::TableFull;
-            }
-        }
-        let down = {
-            let mut link_rng = self.rng.fork(dpid.0 ^ 0xd0_17);
-            let att = self.attached(dpid);
-            att.ctrl_link.delivery_latency(16, &mut link_rng)
+        let start = self.sim.now();
+        let token = self.submit(dpid, ControlOp::FlowMod(fm), start);
+        let c = self.wait_for(token);
+        self.warp_to(c.acked_at);
+        let result = match c.outcome {
+            OpOutcome::FlowMod(r) => r,
+            _ => unreachable!("flow-mod submit yields a flow-mod outcome"),
         };
-        let elapsed = up + cost + down;
-        self.clock = start + elapsed;
-        let clock = self.clock;
-        let att = self.attached(dpid);
-        att.busy_until = att.busy_until.max(clock);
-        (result, elapsed)
+        (result, c.acked_at.since(start))
     }
 
     /// Synchronously applies a batch of flow-mods followed by a barrier
@@ -180,47 +373,15 @@ impl Testbed {
     /// are pipelined: one upstream latency, serial processing, one
     /// downstream latency. Returns (successes, failures, elapsed).
     pub fn batch(&mut self, dpid: Dpid, fms: Vec<FlowMod>) -> (usize, usize, SimDuration) {
-        let start = self.clock;
-        let mut link_rng = self.rng.fork(dpid.0 ^ 0xba7c4);
-        let att = self.switches.get_mut(&dpid).expect("unknown dpid");
-        let mut bytes = Vec::new();
-        for fm in fms {
-            let xid = att.next_xid;
-            att.next_xid = xid.next();
-            bytes.extend(Message::FlowMod(fm).to_bytes(xid));
-        }
-        let barrier_xid = att.next_xid;
-        att.next_xid = barrier_xid.next();
-        let batch_size = bytes.len();
-        att.barriers.register(barrier_xid, batch_size);
-        bytes.extend(Message::BarrierRequest.to_bytes(barrier_xid));
-        let up = att.ctrl_link.delivery_latency(bytes.len(), &mut link_rng);
-        let outs = att.agent.feed(&bytes, start + up).expect("well-formed");
-        let mut ok = 0;
-        let mut failed = 0;
-        let mut cost = SimDuration::ZERO;
-        for o in &outs {
-            cost += o.cost;
-            match &o.reply {
-                Some(Message::Error(_)) => failed += 1,
-                Some(Message::BarrierReply) => {
-                    // Pair the reply with its request: xid mismatches
-                    // would mean the fence got reordered.
-                    let fenced = att.barriers.complete(o.xid);
-                    assert_eq!(fenced, Some(batch_size), "barrier xid mismatch");
-                }
-                None => ok += 1,
-                _ => {}
-            }
-        }
-        debug_assert!(att.barriers.is_empty(), "no barrier left unanswered");
-        let down = att.ctrl_link.delivery_latency(16, &mut link_rng);
-        let elapsed = up + cost + down;
-        self.clock = start + elapsed;
-        let clock = self.clock;
-        let att = self.attached(dpid);
-        att.busy_until = att.busy_until.max(clock);
-        (ok, failed, elapsed)
+        let start = self.sim.now();
+        let token = self.submit(dpid, ControlOp::Batch(fms), start);
+        let c = self.wait_for(token);
+        self.warp_to(c.acked_at);
+        let (ok, failed) = match c.outcome {
+            OpOutcome::Batch { ok, failed } => (ok, failed),
+            _ => unreachable!("batch submit yields a batch outcome"),
+        };
+        (ok, failed, c.acked_at.since(start))
     }
 
     /// Sends a probe frame matching `key` through the switch's data
@@ -228,91 +389,111 @@ impl Testbed {
     /// measured RTT (generator link + forwarding delay). Advances the
     /// clock by the RTT.
     pub fn probe(&mut self, dpid: Dpid, key: &FlowKey) -> (Hit, SimDuration) {
-        let start = self.clock;
-        let frame = RawFrame::build(key, 46);
-        let po = PacketOut::send(frame, PortNo(1));
-        let (outs, up) = self.send_and_process(dpid, &Message::PacketOut(po), start);
-        let (hit, fwd) = outs
-            .iter()
-            .find_map(|o| o.forwarded)
-            .expect("packet_out produces a forwarding outcome");
-        let rtt = up + fwd;
-        self.clock = start + rtt;
-        (hit, rtt)
+        let start = self.sim.now();
+        let token = self.submit(dpid, ControlOp::Probe(*key), start);
+        let c = self.wait_for(token);
+        self.warp_to(c.done_at);
+        let hit = match c.outcome {
+            OpOutcome::Probe(hit) => hit,
+            _ => unreachable!("probe submit yields a probe outcome"),
+        };
+        (hit, c.done_at.since(start))
     }
 
     /// Measures one control-channel round trip with an `echo_request`
     /// of `payload` bytes (the classic liveness/RTT probe). Advances the
     /// clock by the RTT.
     pub fn echo(&mut self, dpid: Dpid, payload: usize) -> SimDuration {
-        let start = self.clock;
-        let msg = Message::EchoRequest(vec![0xec; payload]);
-        let (outs, up) = self.send_and_process(dpid, &msg, start);
-        debug_assert!(matches!(
-            outs.first().and_then(|o| o.reply.as_ref()),
-            Some(Message::EchoReply(_))
-        ));
-        let down = {
-            let mut link_rng = self.rng.fork(dpid.0 ^ 0xec0);
-            let att = self.attached(dpid);
-            att.ctrl_link.delivery_latency(payload + 8, &mut link_rng)
-        };
-        let rtt = up + down;
-        self.clock = start + rtt;
-        rtt
+        let start = self.sim.now();
+        let token = self.submit(dpid, ControlOp::Echo(payload), start);
+        let c = self.wait_for(token);
+        self.warp_to(c.acked_at);
+        c.acked_at.since(start)
     }
 
-    /// Schedules a flow-mod to be issued at `ready_at` (a controller-side
-    /// time). The op serializes behind earlier ops on the same switch.
-    /// Does not advance the shared clock.
-    pub fn enqueue_op(&mut self, dpid: Dpid, fm: FlowMod, ready_at: SimTime) -> Completion {
-        let mut link_rng = self.rng.fork(dpid.0 ^ 0xec0);
-        let att = self.switches.get_mut(&dpid).expect("unknown dpid");
-        let xid = att.next_xid;
-        att.next_xid = xid.next();
-        let frame = Message::FlowMod(fm).to_bytes(xid);
-        let up = att.ctrl_link.delivery_latency(frame.len(), &mut link_rng);
-        let arrive = ready_at + up;
-        let start = arrive.max(att.busy_until);
-        let outs = att.agent.feed(&frame, start).expect("well-formed");
-        let cost = outs
-            .iter()
-            .fold(SimDuration::ZERO, |acc, o| acc + o.cost);
-        let result = if outs
-            .iter()
-            .any(|o| matches!(o.reply, Some(Message::Error(_))))
-        {
-            OpResult::TableFull
-        } else {
-            OpResult::Ok
-        };
-        let done_at = start + cost;
-        att.busy_until = done_at;
-        let down = att.ctrl_link.delivery_latency(16, &mut link_rng);
-        Completion {
-            done_at,
-            acked_at: done_at + down,
-            result,
+    /// Runs every in-flight operation to completion and returns the time
+    /// the network goes quiet (network-wide makespan reference point).
+    /// Completions delivered along the way remain available through
+    /// [`ControlPath::next_completion`]; the shared clock advances to the
+    /// last settled event.
+    pub fn all_quiet_at(&mut self) -> SimTime {
+        while let Some((at, ev)) = self.sim.next_event() {
+            self.handle(at, ev);
         }
-    }
-
-    /// The time at which every currently scheduled op on every switch has
-    /// completed (network-wide makespan reference point).
-    #[must_use]
-    pub fn all_quiet_at(&self) -> SimTime {
         self.switches
             .values()
-            .map(|a| a.busy_until)
+            .map(|a| a.quiet_at)
             .max()
-            .unwrap_or(self.clock)
-            .max(self.clock)
+            .unwrap_or_else(|| self.sim.now())
+            .max(self.sim.now())
     }
 
     /// Warps the shared clock to `t` (must not go backwards).
     pub fn warp_to(&mut self, t: SimTime) {
-        assert!(t >= self.clock, "clock cannot go backwards");
-        self.clock = t;
+        let now = self.sim.now();
+        assert!(t >= now, "clock cannot go backwards");
+        self.sim.advance(t.since(now));
     }
+}
+
+impl ControlPath for Testbed {
+    fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    fn submit(&mut self, dpid: Dpid, op: ControlOp, ready_at: SimTime) -> OpToken {
+        assert!(
+            ready_at >= self.sim.now(),
+            "op submitted at {ready_at} before now {}",
+            self.sim.now()
+        );
+        let pending = self.encode(dpid, op);
+        let token = pending.token;
+        let att = self.switches.get_mut(&dpid).expect("unknown dpid");
+        // In-order delivery: a frame cannot overtake an earlier one on
+        // the same channel. The clamp is timing-neutral for processing
+        // (the CPU queue already serializes) but keeps arrivals FIFO.
+        let arrive = (ready_at + pending.up).max(att.last_arrival);
+        att.last_arrival = arrive;
+        att.incoming.push_back(pending);
+        self.sim.schedule_at(arrive, CtrlEvent::Arrive(dpid));
+        token
+    }
+
+    fn next_completion(&mut self) -> Option<Completion> {
+        loop {
+            if let Some(c) = self.completed.pop_front() {
+                return Some(c);
+            }
+            let (at, ev) = self.sim.next_event()?;
+            self.handle(at, ev);
+        }
+    }
+
+    fn wait_for(&mut self, token: OpToken) -> Completion {
+        if let Some(pos) = self.completed.iter().position(|c| c.token == token) {
+            return self.completed.remove(pos).expect("position is in range");
+        }
+        loop {
+            let (at, ev) = self
+                .sim
+                .next_event()
+                .expect("token must identify an in-flight op");
+            self.handle(at, ev);
+            if let Some(pos) = self.completed.iter().position(|c| c.token == token) {
+                return self.completed.remove(pos).expect("position is in range");
+            }
+        }
+    }
+}
+
+fn total_cost(outs: &[AgentOutput]) -> SimDuration {
+    outs.iter().fold(SimDuration::ZERO, |acc, o| acc + o.cost)
+}
+
+fn any_error(outs: &[AgentOutput]) -> bool {
+    outs.iter()
+        .any(|o| matches!(o.reply, Some(Message::Error(_))))
 }
 
 /// Extension trait to pull a fresh seed out of a forked RNG.
@@ -377,26 +558,74 @@ mod tests {
     }
 
     #[test]
-    fn enqueue_serializes_per_switch() {
+    fn scheduled_ops_serialize_per_switch() {
         let (mut tb, dpid) = testbed_with(SwitchProfile::vendor1());
-        let c1 = tb.enqueue_op(dpid, FlowMod::add(FlowMatch::l3_for_id(1), 10), SimTime::ZERO);
-        let c2 = tb.enqueue_op(dpid, FlowMod::add(FlowMatch::l3_for_id(2), 10), SimTime::ZERO);
+        let t0 = tb.now();
+        let a = tb.submit(
+            dpid,
+            ControlOp::FlowMod(FlowMod::add(FlowMatch::l3_for_id(1), 10)),
+            t0,
+        );
+        let b = tb.submit(
+            dpid,
+            ControlOp::FlowMod(FlowMod::add(FlowMatch::l3_for_id(2), 10)),
+            t0,
+        );
+        let c1 = tb.wait_for(a);
+        let c2 = tb.wait_for(b);
         assert!(c2.done_at > c1.done_at, "ops on one switch serialize");
         assert!(c1.acked_at > c1.done_at);
+        // The second op starts exactly when the first finishes.
+        assert!(c2.done_at > c1.done_at);
     }
 
     #[test]
-    fn enqueue_on_different_switches_overlaps() {
+    fn scheduled_ops_on_different_switches_overlap() {
         let mut tb = Testbed::new(3);
         tb.attach_default(Dpid(1), SwitchProfile::vendor1());
         tb.attach_default(Dpid(2), SwitchProfile::vendor1());
-        let c1 = tb.enqueue_op(Dpid(1), FlowMod::add(FlowMatch::l3_for_id(1), 10), SimTime::ZERO);
-        let c2 = tb.enqueue_op(Dpid(2), FlowMod::add(FlowMatch::l3_for_id(1), 10), SimTime::ZERO);
+        let t0 = tb.now();
+        let a = tb.submit(
+            Dpid(1),
+            ControlOp::FlowMod(FlowMod::add(FlowMatch::l3_for_id(1), 10)),
+            t0,
+        );
+        let b = tb.submit(
+            Dpid(2),
+            ControlOp::FlowMod(FlowMod::add(FlowMatch::l3_for_id(1), 10)),
+            t0,
+        );
+        let c1 = tb.wait_for(a);
+        let c2 = tb.wait_for(b);
         // Independent switches start immediately; completions are close.
         let gap = c1.done_at.since(c2.done_at).as_millis_f64().abs()
             + c2.done_at.since(c1.done_at).as_millis_f64().abs();
         assert!(gap < 5.0, "parallel switches should overlap (gap {gap} ms)");
         assert!(tb.all_quiet_at() >= c1.done_at.max(c2.done_at));
+    }
+
+    #[test]
+    fn completions_surface_in_time_order() {
+        let mut tb = Testbed::new(9);
+        tb.attach_default(Dpid(1), SwitchProfile::vendor1());
+        tb.attach_default(Dpid(2), SwitchProfile::ovs());
+        let t0 = tb.now();
+        for i in 0..6u32 {
+            let dpid = Dpid(1 + u64::from(i % 2));
+            tb.submit(
+                dpid,
+                ControlOp::FlowMod(FlowMod::add(FlowMatch::l3_for_id(i), 10)),
+                t0,
+            );
+        }
+        let mut last = SimTime::ZERO;
+        let mut seen = 0;
+        while let Some(c) = tb.next_completion() {
+            assert!(c.done_at >= last, "completions must be time-ordered");
+            last = c.done_at;
+            seen += 1;
+        }
+        assert_eq!(seen, 6);
     }
 
     #[test]
@@ -409,5 +638,28 @@ mod tests {
             tb.now()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn sync_and_scheduled_flow_mods_agree_on_state() {
+        // Installing rules via the synchronous adapter or via raw
+        // submit/wait leaves the switch in the same state — they are the
+        // same path.
+        let state = |scheduled: bool| {
+            let (mut tb, dpid) = testbed_with(SwitchProfile::vendor2());
+            for i in 0..30u32 {
+                let fm = FlowMod::add(FlowMatch::l3_for_id(i), 10 + i as u16);
+                if scheduled {
+                    let now = tb.now();
+                    let tok = tb.submit(dpid, ControlOp::FlowMod(fm), now);
+                    let c = tb.wait_for(tok);
+                    tb.warp_to(c.acked_at);
+                } else {
+                    tb.flow_mod(dpid, fm);
+                }
+            }
+            (tb.switch(dpid).rule_count(), tb.now())
+        };
+        assert_eq!(state(false), state(true));
     }
 }

@@ -5,10 +5,10 @@
 //! per-level forwarding delays (Fig 2), and the controller path.
 
 use crate::pipeline::Hit;
+use serde::{Deserialize, Serialize};
 use simnet::dist::Dist;
 use simnet::rng::DetRng;
 use simnet::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Control-plane cost model for one switch.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -34,7 +34,12 @@ pub struct ControlCosts {
 
 impl ControlCosts {
     /// Cost of an add given where it landed and how many entries shifted.
-    pub fn add_cost(&self, landed_in_hardware: bool, shifts: usize, rng: &mut DetRng) -> SimDuration {
+    pub fn add_cost(
+        &self,
+        landed_in_hardware: bool,
+        shifts: usize,
+        rng: &mut DetRng,
+    ) -> SimDuration {
         let base = if landed_in_hardware {
             self.add_base.sample(rng)
         } else {
@@ -141,10 +146,7 @@ mod tests {
         let c = costs();
         let mut rng = DetRng::new(0);
         // 1 µs per resident rule: 5 000 residents add 5 ms per mod.
-        assert_eq!(
-            c.mod_cost(1, 5000, &mut rng),
-            SimDuration::from_millis(6)
-        );
+        assert_eq!(c.mod_cost(1, 5000, &mut rng), SimDuration::from_millis(6));
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //!   generic policy-cached switches for inference studies.
 //! * [`switch`] — the assembled switch.
 //! * [`agent`] — the wire-protocol agent (real `ofwire` bytes in/out).
-//! * [`harness`] — a multi-switch testbed with a shared virtual clock.
+//! * [`control`] — the transport-agnostic control-path abstraction
+//!   (submit an OpenFlow op, receive a typed completion event).
+//! * [`harness`] — the in-memory control path: a multi-switch testbed
+//!   whose event-driven core runs every switch in one simulator.
 //!
 //! ```
 //! use switchsim::prelude::*;
@@ -35,6 +38,7 @@
 
 pub mod agent;
 pub mod cache;
+pub mod control;
 pub mod entry;
 pub mod expiry;
 pub mod harness;
@@ -49,9 +53,10 @@ pub mod tcam;
 pub mod prelude {
     pub use crate::agent::{Agent, AgentOutput};
     pub use crate::cache::{Attribute, CachePolicy, Direction, SortKey};
+    pub use crate::control::{Completion, ControlOp, ControlPath, OpOutcome, OpResult, OpToken};
     pub use crate::entry::{EntryId, FlowEntry};
     pub use crate::expiry::{Expired, RemovalReason};
-    pub use crate::harness::{Completion, OpResult, Testbed};
+    pub use crate::harness::Testbed;
     pub use crate::latency::{ControlCosts, DataPathLatency};
     pub use crate::pipeline::{Hit, Pipeline, TableFull};
     pub use crate::profiles::SwitchProfile;

@@ -213,9 +213,7 @@ impl Pipeline {
     #[must_use]
     pub fn rule_count(&self) -> usize {
         match self {
-            Pipeline::PolicyCached { levels, .. } => {
-                levels.iter().map(|l| l.table.len()).sum()
-            }
+            Pipeline::PolicyCached { levels, .. } => levels.iter().map(|l| l.table.len()).sum(),
             Pipeline::OvsMicroflow { userspace, .. } => userspace.len(),
         }
     }
@@ -225,9 +223,7 @@ impl Pipeline {
     #[must_use]
     pub fn level_occupancy(&self, level: usize) -> usize {
         match self {
-            Pipeline::PolicyCached { levels, .. } => {
-                levels.get(level).map_or(0, |l| l.table.len())
-            }
+            Pipeline::PolicyCached { levels, .. } => levels.get(level).map_or(0, |l| l.table.len()),
             Pipeline::OvsMicroflow { kernel, userspace } => match level {
                 0 => kernel.len(),
                 1 => userspace.len(),
@@ -244,9 +240,7 @@ impl Pipeline {
                 .iter()
                 .enumerate()
                 .find_map(|(i, l)| l.table.position_of(id).map(|_| i)),
-            Pipeline::OvsMicroflow { userspace, .. } => {
-                userspace.position_of(id).map(|_| 1)
-            }
+            Pipeline::OvsMicroflow { userspace, .. } => userspace.position_of(id).map(|_| 1),
         }
     }
 
@@ -258,18 +252,14 @@ impl Pipeline {
                 .enumerate()
                 .flat_map(|(i, l)| l.table.iter().map(move |e| (i, e)))
                 .collect(),
-            Pipeline::OvsMicroflow { userspace, .. } => {
-                userspace.iter().map(|e| (1, e)).collect()
-            }
+            Pipeline::OvsMicroflow { userspace, .. } => userspace.iter().map(|e| (1, e)).collect(),
         }
     }
 
     /// Installs a rule.
     pub fn add(&mut self, entry: FlowEntry) -> Result<AddOutcome, TableFull> {
         match self {
-            Pipeline::PolicyCached { levels, policy } => {
-                Self::policy_add(levels, policy, entry)
-            }
+            Pipeline::PolicyCached { levels, policy } => Self::policy_add(levels, policy, entry),
             Pipeline::OvsMicroflow { userspace, .. } => {
                 let id = entry.id;
                 userspace.insert(entry);
@@ -302,8 +292,7 @@ impl Pipeline {
         let mut landing: Option<(usize, usize)> = None; // (level, shifts)
         for (i, level) in levels.iter().enumerate() {
             if level.fits(&in_hand) {
-                let shifts =
-                    shift_count(level.table.iter().map(|e| &e.priority), in_hand.priority);
+                let shifts = shift_count(level.table.iter().map(|e| &e.priority), in_hand.priority);
                 steps.push((i, Step::InstallHere));
                 landing = Some((i, shifts));
                 break;
@@ -313,8 +302,7 @@ impl Pipeline {
                 None => continue, // zero-capacity level
             };
             let worst = level.table.get(worst_idx);
-            let in_hand_better =
-                policy.cmp_entries(&in_hand, worst) == std::cmp::Ordering::Greater;
+            let in_hand_better = policy.cmp_entries(&in_hand, worst) == std::cmp::Ordering::Greater;
             if in_hand_better && level.fits_swapped(worst, &in_hand) {
                 steps.push((i, Step::SwapWithWorst(worst_idx)));
                 in_hand = worst.clone();
@@ -545,9 +533,7 @@ impl Pipeline {
                             Some((coff, cbi)) => {
                                 let cur = lower_levels[coff].table.get(cbi);
                                 let new = lo.table.get(bi);
-                                if policy.cmp_entries(new, cur)
-                                    == std::cmp::Ordering::Greater
-                                {
+                                if policy.cmp_entries(new, cur) == std::cmp::Ordering::Greater {
                                     candidate = Some((off, bi));
                                 }
                             }
@@ -751,7 +737,13 @@ mod tests {
         // Touch the software-resident entry: it must get promoted,
         // demoting the now-least-recently-used TCAM entry.
         let hit = p.lookup_touch(&FlowMatch::key_for_id(0), SimTime(100), 64);
-        assert_eq!(hit, Hit::Table { level: 1, entry: EntryId(0) });
+        assert_eq!(
+            hit,
+            Hit::Table {
+                level: 1,
+                entry: EntryId(0)
+            }
+        );
         assert_eq!(p.level_of(EntryId(0)), Some(0));
         assert_eq!(p.level_of(EntryId(1)), Some(1));
     }
@@ -763,8 +755,7 @@ mod tests {
         for i in 0..4 {
             p.add(entry(i, i as u32, 1, SimTime(i))).unwrap();
         }
-        let in_tcam: Vec<Option<usize>> =
-            (0..4).map(|i| p.level_of(EntryId(i))).collect();
+        let in_tcam: Vec<Option<usize>> = (0..4).map(|i| p.level_of(EntryId(i))).collect();
         // Hit a TCAM-resident entry repeatedly.
         let tcam_resident = (0..4u64)
             .find(|&i| p.level_of(EntryId(i)) == Some(0))
@@ -806,10 +797,22 @@ mod tests {
         p.add(entry(0, 5, 1, SimTime(0))).unwrap();
         // First packet: slow path (userspace) + microflow clone.
         let first = p.lookup_touch(&FlowMatch::key_for_id(5), SimTime(10), 64);
-        assert_eq!(first, Hit::Table { level: 1, entry: EntryId(0) });
+        assert_eq!(
+            first,
+            Hit::Table {
+                level: 1,
+                entry: EntryId(0)
+            }
+        );
         // Second packet of the same flow: kernel fast path.
         let second = p.lookup_touch(&FlowMatch::key_for_id(5), SimTime(20), 64);
-        assert_eq!(second, Hit::Table { level: 0, entry: EntryId(0) });
+        assert_eq!(
+            second,
+            Hit::Table {
+                level: 0,
+                entry: EntryId(0)
+            }
+        );
         // Unknown flow: miss to controller.
         let miss = p.lookup_touch(&FlowMatch::key_for_id(99), SimTime(30), 64);
         assert_eq!(miss, Hit::Miss);
@@ -888,7 +891,12 @@ mod tests {
         let mut total = 0;
         for i in 0..10u16 {
             let out = p
-                .add(entry(u64::from(i), u32::from(i), 100 - i, SimTime(u64::from(i))))
+                .add(entry(
+                    u64::from(i),
+                    u32::from(i),
+                    100 - i,
+                    SimTime(u64::from(i)),
+                ))
                 .unwrap();
             total += out.shifts;
         }

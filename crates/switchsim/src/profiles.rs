@@ -17,8 +17,8 @@ use crate::latency::{ControlCosts, DataPathLatency};
 use crate::pipeline::{CacheLevel, Pipeline};
 use crate::tcam::TcamGeometry;
 use ofwire::types::Dpid;
-use simnet::dist::Dist;
 use serde::{Deserialize, Serialize};
+use simnet::dist::Dist;
 
 /// Everything needed to instantiate a simulated switch.
 #[derive(Debug, Clone)]

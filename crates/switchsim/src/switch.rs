@@ -116,7 +116,9 @@ impl Switch {
                 let entry = self.make_entry(fm, now);
                 match self.pipeline.add(entry) {
                     Ok(out) => {
-                        let cost = self.control.add_cost(out.hardware, out.shifts, &mut self.rng);
+                        let cost = self
+                            .control
+                            .add_cost(out.hardware, out.shifts, &mut self.rng);
                         (
                             Ok(FlowModEffect::Added {
                                 level: out.level,
@@ -150,7 +152,9 @@ impl Switch {
                         (Ok(FlowModEffect::Modified(n)), cost)
                     }
                     Ok(ModOutcome::AddedInstead(out)) => {
-                        let cost = self.control.add_cost(out.hardware, out.shifts, &mut self.rng);
+                        let cost = self
+                            .control
+                            .add_cost(out.hardware, out.shifts, &mut self.rng);
                         (
                             Ok(FlowModEffect::Added {
                                 level: out.level,
@@ -349,10 +353,8 @@ mod tests {
             let fm = FlowMod::add(FlowMatch::l3_for_id(i), 5000 - i as u16);
             s.apply_flow_mod(&fm, SimTime(u64::from(i))).0.unwrap();
         }
-        let (_, add_cost) = s.apply_flow_mod(
-            &FlowMod::add(FlowMatch::l3_for_id(5000), 1),
-            SimTime(5000),
-        );
+        let (_, add_cost) =
+            s.apply_flow_mod(&FlowMod::add(FlowMatch::l3_for_id(5000), 1), SimTime(5000));
         let (_, mod_cost) = s.apply_flow_mod(
             &FlowMod::modify_strict(FlowMatch::l3_for_id(5), 4995, vec![]),
             SimTime(5001),

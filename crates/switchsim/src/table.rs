@@ -77,9 +77,7 @@ impl FlowTable {
                 None => best = Some(i),
                 Some(b) => {
                     let cur = &self.entries[b];
-                    if e.priority > cur.priority
-                        || (e.priority == cur.priority && e.id < cur.id)
-                    {
+                    if e.priority > cur.priority || (e.priority == cur.priority && e.id < cur.id) {
                         best = Some(i);
                     }
                 }
@@ -119,9 +117,9 @@ impl FlowTable {
             .filter(|(_, e)| filter.subsumes(&e.flow_match))
             .filter(|(_, e)| {
                 out_port == PortNo::NONE
-                    || e.actions.iter().any(
-                        |a| matches!(a, Action::Output { port, .. } if *port == out_port),
-                    )
+                    || e.actions
+                        .iter()
+                        .any(|a| matches!(a, Action::Output { port, .. } if *port == out_port))
             })
             .map(|(i, _)| i)
             .collect()
@@ -328,6 +326,8 @@ mod tests {
         c.install(FlowMatch::key_for_id(3), EntryId(2), SimTime(0));
         c.invalidate_parent(EntryId(1));
         assert_eq!(c.len(), 1);
-        assert!(c.lookup_touch(&FlowMatch::key_for_id(3), SimTime(1)).is_some());
+        assert!(c
+            .lookup_touch(&FlowMatch::key_for_id(3), SimTime(1))
+            .is_some());
     }
 }

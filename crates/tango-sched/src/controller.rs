@@ -150,7 +150,9 @@ impl TangoController {
     /// order), from the measured latency curves.
     #[must_use]
     pub fn predict_install_ms(&self, dpid: Dpid, adds: usize) -> f64 {
-        self.db.latency_or_default(dpid).predict_batch_ms(adds, 0, 0)
+        self.db
+            .latency_or_default(dpid)
+            .predict_batch_ms(adds, 0, 0)
     }
 
     /// Convenience: a controller-side makespan comparison for the same
@@ -179,7 +181,10 @@ mod tests {
 
     fn controller() -> TangoController {
         let mut tb = Testbed::new(0xc0);
-        tb.attach_default(Dpid(1), SwitchProfile::generic_cached(200, CachePolicy::fifo()));
+        tb.attach_default(
+            Dpid(1),
+            SwitchProfile::generic_cached(200, CachePolicy::fifo()),
+        );
         tb.attach_default(Dpid(2), SwitchProfile::ovs());
         TangoController::new(tb)
     }

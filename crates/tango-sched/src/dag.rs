@@ -10,9 +10,7 @@ use crate::request::{ReqElem, ReqOp};
 use serde::{Deserialize, Serialize};
 
 /// Index of a request within its DAG.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct NodeId(pub usize);
 
 /// A directed acyclic graph of switch requests.
@@ -201,8 +199,9 @@ impl RequestDag {
                 dag.add_node(ReqElem { op, ..base })
             })
             .collect();
-        let [a, b, c, e, f, g, h, i, j] =
-            [ids[0], ids[1], ids[2], ids[3], ids[4], ids[5], ids[6], ids[7], ids[8]];
+        let [a, b, c, e, f, g, h, i, j] = [
+            ids[0], ids[1], ids[2], ids[3], ids[4], ids[5], ids[6], ids[7], ids[8],
+        ];
         // Edges per the figure: A→B→C, E→F→G, H→F, I→G, I→J.
         dag.add_dep(a, b);
         dag.add_dep(b, c);
@@ -232,9 +231,7 @@ mod tests {
     fn fig7() -> (RequestDag, Vec<NodeId>) {
         let mut dag = RequestDag::new();
         // A B C E F G H I J, in that insertion order.
-        let ids: Vec<NodeId> = (0..9)
-            .map(|i| dag.add_node(req(ReqOp::Add, i)))
-            .collect();
+        let ids: Vec<NodeId> = (0..9).map(|i| dag.add_node(req(ReqOp::Add, i))).collect();
         let (a, b, c, e, f, g, h, i, j) = (
             ids[0], ids[1], ids[2], ids[3], ids[4], ids[5], ids[6], ids[7], ids[8],
         );

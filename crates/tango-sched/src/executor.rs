@@ -1,29 +1,36 @@
-//! Executes a scheduled request DAG against a simulated testbed and
-//! measures the makespan — the number every network-wide figure
-//! (Figs 10–12) reports.
+//! Executes a scheduled request DAG against a control path and measures
+//! the makespan — the number every network-wide figure (Figs 10–12)
+//! reports.
 //!
-//! Two execution engines:
+//! One event-driven dispatcher, [`execute`], parameterized by a
+//! [`ReleasePolicy`]:
 //!
-//! * [`execute_batched`] — Algorithm 3's loop verbatim: extract the
+//! * [`ReleasePolicy::RoundBarrier`] — Algorithm 3's loop: extract the
 //!   independent set, order it with an oracle, issue the whole batch,
 //!   wait for every ack, repeat.
-//! * [`execute_online`] — an event-driven dispatcher: each switch runs
-//!   its own queue; whenever a switch comes free, the dispatcher picks
-//!   its next request among the *currently released* ones according to a
+//! * [`ReleasePolicy::PerEdge`] — online dispatch: each switch runs its
+//!   own queue; whenever a switch comes free, the dispatcher picks its
+//!   next request among the *currently released* ones according to a
 //!   [`Discipline`] — Dionysus' critical-path rule, or Tango's pattern
 //!   ordering (deletes before mods before adds, optionally
 //!   ascending-priority adds). Successors are released either when the
 //!   predecessor's ack arrives, or — Tango's concurrent-dispatch
 //!   extension (§6) — at the predecessor's predicted completion plus a
 //!   guard interval.
+//!
+//! [`execute_batched`] and [`execute_online`] are thin wrappers that
+//! build the corresponding policy. All entry points report malformed
+//! inputs as typed [`ExecError`]s instead of panicking.
 
 use crate::dag::{NodeId, RequestDag};
 use crate::request::{Deadline, ReqOp};
 use ofwire::types::Dpid;
 use simnet::time::{SimDuration, SimTime};
-use switchsim::harness::{OpResult, Testbed};
-use tango::db::TangoDb;
 use std::collections::BTreeMap;
+use std::fmt;
+use switchsim::control::{Completion, ControlOp, ControlPath, OpResult, OpToken};
+use switchsim::harness::Testbed;
+use tango::db::TangoDb;
 
 /// The outcome of executing a DAG.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,9 +44,41 @@ pub struct ExecReport {
     /// Requests whose `install_by` deadline passed before they
     /// completed (§6's deadline field; best-effort requests never miss).
     pub deadline_misses: usize,
-    /// For batched execution: (pattern name, batch size) per round.
+    /// For round-barrier execution: (pattern name, batch size) per round.
     pub rounds: Vec<(String, usize)>,
 }
+
+/// A malformed execution input, detected while dispatching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The DAG has unfinished requests but an empty independent set — a
+    /// dependency cycle.
+    StuckDag,
+    /// A round-barrier oracle returned something other than a
+    /// permutation of the independent set it was handed.
+    OracleMismatch {
+        /// Size of the independent set given to the oracle.
+        expected: usize,
+        /// Size of the ordering it returned.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::StuckDag => {
+                write!(f, "request DAG is stuck: unfinished requests but no independent set (cycle?)")
+            }
+            ExecError::OracleMismatch { expected, got } => write!(
+                f,
+                "ordering oracle must permute the independent set: expected {expected} requests, got {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
 
 /// Whether a request completing `elapsed` after submission missed its
 /// deadline.
@@ -52,54 +91,6 @@ fn missed_deadline(deadline: Deadline, elapsed: SimDuration) -> bool {
 
 /// Orders one independent set; returns the issue order plus a label.
 pub type OrderingFn<'a> = dyn FnMut(&TangoDb, &RequestDag, &[NodeId]) -> (Vec<NodeId>, String) + 'a;
-
-/// Runs the batched (Algorithm 3) discipline.
-pub fn execute_batched(
-    tb: &mut Testbed,
-    dag: &mut RequestDag,
-    db: &TangoDb,
-    order: &mut OrderingFn<'_>,
-) -> ExecReport {
-    let start = tb.now();
-    let mut frontier: SimTime = start;
-    let mut completed = 0;
-    let mut failed = 0;
-    let mut deadline_misses = 0;
-    let mut rounds = Vec::new();
-    while !dag.all_done() {
-        let set = dag.independent_set();
-        assert!(!set.is_empty(), "stuck DAG (cycle?)");
-        let (ordered, label) = order(db, dag, &set);
-        assert_eq!(ordered.len(), set.len(), "oracle must permute the set");
-        rounds.push((label, ordered.len()));
-        let mut batch_end = frontier;
-        for id in &ordered {
-            let req = dag.node(*id);
-            let deadline = req.install_by;
-            let c = tb.enqueue_op(req.location, req.to_flow_mod(), frontier);
-            match c.result {
-                OpResult::Ok => completed += 1,
-                OpResult::TableFull => failed += 1,
-            }
-            if missed_deadline(deadline, c.done_at.since(start)) {
-                deadline_misses += 1;
-            }
-            batch_end = batch_end.max(c.acked_at);
-        }
-        for id in ordered {
-            dag.mark_done(id);
-        }
-        frontier = batch_end;
-    }
-    tb.warp_to(frontier.max(tb.now()));
-    ExecReport {
-        makespan: frontier.since(start),
-        completed,
-        failed,
-        deadline_misses,
-        rounds,
-    }
-}
 
 /// How the online dispatcher picks among released requests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,6 +116,33 @@ pub enum Release {
     Guard(SimDuration),
 }
 
+/// How the unified dispatcher releases requests onto the control path.
+pub enum ReleasePolicy<'o, 'a> {
+    /// Algorithm 3: issue the oracle-ordered independent set as one
+    /// barriered round; the next round is released when the whole round
+    /// has acked.
+    RoundBarrier {
+        /// Inferred switch properties consulted by the oracle.
+        db: &'a TangoDb,
+        /// The ordering oracle for each round.
+        order: &'o mut OrderingFn<'a>,
+        /// When `false`, the oracle must return a permutation of the set
+        /// it was handed (Algorithm 3 verbatim); when `true`, it may
+        /// issue only a prefix, leaving the rest for later rounds
+        /// (the lookahead extension).
+        partial: bool,
+    },
+    /// Online dispatch: every completion releases its successors
+    /// individually (by ack or guard time) and each idle switch picks
+    /// its next request by `discipline` the moment one is available.
+    PerEdge {
+        /// Tie-breaking rule among a switch's released requests.
+        discipline: Discipline,
+        /// When successors become issuable after a predecessor.
+        release: Release,
+    },
+}
+
 fn class_rank(op: ReqOp) -> u8 {
     match op {
         ReqOp::Del => 0,
@@ -133,102 +151,288 @@ fn class_rank(op: ReqOp) -> u8 {
     }
 }
 
-/// Runs the online (event-driven) dispatcher.
+/// Running tallies shared by both release policies.
+#[derive(Default)]
+struct Stats {
+    completed: usize,
+    failed: usize,
+    deadline_misses: usize,
+}
+
+impl Stats {
+    fn record(&mut self, c: &Completion, deadline: Deadline, start: SimTime) {
+        match c.result() {
+            OpResult::Ok => self.completed += 1,
+            OpResult::TableFull => self.failed += 1,
+        }
+        if missed_deadline(deadline, c.done_at.since(start)) {
+            self.deadline_misses += 1;
+        }
+    }
+}
+
+/// Runs the unified event-driven dispatcher over the DAG.
+pub fn execute(
+    tb: &mut Testbed,
+    dag: &mut RequestDag,
+    policy: ReleasePolicy<'_, '_>,
+) -> Result<ExecReport, ExecError> {
+    match policy {
+        ReleasePolicy::RoundBarrier { db, order, partial } => {
+            run_round_barrier(tb, dag, db, order, partial)
+        }
+        ReleasePolicy::PerEdge {
+            discipline,
+            release,
+        } => run_per_edge(tb, dag, discipline, release),
+    }
+}
+
+/// Round-barrier dispatch (Algorithm 3, optionally with prefix rounds).
+fn run_round_barrier(
+    tb: &mut Testbed,
+    dag: &mut RequestDag,
+    db: &TangoDb,
+    order: &mut OrderingFn<'_>,
+    partial: bool,
+) -> Result<ExecReport, ExecError> {
+    let start = tb.now();
+    let mut frontier: SimTime = start;
+    let mut stats = Stats::default();
+    let mut rounds = Vec::new();
+    while !dag.all_done() {
+        let set = dag.independent_set();
+        if set.is_empty() {
+            return Err(ExecError::StuckDag);
+        }
+        let (ordered, label) = order(db, dag, &set);
+        if !partial && ordered.len() != set.len() {
+            return Err(ExecError::OracleMismatch {
+                expected: set.len(),
+                got: ordered.len(),
+            });
+        }
+        rounds.push((label, ordered.len()));
+        // Issue the whole round at the frontier; every op's wire frames
+        // and latencies are fixed at submit time, then the event core
+        // interleaves all switches' processing in virtual time.
+        let submitted: Vec<(OpToken, Deadline)> = ordered
+            .iter()
+            .map(|&id| {
+                let req = dag.node(id);
+                let token = tb.submit(
+                    req.location,
+                    ControlOp::FlowMod(req.to_flow_mod()),
+                    frontier,
+                );
+                (token, req.install_by)
+            })
+            .collect();
+        let mut batch_end = frontier;
+        for (token, deadline) in submitted {
+            let c = tb.wait_for(token);
+            stats.record(&c, deadline, start);
+            batch_end = batch_end.max(c.acked_at);
+        }
+        for id in ordered {
+            dag.mark_done(id);
+        }
+        frontier = batch_end;
+    }
+    tb.warp_to(frontier.max(tb.now()));
+    Ok(ExecReport {
+        makespan: frontier.since(start),
+        completed: stats.completed,
+        failed: stats.failed,
+        deadline_misses: stats.deadline_misses,
+        rounds,
+    })
+}
+
+/// A request issued onto the control path whose completion has not been
+/// processed yet.
+struct InFlight {
+    deadline: Deadline,
+    /// Successor nodes captured at issue time (`mark_done` forgets
+    /// edges).
+    succs: Vec<NodeId>,
+}
+
+/// Per-edge (online) dispatch.
+fn run_per_edge(
+    tb: &mut Testbed,
+    dag: &mut RequestDag,
+    discipline: Discipline,
+    release: Release,
+) -> Result<ExecReport, ExecError> {
+    let start = tb.now();
+    let lp = dag.longest_path_lengths();
+    let n = dag.len();
+    // Release time per node: the max of its predecessors' release
+    // instants (ack arrival or guarded completion). A node is issuable
+    // once every predecessor has been issued (the DAG's independent set)
+    // *and* every predecessor's completion has been observed, so its
+    // release time is final.
+    let mut released_at: Vec<SimTime> = vec![start; n];
+    let mut preds_pending: Vec<usize> = vec![0; n];
+    for u in 0..n {
+        for &s in dag.successors(NodeId(u)) {
+            preds_pending[s.0] += 1;
+        }
+    }
+    let mut inflight: BTreeMap<OpToken, InFlight> = BTreeMap::new();
+    let mut busy: BTreeMap<Dpid, bool> = BTreeMap::new();
+    let mut stats = Stats::default();
+    let mut last_done = start;
+
+    // Issues the best issuable request for every idle switch; returns
+    // how many were issued. `now` is the dispatcher's decision instant.
+    let issue_idle = |tb: &mut Testbed,
+                      dag: &mut RequestDag,
+                      inflight: &mut BTreeMap<OpToken, InFlight>,
+                      busy: &mut BTreeMap<Dpid, bool>,
+                      released_at: &[SimTime],
+                      preds_pending: &[usize]|
+     -> usize {
+        let now = ControlPath::now(tb);
+        let mut issued = 0;
+        loop {
+            let indep = dag.independent_set();
+            let issuable: Vec<NodeId> = indep
+                .into_iter()
+                .filter(|&id| preds_pending[id.0] == 0)
+                .collect();
+            // Pick the idle switch that can start work earliest.
+            let candidate = issuable
+                .iter()
+                .filter(|&&id| !busy.get(&dag.node(id).location).copied().unwrap_or(false))
+                .map(|&id| (now.max(released_at[id.0]), dag.node(id).location))
+                .min();
+            let Some((start_time, dpid)) = candidate else {
+                break;
+            };
+            // Eligible: this switch's requests already released by then.
+            let mut eligible: Vec<NodeId> = issuable
+                .into_iter()
+                .filter(|&id| dag.node(id).location == dpid && released_at[id.0] <= start_time)
+                .collect();
+            debug_assert!(!eligible.is_empty());
+            // Both schedulers put the longest critical path first (§6:
+            // the basic algorithm "schedules the independent request
+            // that belongs to the longest path first"); they differ in
+            // how ties are broken — and a flat independent set is all
+            // ties, which is exactly where the Tango patterns apply.
+            eligible.sort_by(|&a, &b| {
+                let (ra, rb) = (dag.node(a), dag.node(b));
+                let cp = lp[b.0].cmp(&lp[a.0]);
+                match discipline {
+                    Discipline::CriticalPath => cp
+                        .then(released_at[a.0].cmp(&released_at[b.0]))
+                        .then(a.0.cmp(&b.0)),
+                    Discipline::TangoTypeOnly => cp
+                        .then(class_rank(ra.op).cmp(&class_rank(rb.op)))
+                        .then(a.0.cmp(&b.0)),
+                    Discipline::TangoTypePriority => cp
+                        .then(class_rank(ra.op).cmp(&class_rank(rb.op)))
+                        .then(ra.effective_priority().cmp(&rb.effective_priority()))
+                        .then(a.0.cmp(&b.0)),
+                }
+            });
+            let id = eligible[0];
+            let req = dag.node(id);
+            let token = tb.submit(
+                req.location,
+                ControlOp::FlowMod(req.to_flow_mod()),
+                start_time,
+            );
+            inflight.insert(
+                token,
+                InFlight {
+                    deadline: req.install_by,
+                    succs: dag.successors(id).to_vec(),
+                },
+            );
+            busy.insert(dpid, true);
+            dag.mark_done(id);
+            issued += 1;
+        }
+        issued
+    };
+
+    while !dag.all_done() || !inflight.is_empty() {
+        issue_idle(
+            tb,
+            dag,
+            &mut inflight,
+            &mut busy,
+            &released_at,
+            &preds_pending,
+        );
+        let Some(c) = tb.next_completion() else {
+            // Nothing in flight and nothing issuable, yet the DAG has
+            // unfinished requests: a dependency cycle.
+            return Err(ExecError::StuckDag);
+        };
+        let fl = inflight
+            .remove(&c.token)
+            .expect("completion for an op this dispatcher issued");
+        stats.record(&c, fl.deadline, start);
+        last_done = last_done.max(c.done_at);
+        busy.insert(c.dpid, false);
+        let rel = match release {
+            Release::Ack => c.acked_at,
+            Release::Guard(g) => c.done_at + g,
+        };
+        for s in fl.succs {
+            preds_pending[s.0] -= 1;
+            released_at[s.0] = released_at[s.0].max(rel);
+        }
+    }
+    tb.warp_to(last_done.max(tb.now()));
+    Ok(ExecReport {
+        makespan: last_done.since(start),
+        completed: stats.completed,
+        failed: stats.failed,
+        deadline_misses: stats.deadline_misses,
+        rounds: Vec::new(),
+    })
+}
+
+/// Runs the batched (Algorithm 3) discipline — a thin wrapper over
+/// [`execute`] with a [`ReleasePolicy::RoundBarrier`] policy.
+pub fn execute_batched(
+    tb: &mut Testbed,
+    dag: &mut RequestDag,
+    db: &TangoDb,
+    order: &mut OrderingFn<'_>,
+) -> Result<ExecReport, ExecError> {
+    execute(
+        tb,
+        dag,
+        ReleasePolicy::RoundBarrier {
+            db,
+            order,
+            partial: false,
+        },
+    )
+}
+
+/// Runs the online dispatcher — a thin wrapper over [`execute`] with a
+/// [`ReleasePolicy::PerEdge`] policy.
 pub fn execute_online(
     tb: &mut Testbed,
     dag: &mut RequestDag,
     discipline: Discipline,
     release: Release,
-) -> ExecReport {
-    let start = tb.now();
-    let lp = dag.longest_path_lengths();
-    let n = dag.len();
-    // Accumulated release time per node: the max of its predecessors'
-    // release instants (ack arrival or guarded completion). A node may
-    // only be issued once it is in the DAG's independent set — requests
-    // are marked done at issue time, so "independent" means every
-    // predecessor has been issued, and `release_acc` carries the timing.
-    let mut release_acc: Vec<SimTime> = vec![start; n];
-    let mut busy: BTreeMap<Dpid, SimTime> = BTreeMap::new();
-    let mut completed = 0;
-    let mut failed = 0;
-    let mut deadline_misses = 0;
-    let mut last_done = start;
-
-    while !dag.all_done() {
-        let indep = dag.independent_set();
-        assert!(!indep.is_empty(), "stuck DAG (cycle?)");
-        // Pick the switch that can start work earliest.
-        let earliest = |id: NodeId| {
-            let dpid = dag.node(id).location;
-            let free = busy.get(&dpid).copied().unwrap_or(start);
-            free.max(release_acc[id.0])
-        };
-        let (start_time, dpid) = indep
-            .iter()
-            .map(|&id| (earliest(id), dag.node(id).location))
-            .min()
-            .expect("non-empty independent set");
-        // Eligible: this switch's requests already released by then.
-        let mut eligible: Vec<NodeId> = indep
-            .into_iter()
-            .filter(|&id| {
-                dag.node(id).location == dpid && release_acc[id.0] <= start_time
-            })
-            .collect();
-        debug_assert!(!eligible.is_empty());
-        // Both schedulers put the longest critical path first (§6: the
-        // basic algorithm "schedules the independent request that
-        // belongs to the longest path first"); they differ in how ties
-        // are broken — and a flat independent set is all ties, which is
-        // exactly where the Tango patterns apply.
-        eligible.sort_by(|&a, &b| {
-            let (ra, rb) = (dag.node(a), dag.node(b));
-            let cp = lp[b.0].cmp(&lp[a.0]);
-            match discipline {
-                Discipline::CriticalPath => cp
-                    .then(release_acc[a.0].cmp(&release_acc[b.0]))
-                    .then(a.0.cmp(&b.0)),
-                Discipline::TangoTypeOnly => cp
-                    .then(class_rank(ra.op).cmp(&class_rank(rb.op)))
-                    .then(a.0.cmp(&b.0)),
-                Discipline::TangoTypePriority => cp
-                    .then(class_rank(ra.op).cmp(&class_rank(rb.op)))
-                    .then(ra.effective_priority().cmp(&rb.effective_priority()))
-                    .then(a.0.cmp(&b.0)),
-            }
-        });
-        let id = eligible[0];
-        let req = dag.node(id);
-        let deadline = req.install_by;
-        let c = tb.enqueue_op(req.location, req.to_flow_mod(), release_acc[id.0]);
-        match c.result {
-            OpResult::Ok => completed += 1,
-            OpResult::TableFull => failed += 1,
-        }
-        if missed_deadline(deadline, c.done_at.since(start)) {
-            deadline_misses += 1;
-        }
-        busy.insert(dpid, c.done_at);
-        last_done = last_done.max(c.done_at);
-        let rel = match release {
-            Release::Ack => c.acked_at,
-            Release::Guard(g) => c.done_at + g,
-        };
-        let succs: Vec<NodeId> = dag.successors(id).to_vec();
-        dag.mark_done(id);
-        for s in succs {
-            release_acc[s.0] = release_acc[s.0].max(rel);
-        }
-    }
-    tb.warp_to(last_done.max(tb.now()));
-    ExecReport {
-        makespan: last_done.since(start),
-        completed,
-        failed,
-        deadline_misses,
-        rounds: Vec::new(),
-    }
+) -> Result<ExecReport, ExecError> {
+    execute(
+        tb,
+        dag,
+        ReleasePolicy::PerEdge {
+            discipline,
+            release,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -271,7 +475,7 @@ mod tests {
         let db = TangoDb::new();
         let mut oracle =
             |db: &TangoDb, dag: &RequestDag, set: &[NodeId]| ordering_tango_oracle(db, dag, set);
-        let report = execute_batched(&mut tb, &mut dag, &db, &mut oracle);
+        let report = execute_batched(&mut tb, &mut dag, &db, &mut oracle).unwrap();
         assert!(dag.all_done());
         assert_eq!(report.completed, 5);
         assert_eq!(report.failed, 0);
@@ -285,15 +489,40 @@ mod tests {
     fn online_executes_whole_dag() {
         let mut tb = testbed();
         let mut dag = chain_dag(Dpid(1), 5);
-        let report = execute_online(
-            &mut tb,
-            &mut dag,
-            Discipline::CriticalPath,
-            Release::Ack,
-        );
+        let report =
+            execute_online(&mut tb, &mut dag, Discipline::CriticalPath, Release::Ack).unwrap();
         assert!(dag.all_done());
         assert_eq!(report.completed, 5);
         assert_eq!(tb.switch(Dpid(1)).rule_count(), 5);
+    }
+
+    #[test]
+    fn oracle_mismatch_is_a_typed_error() {
+        let mut tb = testbed();
+        let mut dag = chain_dag(Dpid(1), 3);
+        let db = TangoDb::new();
+        // A broken oracle that drops every other element.
+        let mut oracle = |_db: &TangoDb, _dag: &RequestDag, set: &[NodeId]| {
+            (
+                set.iter().copied().step_by(2).collect(),
+                "broken".to_string(),
+            )
+        };
+        // The first round has one element so step_by(2) keeps it; grow
+        // the independent set to surface the mismatch immediately.
+        let mut flat = RequestDag::new();
+        for i in 0..4u32 {
+            flat.add_node(ReqElem::add(Dpid(1), FlowMatch::l3_for_id(i), 10, 1));
+        }
+        let err = execute_batched(&mut tb, &mut flat, &db, &mut oracle).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::OracleMismatch {
+                expected: 4,
+                got: 2
+            }
+        );
+        let _ = &mut dag;
     }
 
     #[test]
@@ -301,7 +530,9 @@ mod tests {
         let run = |release| {
             let mut tb = testbed();
             let mut dag = chain_dag(Dpid(1), 40);
-            execute_online(&mut tb, &mut dag, Discipline::CriticalPath, release).makespan
+            execute_online(&mut tb, &mut dag, Discipline::CriticalPath, release)
+                .unwrap()
+                .makespan
         };
         let with_ack = run(Release::Ack);
         let with_guard = run(Release::Guard(SimDuration::from_micros(50)));
@@ -321,19 +552,16 @@ mod tests {
             let mut rng = simnet::rng::DetRng::new(5);
             rng.shuffle(&mut prios);
             for (i, p) in prios.into_iter().enumerate() {
-                dag.add_node(ReqElem::add(
-                    Dpid(1),
-                    FlowMatch::l3_for_id(i as u32),
-                    p,
-                    1,
-                ));
+                dag.add_node(ReqElem::add(Dpid(1), FlowMatch::l3_for_id(i as u32), p, 1));
             }
             dag
         };
         let cp = {
             let mut tb = testbed();
             let mut dag = build();
-            execute_online(&mut tb, &mut dag, Discipline::CriticalPath, Release::Ack).makespan
+            execute_online(&mut tb, &mut dag, Discipline::CriticalPath, Release::Ack)
+                .unwrap()
+                .makespan
         };
         let tango = {
             let mut tb = testbed();
@@ -344,6 +572,7 @@ mod tests {
                 Discipline::TangoTypePriority,
                 Release::Ack,
             )
+            .unwrap()
             .makespan
         };
         assert!(
@@ -373,13 +602,15 @@ mod tests {
                 dag.add_dep(w[0], w[1]);
             }
         }
-        let both =
-            execute_online(&mut tb, &mut dag, Discipline::CriticalPath, Release::Ack).makespan;
+        let both = execute_online(&mut tb, &mut dag, Discipline::CriticalPath, Release::Ack)
+            .unwrap()
+            .makespan;
 
         let mut tb1 = testbed();
         let mut one = chain_dag(Dpid(1), 20);
-        let single =
-            execute_online(&mut tb1, &mut one, Discipline::CriticalPath, Release::Ack).makespan;
+        let single = execute_online(&mut tb1, &mut one, Discipline::CriticalPath, Release::Ack)
+            .unwrap()
+            .makespan;
         assert!(
             both.as_millis_f64() < 1.4 * single.as_millis_f64(),
             "two parallel chains ({both}) should cost about one ({single})"
@@ -398,7 +629,7 @@ mod tests {
         let db = TangoDb::new();
         let mut oracle =
             |db: &TangoDb, dag: &RequestDag, set: &[NodeId]| ordering_tango_oracle(db, dag, set);
-        let report = execute_batched(&mut tb, &mut dag, &db, &mut oracle);
+        let report = execute_batched(&mut tb, &mut dag, &db, &mut oracle).unwrap();
         assert_eq!(report.completed, 2);
         assert_eq!(tb.switch(Dpid(1)).rule_count(), 0);
     }
@@ -416,7 +647,8 @@ mod tests {
             &mut dag,
             Discipline::TangoTypeOnly,
             Release::Guard(SimDuration::from_micros(10)),
-        );
+        )
+        .unwrap();
         assert_eq!(report.completed, 2);
         assert_eq!(tb.switch(Dpid(1)).rule_count(), 1);
         assert_eq!(tb.switch(Dpid(2)).rule_count(), 0);
@@ -452,7 +684,8 @@ mod deadline_tests {
             &mut dag,
             Discipline::TangoTypePriority,
             Release::Ack,
-        );
+        )
+        .unwrap();
         assert_eq!(report.deadline_misses, 0);
     }
 
@@ -470,7 +703,8 @@ mod deadline_tests {
             &mut dag,
             Discipline::TangoTypePriority,
             Release::Ack,
-        );
+        )
+        .unwrap();
         assert!(
             report.deadline_misses > 40,
             "misses {}",
@@ -486,12 +720,8 @@ mod deadline_tests {
         for i in 0..200 {
             dag.add_node(add_with_deadline(Dpid(1), i, None));
         }
-        let report = execute_online(
-            &mut tb,
-            &mut dag,
-            Discipline::CriticalPath,
-            Release::Ack,
-        );
+        let report =
+            execute_online(&mut tb, &mut dag, Discipline::CriticalPath, Release::Ack).unwrap();
         assert_eq!(report.deadline_misses, 0);
     }
 
@@ -506,12 +736,13 @@ mod deadline_tests {
             let mut prios: Vec<u16> = (0..150u16).map(|i| 1000 + i).collect();
             simnet::rng::DetRng::new(9).shuffle(&mut prios);
             for (i, p) in prios.iter().enumerate() {
-                let mut r =
-                    ReqElem::add(Dpid(1), FlowMatch::l3_for_id(i as u32), *p, 1);
+                let mut r = ReqElem::add(Dpid(1), FlowMatch::l3_for_id(i as u32), *p, 1);
                 r.install_by = Deadline::WithinMs(80.0);
                 dag.add_node(r);
             }
-            execute_online(&mut tb, &mut dag, discipline, Release::Ack).deadline_misses
+            execute_online(&mut tb, &mut dag, discipline, Release::Ack)
+                .unwrap()
+                .deadline_misses
         };
         let cp = run(Discipline::CriticalPath);
         let tango = run(Discipline::TangoTypePriority);

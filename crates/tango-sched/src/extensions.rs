@@ -9,7 +9,7 @@
 //! the benefit lives for the evaluation DAGs.
 
 use crate::dag::{NodeId, RequestDag};
-use crate::executor::{execute_batched, ExecReport};
+use crate::executor::{execute, execute_batched, ExecError, ExecReport, ReleasePolicy};
 use crate::patterns::{ordering_tango_oracle, pattern_score, SchedPattern};
 use switchsim::harness::Testbed;
 use tango::db::TangoDb;
@@ -40,8 +40,8 @@ pub fn execute_batched_lookahead(
     tb: &mut Testbed,
     dag: &mut RequestDag,
     db: &TangoDb,
-) -> ExecReport {
-    let oracle = move |db: &TangoDb, dag: &RequestDag, set: &[NodeId]| {
+) -> Result<ExecReport, ExecError> {
+    let mut oracle = move |db: &TangoDb, dag: &RequestDag, set: &[NodeId]| {
         let (ordered, name) = ordering_tango_oracle(db, dag, set);
         // Candidate prefixes: all, the first half, or one element —
         // evaluated largest-first so ties keep the full batch (a prefix
@@ -72,49 +72,18 @@ pub fn execute_batched_lookahead(
             format!("{name}[prefix {k}/{}]", set.len()),
         )
     };
-    // `execute_batched` requires the oracle to return a permutation of
-    // the full set; wrap it so unissued requests stay in the DAG by
-    // running our own loop instead.
-    let start = tb.now();
-    let mut frontier = start;
-    let mut completed = 0;
-    let mut failed = 0;
-    let mut deadline_misses = 0;
-    let mut rounds = Vec::new();
-    while !dag.all_done() {
-        let set = dag.independent_set();
-        assert!(!set.is_empty(), "stuck DAG");
-        let (issue, label) = oracle(db, dag, &set);
-        rounds.push((label, issue.len()));
-        let mut batch_end = frontier;
-        for id in &issue {
-            let req = dag.node(*id);
-            let deadline = req.install_by;
-            let c = tb.enqueue_op(req.location, req.to_flow_mod(), frontier);
-            match c.result {
-                switchsim::harness::OpResult::Ok => completed += 1,
-                switchsim::harness::OpResult::TableFull => failed += 1,
-            }
-            if matches!(deadline, crate::request::Deadline::WithinMs(ms)
-                if c.done_at.since(start).as_millis_f64() > ms)
-            {
-                deadline_misses += 1;
-            }
-            batch_end = batch_end.max(c.acked_at);
-        }
-        for id in issue {
-            dag.mark_done(id);
-        }
-        frontier = batch_end;
-    }
-    tb.warp_to(frontier.max(tb.now()));
-    ExecReport {
-        makespan: frontier.since(start),
-        completed,
-        failed,
-        deadline_misses,
-        rounds,
-    }
+    // Same round-barrier dispatcher as the greedy scheduler, but with
+    // `partial` rounds allowed: unissued requests stay in the DAG for
+    // the next round's planning pass.
+    execute(
+        tb,
+        dag,
+        ReleasePolicy::RoundBarrier {
+            db,
+            order: &mut oracle,
+            partial: true,
+        },
+    )
 }
 
 /// Re-exported plain batched execution for comparison in ablations.
@@ -122,7 +91,7 @@ pub fn execute_batched_greedy(
     tb: &mut Testbed,
     dag: &mut RequestDag,
     db: &TangoDb,
-) -> ExecReport {
+) -> Result<ExecReport, ExecError> {
     let mut oracle =
         |db: &TangoDb, dag: &RequestDag, set: &[NodeId]| ordering_tango_oracle(db, dag, set);
     execute_batched(tb, dag, db, &mut oracle)
@@ -163,7 +132,7 @@ mod tests {
         let mut tb = testbed();
         let mut d = dag();
         let db = TangoDb::new();
-        let report = execute_batched_lookahead(&mut tb, &mut d, &db);
+        let report = execute_batched_lookahead(&mut tb, &mut d, &db).unwrap();
         assert!(d.all_done());
         assert_eq!(report.completed, 5);
         assert_eq!(
@@ -181,13 +150,17 @@ mod tests {
             let mut tb = testbed();
             let mut d = dag();
             let db = TangoDb::new();
-            execute_batched_greedy(&mut tb, &mut d, &db).makespan
+            execute_batched_greedy(&mut tb, &mut d, &db)
+                .unwrap()
+                .makespan
         };
         let look = {
             let mut tb = testbed();
             let mut d = dag();
             let db = TangoDb::new();
-            execute_batched_lookahead(&mut tb, &mut d, &db).makespan
+            execute_batched_lookahead(&mut tb, &mut d, &db)
+                .unwrap()
+                .makespan
         };
         assert!(
             look.as_millis_f64() <= 1.5 * greedy.as_millis_f64(),
@@ -200,7 +173,7 @@ mod tests {
         let mut tb = testbed();
         let mut d = dag();
         let db = TangoDb::new();
-        let report = execute_batched_lookahead(&mut tb, &mut d, &db);
+        let report = execute_batched_lookahead(&mut tb, &mut d, &db).unwrap();
         assert!(report.rounds.iter().all(|(l, _)| l.contains("prefix")));
     }
 }

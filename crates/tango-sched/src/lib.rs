@@ -30,7 +30,10 @@ pub mod prelude {
     pub use crate::consistency::add_reverse_path_deps;
     pub use crate::controller::{TangoController, UnderstandOptions};
     pub use crate::dag::{NodeId, RequestDag};
-    pub use crate::executor::{execute_batched, execute_online, Discipline, ExecReport, Release};
+    pub use crate::executor::{
+        execute, execute_batched, execute_online, Discipline, ExecError, ExecReport, Release,
+        ReleasePolicy,
+    };
     pub use crate::extensions::{execute_batched_greedy, execute_batched_lookahead};
     pub use crate::patterns::{ordering_tango_oracle, pattern_score, AddOrder, SchedPattern};
     pub use crate::priority::{

@@ -86,12 +86,11 @@ impl SchedPattern {
                 .collect();
             if phase == ReqOp::Add {
                 match self.add_order {
-                    AddOrder::Ascending => phase_nodes.sort_by_key(|&id| {
-                        (dag.node(id).effective_priority(), id)
-                    }),
-                    AddOrder::Descending => phase_nodes.sort_by_key(|&id| {
-                        (u16::MAX - dag.node(id).effective_priority(), id)
-                    }),
+                    AddOrder::Ascending => {
+                        phase_nodes.sort_by_key(|&id| (dag.node(id).effective_priority(), id))
+                    }
+                    AddOrder::Descending => phase_nodes
+                        .sort_by_key(|&id| (u16::MAX - dag.node(id).effective_priority(), id)),
                     AddOrder::AsGiven => {}
                 }
             }
@@ -151,11 +150,7 @@ pub fn pattern_score(db: &TangoDb, dag: &RequestDag, set: &[NodeId], p: &SchedPa
 /// −91 under pattern 1 and −171 under pattern 2); the measured-weights
 /// [`pattern_score`] is what the production oracle uses.
 #[must_use]
-pub fn pattern_score_paper_weights(
-    dag: &RequestDag,
-    set: &[NodeId],
-    add_order: AddOrder,
-) -> f64 {
+pub fn pattern_score_paper_weights(dag: &RequestDag, set: &[NodeId], add_order: AddOrder) -> f64 {
     let mut dels = 0.0;
     let mut mods = 0.0;
     let mut adds = 0.0;
@@ -273,9 +268,7 @@ mod tests {
             add_order: AddOrder::Descending,
             ..asc.clone()
         };
-        assert!(
-            pattern_score(&db, &dag, &ids, &asc) > pattern_score(&db, &dag, &ids, &desc)
-        );
+        assert!(pattern_score(&db, &dag, &ids, &asc) > pattern_score(&db, &dag, &ids, &desc));
     }
 
     #[test]
@@ -306,18 +299,9 @@ mod paper_example_tests {
         assert_eq!(indep, vec![ids[0], ids[3], ids[6], ids[7]]);
         // One DEL (H), one MOD (E), two ADDs (A, I).
         let ops: Vec<ReqOp> = indep.iter().map(|&i| dag.node(i).op).collect();
-        assert_eq!(
-            ops.iter().filter(|&&o| o == ReqOp::Del).count(),
-            1
-        );
-        assert_eq!(
-            ops.iter().filter(|&&o| o == ReqOp::Mod).count(),
-            1
-        );
-        assert_eq!(
-            ops.iter().filter(|&&o| o == ReqOp::Add).count(),
-            2
-        );
+        assert_eq!(ops.iter().filter(|&&o| o == ReqOp::Del).count(), 1);
+        assert_eq!(ops.iter().filter(|&&o| o == ReqOp::Mod).count(), 1);
+        assert_eq!(ops.iter().filter(|&&o| o == ReqOp::Add).count(), 2);
         let p1 = pattern_score_paper_weights(&dag, &indep, AddOrder::Ascending);
         let p2 = pattern_score_paper_weights(&dag, &indep, AddOrder::Descending);
         assert_eq!(p1, -91.0);
@@ -334,8 +318,8 @@ mod paper_example_tests {
         assert_eq!(lp[ids[0].0], 2); // A→B→C
         assert_eq!(lp[ids[3].0], 2); // E→F→G
         assert_eq!(lp[ids[6].0], 2); // H→F→G
-        // I→G is one hop, but I also precedes J: the figure draws I in
-        // the same frontier.
+                                     // I→G is one hop, but I also precedes J: the figure draws I in
+                                     // the same frontier.
         assert_eq!(lp[ids[7].0], 1);
     }
 }

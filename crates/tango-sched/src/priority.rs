@@ -99,8 +99,7 @@ fn topo_order(n: usize, deps: &[(usize, usize)]) -> Option<Vec<usize>> {
 /// Verifies that an assignment satisfies every constraint.
 #[must_use]
 pub fn satisfies(priorities: &[u16], deps: &[(usize, usize)]) -> bool {
-    deps.iter()
-        .all(|&(hi, lo)| priorities[hi] > priorities[lo])
+    deps.iter().all(|&(hi, lo)| priorities[hi] > priorities[lo])
 }
 
 /// An installation order for the rules: ascending by assigned priority

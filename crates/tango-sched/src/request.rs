@@ -124,9 +124,7 @@ impl ReqElem {
                 fm.actions = self.actions.clone();
                 fm
             }
-            ReqOp::Mod => {
-                FlowMod::modify_strict(self.flow_match, priority, self.actions.clone())
-            }
+            ReqOp::Mod => FlowMod::modify_strict(self.flow_match, priority, self.actions.clone()),
             ReqOp::Del => FlowMod::delete_strict(self.flow_match, priority),
         }
     }

@@ -24,7 +24,11 @@ use tango_sched::request::{ReqElem, ReqOp};
 /// (guaranteed acyclic). Mods/deletes are avoided so any execution
 /// order succeeds without preinstalled state.
 fn arb_dag() -> impl Strategy<Value = RequestDag> {
-    (2usize..40, proptest::collection::vec((any::<u16>(), 0u8..3), 2..40), any::<u64>())
+    (
+        2usize..40,
+        proptest::collection::vec((any::<u16>(), 0u8..3), 2..40),
+        any::<u64>(),
+    )
         .prop_map(|(_n, specs, seed)| {
             let mut dag = RequestDag::new();
             let ids: Vec<NodeId> = specs
@@ -74,7 +78,7 @@ proptest! {
             let mut tb = testbed(1);
             let mut d = dag.clone();
             let n = d.len();
-            let report = execute_online(&mut tb, &mut d, discipline, Release::Ack);
+            let report = execute_online(&mut tb, &mut d, discipline, Release::Ack).unwrap();
             prop_assert!(d.all_done());
             prop_assert_eq!(report.completed + report.failed, n);
             prop_assert_eq!(report.failed, 0);
@@ -94,10 +98,10 @@ proptest! {
         };
         let db = TangoDb::new();
         let batched = count_after(Box::new(move |tb, d| {
-            execute_batched_greedy(tb, d, &db);
+            execute_batched_greedy(tb, d, &db).unwrap();
         }));
         let online = count_after(Box::new(|tb, d| {
-            execute_online(tb, d, Discipline::TangoTypePriority, Release::Ack);
+            execute_online(tb, d, Discipline::TangoTypePriority, Release::Ack).unwrap();
         }));
         prop_assert_eq!(batched, online);
     }
@@ -174,7 +178,8 @@ proptest! {
             &mut dag,
             Discipline::TangoTypeOnly,
             Release::Ack,
-        );
+        )
+        .unwrap();
         prop_assert_eq!(report.failed, 0);
         // Final state: preinstalled mods stay, dels gone, adds present.
         let adds = specs.iter().filter(|&&(op, _)| op == 0).count();
@@ -197,7 +202,8 @@ proptest! {
                 &mut d,
                 Discipline::TangoTypePriority,
                 Release::Guard(simnet::time::SimDuration::from_micros(50)),
-            );
+            )
+            .unwrap();
             (report.makespan, report.completed, tb.now())
         };
         prop_assert_eq!(run(), run());
@@ -209,6 +215,7 @@ proptest! {
             let mut tb = testbed(9);
             let mut d = dag.clone();
             execute_online(&mut tb, &mut d, Discipline::TangoTypePriority, release)
+                .unwrap()
                 .makespan
         };
         let ack = makespan(Release::Ack);

@@ -109,8 +109,7 @@ pub fn measure_latency_profile(engine: &mut ProbingEngine<'_>, n: usize) -> Late
     engine.clear_rules();
 
     // desc_total − asc_total ≈ shift_us · n²/2  (in µs).
-    let shift_us =
-        ((add_desc - add_asc) * n as f64 * 1000.0 / ((n as f64).powi(2) / 2.0)).max(0.0);
+    let shift_us = ((add_desc - add_asc) * n as f64 * 1000.0 / ((n as f64).powi(2) / 2.0)).max(0.0);
 
     LatencyProfile {
         calibrated_n: n,

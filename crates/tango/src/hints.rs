@@ -70,14 +70,11 @@ fn placement_cost(db: &TangoDb, dpid: Dpid, hint: &AppHint) -> f64 {
 /// Returns `None` for an empty candidate list.
 #[must_use]
 pub fn advise_placement(db: &TangoDb, candidates: &[Dpid], hint: &AppHint) -> Option<Dpid> {
-    candidates
-        .iter()
-        .copied()
-        .min_by(|a, b| {
-            placement_cost(db, *a, hint)
-                .partial_cmp(&placement_cost(db, *b, hint))
-                .expect("finite costs")
-        })
+    candidates.iter().copied().min_by(|a, b| {
+        placement_cost(db, *a, hint)
+            .partial_cmp(&placement_cost(db, *b, hint))
+            .expect("finite costs")
+    })
 }
 
 /// Checks whether a switch can meet an installation deadline for a batch
@@ -90,9 +87,9 @@ pub fn can_meet_deadline(db: &TangoDb, dpid: Dpid, adds: usize, deadline_ms: f64
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cluster::Clustering;
     use crate::curves::LatencyProfile;
     use crate::infer_size::{LevelEstimate, SizeEstimate};
-    use crate::cluster::Clustering;
 
     /// Builds a db with a "hardware" switch (slow installs, fast
     /// forwarding) and a "software" switch (fast installs, slow

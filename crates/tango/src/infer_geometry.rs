@@ -55,12 +55,7 @@ pub struct GeometryEstimate {
 
 /// Probes one rule kind: returns the fast-layer capacity if a bounded
 /// layer was observed (rejection, or a spill tier behind the fast one).
-fn fast_layer(
-    tb: &mut Testbed,
-    dpid: Dpid,
-    kind: RuleKind,
-    cfg: &SizeProbeConfig,
-) -> Option<f64> {
+fn fast_layer(tb: &mut Testbed, dpid: Dpid, kind: RuleKind, cfg: &SizeProbeConfig) -> Option<f64> {
     let mut engine = ProbingEngine::new(tb, dpid, kind);
     engine.clear_rules();
     let est = probe_sizes(&mut engine, cfg);
@@ -75,12 +70,7 @@ fn fast_layer(
 /// Probes the switch's TCAM geometry. `cap` bounds each of the three
 /// sub-probes (it should comfortably exceed the largest plausible
 /// single-layer capacity so spill tiers become visible).
-pub fn probe_geometry(
-    tb: &mut Testbed,
-    dpid: Dpid,
-    cap: usize,
-    trials: usize,
-) -> GeometryEstimate {
+pub fn probe_geometry(tb: &mut Testbed, dpid: Dpid, cap: usize, trials: usize) -> GeometryEstimate {
     let cfg = |seed: u64| SizeProbeConfig {
         max_flows: cap,
         trials_per_level: trials,
@@ -168,10 +158,7 @@ mod tests {
                 // 64 sampling trials keep the test fast; tolerance is
                 // relaxed accordingly (the classification only needs the
                 // ~2× separation, not the 5 % headline).
-                assert!(
-                    (narrow - 4095.0).abs() / 4095.0 < 0.10,
-                    "narrow {narrow}"
-                );
+                assert!((narrow - 4095.0).abs() / 4095.0 < 0.10, "narrow {narrow}");
                 assert!((wide - 2047.0).abs() / 2047.0 < 0.10, "wide {wide}");
             }
             other => panic!("expected width sensitive, got {other:?}"),

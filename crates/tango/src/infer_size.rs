@@ -23,8 +23,8 @@ use crate::cluster::{cluster_rtts, kmeans_auto, Clustering};
 use crate::probe::ProbingEngine;
 use crate::stats::nb_hit_probability;
 use ofwire::flow_mod::FlowMod;
-use simnet::rng::DetRng;
 use serde::{Deserialize, Serialize};
+use simnet::rng::DetRng;
 
 /// Which clustering method stage 2 uses (the ablation axis).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -262,7 +262,12 @@ mod tests {
         );
         assert!(!est.hit_rejection);
         assert_eq!(est.m, 1024);
-        assert_eq!(est.levels.len(), 2, "clusters: {:?}", est.clustering.centers);
+        assert_eq!(
+            est.levels.len(),
+            2,
+            "clusters: {:?}",
+            est.clustering.centers
+        );
         let err = relative_error(est.levels[0].estimated_size, 512.0);
         assert!(
             err < 0.05,
@@ -280,6 +285,7 @@ mod tests {
         // trial).
         let cfg = SizeProbeConfig {
             max_flows: 600,
+            seed: 0x7a63,
             ..SizeProbeConfig::default()
         };
         let est = run_probe(
@@ -288,7 +294,11 @@ mod tests {
             &cfg,
         );
         let err = relative_error(est.levels[0].estimated_size, 300.0);
-        assert!(err < 0.05, "estimate {} err {err:.3}", est.levels[0].estimated_size);
+        assert!(
+            err < 0.05,
+            "estimate {} err {err:.3}",
+            est.levels[0].estimated_size
+        );
     }
 
     #[test]

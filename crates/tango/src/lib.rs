@@ -32,6 +32,7 @@
 //! ```
 
 pub mod cluster;
+pub mod concurrent;
 pub mod curves;
 pub mod db;
 pub mod hints;
@@ -46,6 +47,7 @@ pub mod stats;
 /// Glob-import of the commonly used types.
 pub mod prelude {
     pub use crate::cluster::{cluster_rtts, kmeans_auto, Clustering};
+    pub use crate::concurrent::run_patterns;
     pub use crate::curves::{measure_latency_profile, LatencyProfile};
     pub use crate::db::{SwitchKnowledge, TangoDb};
     pub use crate::hints::{advise_placement, AppHint, FlowGoal};
@@ -54,5 +56,7 @@ pub mod prelude {
     pub use crate::infer_size::{probe_sizes, SizeEstimate, SizeProbeConfig};
     pub use crate::online::{probe_headroom, Headroom, ONLINE_PROBE_ID_BASE};
     pub use crate::pattern::{OpPhase, PatternStep, PriorityOrder, RuleKind, TangoPattern};
-    pub use crate::probe::{PatternResult, ProbeSample, ProbingEngine};
+    pub use crate::probe::{
+        compile_pattern, PatternProgram, PatternResult, ProbeSample, ProbingEngine, ProgramOp,
+    };
 }

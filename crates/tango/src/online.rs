@@ -34,13 +34,8 @@ pub struct Headroom {
 /// without touching application rules. `priority` should be low so the
 /// probe rules cannot shadow production traffic; `cap` bounds the probe
 /// on switches with unbounded software tables.
-pub fn probe_headroom(
-    engine: &mut ProbingEngine<'_>,
-    priority: u16,
-    cap: usize,
-) -> Headroom {
+pub fn probe_headroom(engine: &mut ProbingEngine<'_>, priority: u16, cap: usize) -> Headroom {
     let kind = engine.kind();
-    let dpid = engine.dpid();
     let mut accepted = 0usize;
     let mut hit_rejection = false;
     // Doubling batches, as in Algorithm 1 stage 1.
@@ -49,14 +44,9 @@ pub fn probe_headroom(
         let target = x.min(cap);
         if target > accepted {
             let fms: Vec<FlowMod> = (accepted..target)
-                .map(|i| {
-                    FlowMod::add(
-                        kind.flow_match(ONLINE_PROBE_ID_BASE + i as u32),
-                        priority,
-                    )
-                })
+                .map(|i| FlowMod::add(kind.flow_match(ONLINE_PROBE_ID_BASE + i as u32), priority))
                 .collect();
-            let (ok, failed, _) = engine.testbed_mut().batch(dpid, fms);
+            let (ok, failed, _) = engine.run_batch(fms);
             accepted += ok;
             if failed > 0 {
                 hit_rejection = true;
@@ -66,15 +56,10 @@ pub fn probe_headroom(
     }
     // Clean up strictly: only the probe's own rules.
     let dels: Vec<FlowMod> = (0..accepted)
-        .map(|i| {
-            FlowMod::delete_strict(
-                kind.flow_match(ONLINE_PROBE_ID_BASE + i as u32),
-                priority,
-            )
-        })
+        .map(|i| FlowMod::delete_strict(kind.flow_match(ONLINE_PROBE_ID_BASE + i as u32), priority))
         .collect();
     let n_dels = dels.len();
-    let (ok, failed, _) = engine.testbed_mut().batch(dpid, dels);
+    let (ok, failed, _) = engine.run_batch(dels);
     debug_assert_eq!(failed, 0);
     debug_assert_eq!(ok, n_dels);
     Headroom {

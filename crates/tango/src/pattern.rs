@@ -193,7 +193,9 @@ impl TangoPattern {
         TangoPattern {
             name: format!("probe_each({n})"),
             kind,
-            steps: (0..n).map(|i| PatternStep::Probe { id: i as u32 }).collect(),
+            steps: (0..n)
+                .map(|i| PatternStep::Probe { id: i as u32 })
+                .collect(),
         }
     }
 
@@ -314,10 +316,7 @@ mod tests {
 
     #[test]
     fn priority_orders() {
-        assert_eq!(
-            PriorityOrder::Ascending.priorities(3, 10),
-            vec![10, 11, 12]
-        );
+        assert_eq!(PriorityOrder::Ascending.priorities(3, 10), vec![10, 11, 12]);
         assert_eq!(
             PriorityOrder::Descending.priorities(3, 10),
             vec![12, 11, 10]
@@ -357,9 +356,7 @@ mod tests {
     fn all_six_permutations_distinct() {
         let names: Vec<String> = OpPhase::permutations()
             .iter()
-            .map(|perm| {
-                TangoPattern::op_permutation(*perm, 1, 100, 10, RuleKind::L3).name
-            })
+            .map(|perm| TangoPattern::op_permutation(*perm, 1, 100, 10, RuleKind::L3).name)
             .collect();
         let mut unique = names.clone();
         unique.sort();

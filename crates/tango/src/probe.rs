@@ -4,12 +4,20 @@
 //! Consecutive flow-mods are pipelined into one barriered batch — exactly
 //! the paper's measurement methodology — and each [`PatternStep::Probe`]
 //! sends a real data packet and records its RTT.
+//!
+//! A pattern is first *compiled* into a [`PatternProgram`] — the exact
+//! sequence of control-path operations it issues — and then driven
+//! through the [`ControlPath`] abstraction one completion at a time.
+//! [`ProbingEngine::run`] drives a single program synchronously; the
+//! [`concurrent`](crate::concurrent) module drives one program per
+//! switch, interleaved in the same virtual time.
 
 use crate::pattern::{PatternStep, RuleKind, TangoPattern};
 use ofwire::action::Action;
 use ofwire::flow_mod::FlowMod;
 use ofwire::types::Dpid;
 use simnet::time::SimDuration;
+use switchsim::control::{ControlOp, ControlPath, OpOutcome};
 use switchsim::harness::Testbed;
 use switchsim::pipeline::Hit;
 
@@ -66,6 +74,105 @@ impl PatternResult {
     }
 }
 
+/// One control-path operation of a compiled pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProgramOp {
+    /// A barriered batch of flow-mods (consecutive pattern mods,
+    /// pipelined per the paper's measurement methodology).
+    Batch(Vec<FlowMod>),
+    /// A data-plane probe for flow `id`.
+    Probe(u32),
+}
+
+/// A pattern compiled to the exact control-path operations it issues.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternProgram {
+    /// Match kind of the probe rules.
+    pub kind: RuleKind,
+    /// Operations, in issue order.
+    pub ops: Vec<ProgramOp>,
+}
+
+/// Compiles a pattern: consecutive flow-mods coalesce into one barriered
+/// batch, flushed before every probe or explicit barrier.
+#[must_use]
+pub fn compile_pattern(pattern: &TangoPattern) -> PatternProgram {
+    let kind = pattern.kind;
+    let mut ops = Vec::new();
+    let mut pending: Vec<FlowMod> = Vec::new();
+    for step in &pattern.steps {
+        if let Some(fm) = flow_mod_for(kind, step) {
+            pending.push(fm);
+            continue;
+        }
+        if !pending.is_empty() {
+            ops.push(ProgramOp::Batch(std::mem::take(&mut pending)));
+        }
+        if let PatternStep::Probe { id } = step {
+            ops.push(ProgramOp::Probe(*id));
+        }
+    }
+    if !pending.is_empty() {
+        ops.push(ProgramOp::Batch(pending));
+    }
+    PatternProgram { kind, ops }
+}
+
+fn flow_mod_for(kind: RuleKind, step: &PatternStep) -> Option<FlowMod> {
+    match *step {
+        PatternStep::Add { id, priority } => Some(FlowMod::add(kind.flow_match(id), priority)),
+        PatternStep::Modify {
+            id,
+            priority,
+            out_port,
+        } => Some(FlowMod::modify_strict(
+            kind.flow_match(id),
+            priority,
+            vec![Action::output(out_port)],
+        )),
+        PatternStep::Delete { id, priority } => {
+            Some(FlowMod::delete_strict(kind.flow_match(id), priority))
+        }
+        PatternStep::Probe { .. } | PatternStep::Barrier => None,
+    }
+}
+
+/// Converts one program op into the control-path operation to submit.
+pub(crate) fn to_control_op(kind: RuleKind, op: &ProgramOp) -> ControlOp {
+    match op {
+        ProgramOp::Batch(fms) => ControlOp::Batch(fms.clone()),
+        ProgramOp::Probe(id) => ControlOp::Probe(kind.key(*id)),
+    }
+}
+
+/// Folds one completion into a [`PatternResult`]. `ops` is the batch
+/// size (for segment accounting) and `issued_at` the controller-side
+/// ready time the op was submitted with.
+pub(crate) fn record_completion(
+    result: &mut PatternResult,
+    op: &ProgramOp,
+    issued_at: simnet::time::SimTime,
+    c: &switchsim::control::Completion,
+) {
+    match (op, c.outcome) {
+        (ProgramOp::Batch(fms), OpOutcome::Batch { failed, .. }) => {
+            result.segments.push(Segment {
+                ops: fms.len(),
+                rejected: failed,
+                elapsed: c.acked_at.since(issued_at),
+            });
+        }
+        (ProgramOp::Probe(id), OpOutcome::Probe(hit)) => {
+            result.probes.push(ProbeSample {
+                id: *id,
+                hit,
+                rtt_ms: c.acked_at.since(issued_at).as_millis_f64(),
+            });
+        }
+        (op, outcome) => panic!("completion {outcome:?} does not match issued op {op:?}"),
+    }
+}
+
 /// The probing engine, bound to one switch of a testbed.
 pub struct ProbingEngine<'a> {
     tb: &'a mut Testbed,
@@ -102,70 +209,38 @@ impl<'a> ProbingEngine<'a> {
         self.kind
     }
 
-    fn flow_mod_for(&self, step: &PatternStep) -> Option<FlowMod> {
-        match *step {
-            PatternStep::Add { id, priority } => {
-                Some(FlowMod::add(self.kind.flow_match(id), priority))
-            }
-            PatternStep::Modify {
-                id,
-                priority,
-                out_port,
-            } => Some(FlowMod::modify_strict(
-                self.kind.flow_match(id),
-                priority,
-                vec![Action::output(out_port)],
-            )),
-            PatternStep::Delete { id, priority } => {
-                Some(FlowMod::delete_strict(self.kind.flow_match(id), priority))
-            }
-            PatternStep::Probe { .. } | PatternStep::Barrier => None,
-        }
-    }
-
-    /// Runs a pattern to completion.
+    /// Runs a pattern to completion: compiles it and drives the program
+    /// through the control path, one op per completion.
     pub fn run(&mut self, pattern: &TangoPattern) -> PatternResult {
         assert_eq!(
             pattern.kind, self.kind,
             "pattern kind must match engine kind"
         );
+        let program = compile_pattern(pattern);
         let mut result = PatternResult::default();
-        let mut pending: Vec<FlowMod> = Vec::new();
-        for step in &pattern.steps {
-            if let Some(fm) = self.flow_mod_for(step) {
-                pending.push(fm);
-                continue;
-            }
-            // Probe or explicit barrier: flush pending flow-mods first.
-            if !pending.is_empty() {
-                let batch = std::mem::take(&mut pending);
-                let ops = batch.len();
-                let (_ok, rejected, elapsed) = self.tb.batch(self.dpid, batch);
-                result.segments.push(Segment {
-                    ops,
-                    rejected,
-                    elapsed,
-                });
-            }
-            if let PatternStep::Probe { id } = step {
-                let (hit, rtt) = self.tb.probe(self.dpid, &self.kind.key(*id));
-                result.probes.push(ProbeSample {
-                    id: *id,
-                    hit,
-                    rtt_ms: rtt.as_millis_f64(),
-                });
-            }
-        }
-        if !pending.is_empty() {
-            let ops = pending.len();
-            let (_ok, rejected, elapsed) = self.tb.batch(self.dpid, std::mem::take(&mut pending));
-            result.segments.push(Segment {
-                ops,
-                rejected,
-                elapsed,
-            });
+        for op in &program.ops {
+            let issued_at = ControlPath::now(self.tb);
+            let token = self
+                .tb
+                .submit(self.dpid, to_control_op(self.kind, op), issued_at);
+            let c = self.tb.wait_for(token);
+            record_completion(&mut result, op, issued_at, &c);
+            self.tb.warp_to(c.acked_at);
         }
         result
+    }
+
+    /// Issues one barriered batch through the control path, waiting for
+    /// its completion. Returns `(accepted, rejected, elapsed)`.
+    pub fn run_batch(&mut self, fms: Vec<FlowMod>) -> (usize, usize, SimDuration) {
+        let issued_at = ControlPath::now(self.tb);
+        let token = self.tb.submit(self.dpid, ControlOp::Batch(fms), issued_at);
+        let c = self.tb.wait_for(token);
+        self.tb.warp_to(c.acked_at);
+        match c.outcome {
+            OpOutcome::Batch { ok, failed } => (ok, failed, c.acked_at.since(issued_at)),
+            _ => unreachable!("batch submit yields a batch outcome"),
+        }
     }
 
     /// Installs one probe rule immediately (no batching); returns whether
@@ -300,8 +375,8 @@ mod tests {
 #[cfg(test)]
 mod echo_tests {
     use super::*;
-    use switchsim::profiles::SwitchProfile;
     use simnet::trace::Summary;
+    use switchsim::profiles::SwitchProfile;
 
     #[test]
     fn control_rtt_reflects_the_channel_not_the_tables() {

@@ -115,10 +115,7 @@ mod tests {
                 })
                 .collect();
             let p_hat = nb_hit_probability(&runs);
-            assert!(
-                (p_hat - p).abs() < 0.02,
-                "p={p}, estimated {p_hat}"
-            );
+            assert!((p_hat - p).abs() < 0.02, "p={p}, estimated {p_hat}");
         }
     }
 

@@ -75,9 +75,7 @@ mod tests {
 
     #[test]
     fn disjoint_rules_are_independent() {
-        let rules: Vec<FlowMatch> = (0u32..10)
-            .map(|i| prefix_rule(i << 24, 8))
-            .collect();
+        let rules: Vec<FlowMatch> = (0u32..10).map(|i| prefix_rule(i << 24, 8)).collect();
         assert!(rule_dependencies(&rules).is_empty());
         assert_eq!(chain_depth(10, &[]), 1);
     }

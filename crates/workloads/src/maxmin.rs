@@ -24,10 +24,7 @@ pub fn max_min_fair(topo: &Topology, demands: &[Demand]) -> Vec<f64> {
     let mut alloc = vec![0.0f64; n];
     let mut frozen = vec![false; n];
     let mut remaining_cap: Vec<f64> = topo.links.iter().map(|&(_, _, c)| c).collect();
-    let links_of: Vec<Vec<usize>> = demands
-        .iter()
-        .map(|d| path_links(topo, &d.path))
-        .collect();
+    let links_of: Vec<Vec<usize>> = demands.iter().map(|d| path_links(topo, &d.path)).collect();
 
     loop {
         // Active flows per link.

@@ -124,10 +124,7 @@ mod tests {
 
     #[test]
     fn disconnected_returns_none() {
-        let t = Topology::new(
-            vec!["a".into(), "b".into(), "c".into()],
-            vec![(0, 1, 1.0)],
-        );
+        let t = Topology::new(vec!["a".into(), "b".into(), "c".into()], vec![(0, 1, 1.0)]);
         assert_eq!(shortest_path(&t, 0, 2), None);
     }
 

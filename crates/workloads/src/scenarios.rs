@@ -228,11 +228,11 @@ pub fn b4_traffic_engineering(n_flows: usize, seed: u64) -> Scenario {
     let mut deps = Vec::new();
     let mut preinstall = Vec::new();
     let emit_path_ops = |flow: u32,
-                             path: &[NodeIdx],
-                             op: ScenOp,
-                             priority: u16,
-                             requests: &mut Vec<ScenarioRequest>,
-                             deps: &mut Vec<(usize, usize)>| {
+                         path: &[NodeIdx],
+                         op: ScenOp,
+                         priority: u16,
+                         requests: &mut Vec<ScenarioRequest>,
+                         deps: &mut Vec<(usize, usize)>| {
         // Ops at every switch except the destination, destination-side
         // first.
         let hops = &path[..path.len() - 1];
@@ -260,12 +260,26 @@ pub fn b4_traffic_engineering(n_flows: usize, seed: u64) -> Scenario {
             for &node in &d.path[..d.path.len() - 1] {
                 preinstall.push((node, flow, priority));
             }
-            emit_path_ops(flow, &d.path, ScenOp::Del, priority, &mut requests, &mut deps);
+            emit_path_ops(
+                flow,
+                &d.path,
+                ScenOp::Del,
+                priority,
+                &mut requests,
+                &mut deps,
+            );
         } else if changed {
             for &node in &d.path[..d.path.len() - 1] {
                 preinstall.push((node, flow, priority));
             }
-            emit_path_ops(flow, &d.path, ScenOp::Mod, priority, &mut requests, &mut deps);
+            emit_path_ops(
+                flow,
+                &d.path,
+                ScenOp::Mod,
+                priority,
+                &mut requests,
+                &mut deps,
+            );
         }
     }
     // New flows: a tenth more, with fresh ids.
@@ -377,6 +391,9 @@ mod tests {
         let a = traffic_engineering(&topo, "TE", 200, (1, 1, 1), 1, false, 9);
         let b = traffic_engineering(&topo, "TE", 200, (1, 1, 1), 1, false, 9);
         assert_eq!(a, b);
-        assert_eq!(b4_traffic_engineering(100, 2), b4_traffic_engineering(100, 2));
+        assert_eq!(
+            b4_traffic_engineering(100, 2),
+            b4_traffic_engineering(100, 2)
+        );
     }
 }

@@ -66,9 +66,7 @@ impl Topology {
     #[must_use]
     pub fn link_between(&self, a: NodeIdx, b: NodeIdx) -> Option<usize> {
         let (lo, hi) = if a < b { (a, b) } else { (b, a) };
-        self.links
-            .iter()
-            .position(|&(x, y, _)| x == lo && y == hi)
+        self.links.iter().position(|&(x, y, _)| x == lo && y == hi)
     }
 
     /// A copy with one link removed (link-failure scenarios).

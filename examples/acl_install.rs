@@ -41,7 +41,11 @@ fn main() {
         let rules = generate(&cfg);
         let matches: Vec<_> = rules.iter().map(|r| r.flow_match).collect();
         let deps = rule_dependencies(&matches);
-        println!("── {name}: {} rules, {} dependencies ──", rules.len(), deps.len());
+        println!(
+            "── {name}: {} rules, {} dependencies ──",
+            rules.len(),
+            deps.len()
+        );
 
         // Tango's two assignments.
         let topo = topological_priorities(matches.len(), &deps);

@@ -37,14 +37,10 @@ fn probe_kind(tb: &mut Testbed, dpid: Dpid, kind: RuleKind, cap: usize) -> SizeE
 /// L2+L3 rules).
 fn classify(narrow: &SizeEstimate, wide: &SizeEstimate) -> String {
     match (narrow.hit_rejection, narrow.levels.len()) {
-        (false, 0 | 1) => {
-            "software switch: no bounded table, single fast tier → OVS-like".into()
-        }
+        (false, 0 | 1) => "software switch: no bounded table, single fast tier → OVS-like".into(),
         (false, _) => {
             let fast = narrow.fast_layer_size().unwrap_or(0.0);
-            format!(
-                "TCAM (+~{fast:.0} entries) over unbounded software spill → Switch #1-like"
-            )
+            format!("TCAM (+~{fast:.0} entries) over unbounded software spill → Switch #1-like")
         }
         (true, _) => {
             let n = narrow.m;

@@ -28,9 +28,11 @@ fn lower_and_run(scen: &Scenario, which: &str, seed: u64) -> f64 {
 
 fn main() {
     let topo = Topology::triangle();
-    let scenarios = [link_failure(&topo, (0, 1), 400, 0x10),
+    let scenarios = [
+        link_failure(&topo, (0, 1), 400, 0x10),
         traffic_engineering(&topo, "TE 1", 800, (2, 1, 1), 1, false, 0x11),
-        traffic_engineering(&topo, "TE 2", 800, (1, 1, 1), 1, false, 0x12)];
+        traffic_engineering(&topo, "TE 2", 800, (1, 1, 1), 1, false, 0x12),
+    ];
 
     println!("scenario   Dionysus   Tango(Type)  Tango(Type+Prio)  improvement");
     println!("--------------------------------------------------------------------");

@@ -20,7 +20,10 @@ fn main() {
     // probes adapt to different implementations.
     let mut tb = Testbed::new(42);
     let dpid = Dpid(1);
-    tb.attach_default(dpid, SwitchProfile::generic_cached(512, switchsim::cache::CachePolicy::lru()));
+    tb.attach_default(
+        dpid,
+        SwitchProfile::generic_cached(512, switchsim::cache::CachePolicy::lru()),
+    );
 
     println!("probing switch {dpid} …\n");
 
@@ -50,10 +53,7 @@ fn main() {
     // --- Algorithm 2: cache-replacement policy -----------------------
     let fast_layer = size.fast_layer_size().unwrap_or(0.0).round() as usize;
     let policy = probe_policy(&mut engine, fast_layer, &PolicyProbeConfig::default());
-    println!(
-        "inferred cache policy: {}",
-        policy.as_policy().describe()
-    );
+    println!("inferred cache policy: {}", policy.as_policy().describe());
     for (i, round) in policy.rounds.iter().enumerate() {
         let best = round
             .correlations

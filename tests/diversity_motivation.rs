@@ -9,10 +9,10 @@ use simnet::time::SimTime;
 use switchsim::cache::CachePolicy;
 use switchsim::harness::{OpResult, Testbed};
 use switchsim::pipeline::Hit;
+use switchsim::pipeline::Pipeline;
 use switchsim::profiles::SwitchProfile;
 use switchsim::switch::Switch;
 use switchsim::tcam::TcamGeometry;
-use switchsim::pipeline::Pipeline;
 
 /// "Consider two switches with the same TCAM size, but one adds a
 /// software flow table on top. Then, insertion of the same sequence of

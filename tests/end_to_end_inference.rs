@@ -9,10 +9,7 @@ use switchsim::profiles::SwitchProfile;
 use tango::prelude::*;
 
 /// One full understand-the-switch pass, as a controller would run it.
-fn understand(
-    profile: SwitchProfile,
-    max_flows: usize,
-) -> (TangoDb, Dpid) {
+fn understand(profile: SwitchProfile, max_flows: usize) -> (TangoDb, Dpid) {
     let mut tb = Testbed::new(0xe2e);
     let dpid = Dpid(1);
     tb.attach_default(dpid, profile);
@@ -41,10 +38,7 @@ fn understand(
 
 #[test]
 fn full_loop_on_fifo_switch() {
-    let (db, dpid) = understand(
-        SwitchProfile::generic_cached(300, CachePolicy::fifo()),
-        600,
-    );
+    let (db, dpid) = understand(SwitchProfile::generic_cached(300, CachePolicy::fifo()), 600);
     let k = db.switch(dpid).unwrap();
     let fast = k.fast_layer_size().unwrap();
     assert!((fast - 300.0).abs() / 300.0 < 0.05, "fast layer {fast}");
@@ -55,10 +49,7 @@ fn full_loop_on_fifo_switch() {
 
 #[test]
 fn full_loop_on_lru_switch() {
-    let (db, dpid) = understand(
-        SwitchProfile::generic_cached(250, CachePolicy::lru()),
-        500,
-    );
+    let (db, dpid) = understand(SwitchProfile::generic_cached(250, CachePolicy::lru()), 500);
     let k = db.switch(dpid).unwrap();
     let fast = k.fast_layer_size().unwrap();
     assert!((fast - 250.0).abs() / 250.0 < 0.05, "fast layer {fast}");

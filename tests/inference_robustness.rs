@@ -46,12 +46,7 @@ fn size_error(profile: SwitchProfile, ctrl: Link, tcam: u64, seed: u64) -> f64 {
 fn size_inference_survives_4x_jitter() {
     // Default fast-path jitter is ~4.5 %; quadruple it. The clusters are
     // still far apart relative to the noise, so accuracy holds.
-    let err = size_error(
-        noisy_profile(300, 0.18),
-        Link::control_channel(0.1),
-        300,
-        1,
-    );
+    let err = size_error(noisy_profile(300, 0.18), Link::control_channel(0.1), 300, 1);
     assert!(err < 0.06, "error {err} under 18% jitter");
 }
 

@@ -34,7 +34,12 @@ fn all_schedulers_reach_identical_final_rule_counts() {
         };
         assert_eq!(report.completed, scen.requests.len(), "{which}");
         assert_eq!(report.failed, 0, "{which}");
-        let total: usize = dpids.iter().map(|&d| tb.switch(d).rule_count()).collect::<Vec<_>>().iter().sum();
+        let total: usize = dpids
+            .iter()
+            .map(|&d| tb.switch(d).rule_count())
+            .collect::<Vec<_>>()
+            .iter()
+            .sum();
         counts.push(total);
     }
     assert_eq!(counts[0], counts[1]);

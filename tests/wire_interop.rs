@@ -4,11 +4,11 @@
 //! exactly as a real control channel would.
 
 use ofwire::prelude::*;
+use simnet::time::SimTime;
 use switchsim::agent::Agent;
 use switchsim::pipeline::Hit;
 use switchsim::profiles::SwitchProfile;
 use switchsim::switch::Switch;
-use simnet::time::SimTime;
 
 /// A minimal controller that frames outgoing messages and parses
 /// replies through a real `Framer`.
@@ -153,6 +153,18 @@ fn data_plane_promotion_visible_through_wire() {
             outs[0].forwarded.unwrap().0
         })
         .collect();
-    assert_eq!(hits[0], Hit::Table { level: 1, entry: switchsim::entry::EntryId(1) });
-    assert_eq!(hits[1], Hit::Table { level: 0, entry: switchsim::entry::EntryId(1) });
+    assert_eq!(
+        hits[0],
+        Hit::Table {
+            level: 1,
+            entry: switchsim::entry::EntryId(1)
+        }
+    );
+    assert_eq!(
+        hits[1],
+        Hit::Table {
+            level: 0,
+            entry: switchsim::entry::EntryId(1)
+        }
+    );
 }
