@@ -1,0 +1,76 @@
+//! Criterion bench for fleet-scale inference: how the host-CPU cost of
+//! `tango::fleet::run_inference` scales with fleet width, against the
+//! sequential per-switch baseline at the same width.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ofwire::types::Dpid;
+use switchsim::cache::CachePolicy;
+use switchsim::harness::Testbed;
+use switchsim::profiles::SwitchProfile;
+use tango::fleet::{run_inference, FleetJob};
+use tango::infer_size::{probe_sizes, SizeProbeConfig};
+use tango::pattern::RuleKind;
+use tango::probe::ProbingEngine;
+
+const TCAM: u64 = 128;
+
+fn policies() -> [CachePolicy; 4] {
+    [
+        CachePolicy::fifo(),
+        CachePolicy::lru(),
+        CachePolicy::lfu(),
+        CachePolicy::priority(),
+    ]
+}
+
+fn build(width: usize) -> Testbed {
+    let mut tb = Testbed::new(3);
+    let policies = policies();
+    for i in 0..width {
+        let policy = policies[i % policies.len()].clone();
+        tb.attach_default(
+            Dpid(i as u64 + 1),
+            SwitchProfile::generic_cached(TCAM, policy),
+        );
+    }
+    tb
+}
+
+fn config(dpid: Dpid) -> SizeProbeConfig {
+    SizeProbeConfig {
+        max_flows: (TCAM as usize) * 2,
+        seed: 0xf1ee7 ^ dpid.0,
+        ..SizeProbeConfig::default()
+    }
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fleet_inference");
+    g.sample_size(10);
+    for width in [1usize, 2, 4, 8] {
+        g.bench_function(format!("fleet_size_x{width}"), |b| {
+            b.iter(|| {
+                let mut tb = build(width);
+                let jobs: Vec<FleetJob> = (1..=width as u64)
+                    .map(|d| FleetJob::size(Dpid(d), RuleKind::L3, config(Dpid(d))))
+                    .collect();
+                run_inference(&mut tb, &jobs)
+            })
+        });
+        g.bench_function(format!("sequential_size_x{width}"), |b| {
+            b.iter(|| {
+                let mut tb = build(width);
+                (1..=width as u64)
+                    .map(|d| {
+                        let mut eng = ProbingEngine::new(&mut tb, Dpid(d), RuleKind::L3);
+                        probe_sizes(&mut eng, &config(Dpid(d)))
+                    })
+                    .collect::<Vec<_>>()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fleet);
+criterion_main!(benches);

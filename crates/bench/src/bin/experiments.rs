@@ -10,7 +10,7 @@
 //! `--quick` shrinks workload sizes ~10× for smoke runs.
 
 use bench::experiments::*;
-use bench::report::{write_figure, write_text};
+use bench::report::{results_dir, write_figure, write_text};
 
 struct Scale {
     quick: bool,
@@ -147,6 +147,16 @@ fn run_one(name: &str, scale: &Scale) -> bool {
             println!("== Policy inference ==\n{text}");
             write_text("infer_policy", &text);
         }
+        "fleet" => {
+            let rows = fleet::run(&[1, 2, 4, 8], q.n(256) as u64);
+            let text = fleet::render(&rows);
+            println!("== Fleet inference scaling ==\n{text}");
+            write_text("fleet", &text);
+            let db = fleet::knowledge_db(q.n(256) as u64);
+            let path = results_dir().join("fleet_db.json");
+            db.save_json(&path).expect("save fleet knowledge db");
+            println!("fleet knowledge db -> {}", path.display());
+        }
         "ablations" => {
             let mut text = String::new();
             text.push_str("== clustering method ==\n");
@@ -192,6 +202,7 @@ const ALL: &[&str] = &[
     "infer_size",
     "infer_geometry",
     "infer_policy",
+    "fleet",
     "ablations",
 ];
 

@@ -39,7 +39,7 @@ fn size_probe_error(tcam: u64, method: ClusterMethod, trials: usize, seed: u64) 
         seed,
         ..SizeProbeConfig::default()
     };
-    let est = probe_sizes(&mut eng, &cfg);
+    let est = probe_sizes(&mut eng, &cfg).expect("size probe completes");
     (
         relative_error(est.fast_layer_size().unwrap_or(0.0), tcam as f64),
         est.packets_sent,

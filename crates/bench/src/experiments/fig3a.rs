@@ -65,7 +65,7 @@ pub fn run(preinstalled: usize, per_phase: usize, reps: usize) -> Figure {
         for rep in 0..reps {
             let (mut tb, dpid) = fresh_switch(preinstalled, per_phase, rep as u64);
             let mut eng = ProbingEngine::new(&mut tb, dpid, RuleKind::L3);
-            let res = eng.run(&pattern);
+            let res = eng.run(&pattern).expect("pattern runs");
             assert_eq!(res.rejected(), 0, "{}", pattern.name);
             total += res.install_time().as_secs_f64();
         }

@@ -23,7 +23,10 @@ fn measure(profile: SwitchProfile, n: usize, seed: u64) -> (f64, f64) {
         tb.attach_default(dpid, profile.clone());
         let mut eng = ProbingEngine::new(&mut tb, dpid, RuleKind::L3);
         let pat = TangoPattern::priority_insertion(n, PriorityOrder::Descending, RuleKind::L3);
-        eng.run(&pat).install_time().as_secs_f64()
+        eng.run(&pat)
+            .expect("pattern runs")
+            .install_time()
+            .as_secs_f64()
     };
     // Mod arm: preinstall n (constant priority), then modify all n.
     let mod_s = {
@@ -35,8 +38,10 @@ fn measure(profile: SwitchProfile, n: usize, seed: u64) -> (f64, f64) {
             n,
             PriorityOrder::Same,
             RuleKind::L3,
-        ));
+        ))
+        .expect("preinstall runs");
         eng.run(&TangoPattern::modify_batch(n, 1000, RuleKind::L3))
+            .expect("modify batch runs")
             .install_time()
             .as_secs_f64()
     };

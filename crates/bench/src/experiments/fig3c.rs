@@ -18,7 +18,10 @@ fn install_time_s(profile: SwitchProfile, n: usize, order: PriorityOrder) -> f64
     tb.attach_default(dpid, profile);
     let mut eng = ProbingEngine::new(&mut tb, dpid, RuleKind::L3);
     let pat = TangoPattern::priority_insertion(n, order, RuleKind::L3);
-    eng.run(&pat).install_time().as_secs_f64()
+    eng.run(&pat)
+        .expect("pattern runs")
+        .install_time()
+        .as_secs_f64()
 }
 
 /// The four orderings, in the paper's legend order.

@@ -31,7 +31,7 @@ pub fn run(cap: usize) -> Vec<GeometryRow> {
         let dpid = Dpid(1);
         let name = profile.name.clone();
         tb.attach_default(dpid, profile);
-        let estimate = probe_geometry(&mut tb, dpid, cap, 400);
+        let estimate = probe_geometry(&mut tb, dpid, cap, 400).expect("geometry probe completes");
         GeometryRow {
             switch: name,
             estimate,

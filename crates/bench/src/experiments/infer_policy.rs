@@ -69,7 +69,8 @@ pub fn run(cache_size: u64) -> Vec<PolicyRow> {
             );
             let mut eng = ProbingEngine::new(&mut tb, dpid, RuleKind::L3);
             let inferred =
-                probe_policy(&mut eng, cache_size as usize, &PolicyProbeConfig::default());
+                probe_policy(&mut eng, cache_size as usize, &PolicyProbeConfig::default())
+                    .expect("policy probe completes");
             let expected = expected_report(&policy);
             PolicyRow {
                 actual: policy.describe(),

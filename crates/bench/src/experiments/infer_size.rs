@@ -44,7 +44,7 @@ fn probe(profile: SwitchProfile, actual: usize, max_flows: usize, seed: u64) -> 
         seed,
         ..SizeProbeConfig::default()
     };
-    let est = probe_sizes(&mut eng, &cfg);
+    let est = probe_sizes(&mut eng, &cfg).expect("size probe completes");
     let estimated = est.fast_layer_size().unwrap_or(0.0);
     SizeAccuracyRow {
         switch: name,

@@ -1,4 +1,4 @@
-//! One module per paper artefact. See `DESIGN.md` §4 for the index and
+//! One module per paper artefact. See `DESIGN.md` §6 for the index and
 //! `EXPERIMENTS.md` for paper-vs-measured numbers.
 
 pub mod ablations;
@@ -12,6 +12,7 @@ pub mod fig3c;
 pub mod fig5;
 pub mod fig6;
 pub mod fig89;
+pub mod fleet;
 pub mod infer_geometry;
 pub mod infer_policy;
 pub mod infer_size;

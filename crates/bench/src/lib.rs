@@ -1,6 +1,6 @@
 //! # bench — the experiment harness
 //!
-//! One module per table/figure of the paper (see `DESIGN.md` §4 for the
+//! One module per table/figure of the paper (see `DESIGN.md` §6 for the
 //! index). Every experiment is a pure deterministic function returning
 //! either a [`simnet::trace::Figure`] (for plots) or a formatted text
 //! table; the `experiments` binary runs them and writes CSV/text under

@@ -125,4 +125,10 @@ pub trait ControlPath {
     /// not in flight — that is a controller logic error, not a runtime
     /// condition.
     fn wait_for(&mut self, token: OpToken) -> Completion;
+
+    /// Advances the controller-side clock to `t` (which must not precede
+    /// `now`). Drivers that consume completions out of band use this to
+    /// leave the clock where a synchronous call-and-wait loop would have
+    /// left it — at the last acknowledgement they observed.
+    fn warp_to(&mut self, t: SimTime);
 }

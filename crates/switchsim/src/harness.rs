@@ -3,7 +3,7 @@
 //! core inside one `simnet` simulator.
 //!
 //! The testbed is the in-memory implementation of
-//! [`ControlPath`](crate::control::ControlPath): operations are submitted
+//! [`ControlPath`]: operations are submitted
 //! with a controller-side ready time, traverse the per-switch control
 //! link (FIFO, jittered), serialize on the switch's control CPU, and
 //! surface as typed [`Completion`] events in virtual-time order. The
@@ -484,6 +484,10 @@ impl ControlPath for Testbed {
                 return self.completed.remove(pos).expect("position is in range");
             }
         }
+    }
+
+    fn warp_to(&mut self, t: SimTime) {
+        Testbed::warp_to(self, t);
     }
 }
 

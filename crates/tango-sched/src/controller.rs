@@ -11,6 +11,8 @@ use simnet::time::SimDuration;
 use switchsim::harness::Testbed;
 use tango::curves::measure_latency_profile;
 use tango::db::TangoDb;
+use tango::driver::ProbeError;
+use tango::fleet::{run_inference, FleetJob};
 use tango::hints::{advise_placement, AppHint};
 use tango::infer_geometry::{probe_geometry, GeometryEstimate};
 use tango::infer_policy::{probe_policy, PolicyProbeConfig};
@@ -81,7 +83,14 @@ impl TangoController {
     /// cache policy (if a bounded fast layer exists), and latency
     /// curves. Clears the switch's rules before and after (offline
     /// probing, §4).
-    pub fn understand_switch(&mut self, dpid: Dpid, opts: &UnderstandOptions) {
+    ///
+    /// # Errors
+    /// Propagates any [`ProbeError`] from the probes.
+    pub fn understand_switch(
+        &mut self,
+        dpid: Dpid,
+        opts: &UnderstandOptions,
+    ) -> Result<(), ProbeError> {
         let size = {
             let mut engine = ProbingEngine::new(&mut self.testbed, dpid, RuleKind::L3);
             engine.clear_rules();
@@ -90,7 +99,7 @@ impl TangoController {
                 trials_per_level: opts.trials_per_level,
                 ..SizeProbeConfig::default()
             };
-            probe_sizes(&mut engine, &cfg)
+            probe_sizes(&mut engine, &cfg)?
         };
         let fast = size.fast_layer_size();
         let bounded = size.hit_rejection || size.levels.len() >= 2;
@@ -98,7 +107,7 @@ impl TangoController {
         let policy = if opts.probe_policy && bounded {
             let n = fast.unwrap_or(0.0).round() as usize;
             let mut engine = ProbingEngine::new(&mut self.testbed, dpid, RuleKind::L3);
-            Some(probe_policy(&mut engine, n, &PolicyProbeConfig::default()))
+            Some(probe_policy(&mut engine, n, &PolicyProbeConfig::default())?)
         } else {
             None
         };
@@ -106,7 +115,7 @@ impl TangoController {
         let latency = if opts.latency_batch > 0 {
             let mut engine = ProbingEngine::new(&mut self.testbed, dpid, RuleKind::L3);
             engine.clear_rules();
-            let lp = measure_latency_profile(&mut engine, opts.latency_batch);
+            let lp = measure_latency_profile(&mut engine, opts.latency_batch)?;
             engine.clear_rules();
             Some(lp)
         } else {
@@ -119,11 +128,97 @@ impl TangoController {
         k.size = Some(size);
         k.policy = policy;
         k.latency = latency;
+        Ok(())
+    }
+
+    /// Runs the understanding pass on many switches at once, probing
+    /// them concurrently over the shared control path: all size probes
+    /// interleave in one fleet phase, then all policy probes (sized by
+    /// the phase-one results). Per-switch knowledge is bit-identical to
+    /// calling [`understand_switch`](TangoController::understand_switch)
+    /// on each switch — fleet probing only compresses wall-clock time.
+    ///
+    /// Latency curves (when `opts.latency_batch > 0`) are still measured
+    /// switch-by-switch: their per-arm clears make them stateful in a
+    /// way the interleaved phases deliberately are not.
+    ///
+    /// # Errors
+    /// Propagates any [`ProbeError`]; knowledge from completed phases is
+    /// kept.
+    pub fn understand_fleet(
+        &mut self,
+        dpids: &[Dpid],
+        opts: &UnderstandOptions,
+    ) -> Result<(), ProbeError> {
+        // Phase 1: all size probes, interleaved.
+        let cfg = SizeProbeConfig {
+            max_flows: opts.max_flows,
+            trials_per_level: opts.trials_per_level,
+            ..SizeProbeConfig::default()
+        };
+        for &dpid in dpids {
+            ProbingEngine::new(&mut self.testbed, dpid, RuleKind::L3).clear_rules();
+        }
+        let size_jobs: Vec<FleetJob> = dpids
+            .iter()
+            .map(|&d| FleetJob::size(d, RuleKind::L3, cfg))
+            .collect();
+        let size_outcomes = run_inference(&mut self.testbed, &size_jobs)?;
+        self.db.ingest_fleet(&size_jobs, &size_outcomes);
+
+        // Phase 2: policy probes for every switch phase 1 found bounded.
+        if opts.probe_policy {
+            let policy_jobs: Vec<FleetJob> = size_outcomes
+                .iter()
+                .zip(dpids)
+                .filter_map(|(outcome, &dpid)| {
+                    let size = outcome.as_size()?;
+                    let bounded = size.hit_rejection || size.levels.len() >= 2;
+                    if !bounded {
+                        return None;
+                    }
+                    let n = size.fast_layer_size().unwrap_or(0.0).round() as usize;
+                    Some(FleetJob::policy(
+                        dpid,
+                        RuleKind::L3,
+                        n,
+                        PolicyProbeConfig::default(),
+                    ))
+                })
+                .collect();
+            let policy_outcomes = run_inference(&mut self.testbed, &policy_jobs)?;
+            self.db.ingest_fleet(&policy_jobs, &policy_outcomes);
+        }
+
+        // Phase 3: latency curves, per switch (see the doc comment).
+        for &dpid in dpids {
+            let latency = if opts.latency_batch > 0 {
+                let mut engine = ProbingEngine::new(&mut self.testbed, dpid, RuleKind::L3);
+                engine.clear_rules();
+                let lp = measure_latency_profile(&mut engine, opts.latency_batch)?;
+                engine.clear_rules();
+                Some(lp)
+            } else {
+                None
+            };
+            let label = self.testbed.switch(dpid).profile_name.clone();
+            let k = self.db.switch_mut(dpid);
+            k.label = label;
+            k.latency = latency;
+        }
+        Ok(())
     }
 
     /// Probes a switch's TCAM geometry (the future-work width-mode
     /// pattern).
-    pub fn probe_geometry(&mut self, dpid: Dpid, cap: usize) -> GeometryEstimate {
+    ///
+    /// # Errors
+    /// Propagates any [`ProbeError`] from the sub-probes.
+    pub fn probe_geometry(
+        &mut self,
+        dpid: Dpid,
+        cap: usize,
+    ) -> Result<GeometryEstimate, ProbeError> {
         probe_geometry(&mut self.testbed, dpid, cap, 128)
     }
 
@@ -199,7 +294,8 @@ mod tests {
                 trials_per_level: 300,
                 ..UnderstandOptions::default()
             },
-        );
+        )
+        .expect("understanding pass completes");
         let k = c.db().switch(Dpid(1)).unwrap();
         let fast = k.fast_layer_size().unwrap();
         assert!((fast - 200.0).abs() / 200.0 < 0.06, "fast {fast}");
@@ -224,7 +320,8 @@ mod tests {
                     probe_policy: false,
                     latency_batch: 100,
                 },
-            );
+            )
+            .expect("understanding pass completes");
         }
         assert_eq!(
             c.place(&[Dpid(1), Dpid(2)], &AppHint::fast_setup()),
@@ -246,6 +343,30 @@ mod tests {
         let hw = c.predict_install_ms(Dpid(1), 100);
         let sw = c.predict_install_ms(Dpid(2), 100);
         assert!(sw < hw);
+    }
+
+    #[test]
+    fn understand_fleet_matches_per_switch_understanding() {
+        let opts = UnderstandOptions {
+            max_flows: 400,
+            trials_per_level: 64,
+            ..UnderstandOptions::default()
+        };
+        let mut seq = controller();
+        for d in [Dpid(1), Dpid(2)] {
+            seq.understand_switch(d, &opts).expect("sequential pass");
+        }
+        let mut fleet = controller();
+        fleet
+            .understand_fleet(&[Dpid(1), Dpid(2)], &opts)
+            .expect("fleet pass");
+        for d in [Dpid(1), Dpid(2)] {
+            assert_eq!(
+                fleet.db().switch(d),
+                seq.db().switch(d),
+                "fleet and sequential knowledge diverge for {d}"
+            );
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 /// A clustering of scalar samples into ordered groups (ascending center).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Clustering {
     /// Cluster centers, ascending.
     pub centers: Vec<f64>,

@@ -13,80 +13,37 @@
 //! therefore yields bit-identical [`PatternResult`]s to running them one
 //! after another — verified by the `concurrent_inference` integration
 //! test.
+//!
+//! This module is now the trivial instantiation of the general
+//! [`driver`](crate::driver "the driver module") machinery: a
+//! [`PatternDriver`] per switch fed through [`run_drivers`]. The
+//! adaptive pipelines interleave the same way through
+//! [`fleet`](crate::fleet "the fleet module").
 
+use crate::driver::{run_drivers, ProbeError};
 use crate::pattern::TangoPattern;
-use crate::probe::{compile_pattern, record_completion, to_control_op, PatternResult};
+use crate::probe::{PatternDriver, PatternResult};
 use ofwire::types::Dpid;
-use std::collections::HashMap;
-use switchsim::control::{ControlPath, OpToken};
-
-/// One pattern program being driven over the control path.
-struct Running {
-    dpid: Dpid,
-    program: crate::probe::PatternProgram,
-    /// Index of the op currently in flight.
-    cursor: usize,
-    issued_at: simnet::time::SimTime,
-    result: PatternResult,
-}
+use switchsim::control::ControlPath;
 
 /// Runs one pattern per switch, all over the same control path, each
 /// program advancing as its own completions arrive. Returns the results
 /// in job order.
 ///
-/// # Panics
-/// Panics if two jobs name the same switch (their op streams would
-/// interleave on one control channel, which is not a pattern any more).
+/// # Errors
+/// [`ProbeError::DuplicateSwitch`] if two jobs name the same switch
+/// (their op streams would interleave on one control channel, which is
+/// not a pattern any more); [`ProbeError::CompletionMismatch`] if the
+/// transport violates its completion contract.
 pub fn run_patterns<C: ControlPath>(
     cp: &mut C,
     jobs: &[(Dpid, &TangoPattern)],
-) -> Vec<PatternResult> {
-    {
-        let mut seen = std::collections::HashSet::new();
-        for &(dpid, _) in jobs {
-            assert!(seen.insert(dpid), "one pattern per switch at a time");
-        }
-    }
-    let mut runs: Vec<Running> = jobs
+) -> Result<Vec<PatternResult>, ProbeError> {
+    let drivers: Vec<(Dpid, PatternDriver)> = jobs
         .iter()
-        .map(|&(dpid, pattern)| Running {
-            dpid,
-            program: compile_pattern(pattern),
-            cursor: 0,
-            issued_at: cp.now(),
-            result: PatternResult::default(),
-        })
+        .map(|&(dpid, pattern)| (dpid, PatternDriver::for_pattern(pattern)))
         .collect();
-    // Kick off every program's first op at the common start instant.
-    let mut inflight: HashMap<OpToken, usize> = HashMap::new();
-    let start = cp.now();
-    for (i, run) in runs.iter_mut().enumerate() {
-        if let Some(op) = run.program.ops.first() {
-            run.issued_at = start;
-            let token = cp.submit(run.dpid, to_control_op(run.program.kind, op), start);
-            inflight.insert(token, i);
-        }
-    }
-    while !inflight.is_empty() {
-        let c = cp.next_completion().expect("in-flight ops must complete");
-        let Some(i) = inflight.remove(&c.token) else {
-            // A completion from outside these programs (the caller had
-            // other work in flight) — not ours to account.
-            continue;
-        };
-        let run = &mut runs[i];
-        let op = &run.program.ops[run.cursor];
-        record_completion(&mut run.result, op, run.issued_at, &c);
-        run.cursor += 1;
-        // The program's next op leaves the controller when this op's ack
-        // arrives — exactly when a synchronous driver would issue it.
-        if let Some(op) = run.program.ops.get(run.cursor) {
-            run.issued_at = c.acked_at;
-            let token = cp.submit(run.dpid, to_control_op(run.program.kind, op), c.acked_at);
-            inflight.insert(token, i);
-        }
-    }
-    runs.into_iter().map(|r| r.result).collect()
+    run_drivers(cp, drivers)
 }
 
 #[cfg(test)]
@@ -103,7 +60,8 @@ mod tests {
         tb.attach_default(Dpid(2), SwitchProfile::ovs());
         let p1 = TangoPattern::priority_insertion(30, PriorityOrder::Ascending, RuleKind::L3);
         let p2 = TangoPattern::priority_insertion(40, PriorityOrder::Descending, RuleKind::L3);
-        let results = run_patterns(&mut tb, &[(Dpid(1), &p1), (Dpid(2), &p2)]);
+        let results =
+            run_patterns(&mut tb, &[(Dpid(1), &p1), (Dpid(2), &p2)]).expect("patterns run");
         assert_eq!(results.len(), 2);
         assert_eq!(results[0].rejected(), 0);
         assert_eq!(results[1].rejected(), 0);
@@ -112,11 +70,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "one pattern per switch")]
     fn duplicate_switches_are_rejected() {
         let mut tb = Testbed::new(1);
         tb.attach_default(Dpid(1), SwitchProfile::ovs());
         let p = TangoPattern::priority_insertion(5, PriorityOrder::Ascending, RuleKind::L3);
-        let _ = run_patterns(&mut tb, &[(Dpid(1), &p), (Dpid(1), &p)]);
+        let err = run_patterns(&mut tb, &[(Dpid(1), &p), (Dpid(1), &p)])
+            .expect_err("duplicate dpid must be a typed error");
+        assert_eq!(err, ProbeError::DuplicateSwitch(Dpid(1)));
     }
 }

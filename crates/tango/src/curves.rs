@@ -7,6 +7,7 @@
 //! scheduler extrapolate add costs to other batch sizes (the "Tango
 //! latency curves" used for guard-time estimation).
 
+use crate::driver::ProbeError;
 use crate::pattern::{PriorityOrder, TangoPattern};
 use crate::probe::ProbingEngine;
 use serde::{Deserialize, Serialize};
@@ -67,42 +68,48 @@ impl LatencyProfile {
 /// Measures a latency profile by running priority-insertion, modify, and
 /// delete patterns of size `n` against the switch. Clears the switch's
 /// rules between arms.
-pub fn measure_latency_profile(engine: &mut ProbingEngine<'_>, n: usize) -> LatencyProfile {
+///
+/// # Errors
+/// Propagates any [`ProbeError`] from the underlying pattern runs.
+pub fn measure_latency_profile(
+    engine: &mut ProbingEngine<'_>,
+    n: usize,
+) -> Result<LatencyProfile, ProbeError> {
     let kind = engine.kind();
-    let per_op = |engine: &mut ProbingEngine<'_>, pat: &TangoPattern| -> f64 {
+    let per_op = |engine: &mut ProbingEngine<'_>, pat: &TangoPattern| -> Result<f64, ProbeError> {
         engine.clear_rules();
-        let res = engine.run(pat);
-        res.install_time().as_millis_f64() / n as f64
+        let res = engine.run(pat)?;
+        Ok(res.install_time().as_millis_f64() / n as f64)
     };
 
     let add_asc = per_op(
         engine,
         &TangoPattern::priority_insertion(n, PriorityOrder::Ascending, kind),
-    );
+    )?;
     let add_desc = per_op(
         engine,
         &TangoPattern::priority_insertion(n, PriorityOrder::Descending, kind),
-    );
+    )?;
     let add_same = per_op(
         engine,
         &TangoPattern::priority_insertion(n, PriorityOrder::Same, kind),
-    );
+    )?;
     let add_rand = per_op(
         engine,
         &TangoPattern::priority_insertion(n, PriorityOrder::Random(7), kind),
-    );
+    )?;
 
     // Mods and deletes operate on a pre-installed constant-priority set.
     engine.clear_rules();
     let pre = TangoPattern::priority_insertion(n, PriorityOrder::Same, kind);
-    engine.run(&pre);
+    engine.run(&pre)?;
     let mod_ms = engine
-        .run(&TangoPattern::modify_batch(n, 1000, kind))
+        .run(&TangoPattern::modify_batch(n, 1000, kind))?
         .install_time()
         .as_millis_f64()
         / n as f64;
     let del_ms = engine
-        .run(&TangoPattern::delete_batch(n, 1000, kind))
+        .run(&TangoPattern::delete_batch(n, 1000, kind))?
         .install_time()
         .as_millis_f64()
         / n as f64;
@@ -111,7 +118,7 @@ pub fn measure_latency_profile(engine: &mut ProbingEngine<'_>, n: usize) -> Late
     // desc_total − asc_total ≈ shift_us · n²/2  (in µs).
     let shift_us = ((add_desc - add_asc) * n as f64 * 1000.0 / ((n as f64).powi(2) / 2.0)).max(0.0);
 
-    LatencyProfile {
+    Ok(LatencyProfile {
         calibrated_n: n,
         add_asc_ms: add_asc,
         add_desc_ms: add_desc,
@@ -120,7 +127,7 @@ pub fn measure_latency_profile(engine: &mut ProbingEngine<'_>, n: usize) -> Late
         mod_ms,
         del_ms,
         shift_us,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -136,7 +143,7 @@ mod tests {
         let dpid = Dpid(1);
         tb.attach_default(dpid, p);
         let mut eng = ProbingEngine::new(&mut tb, dpid, RuleKind::L3);
-        measure_latency_profile(&mut eng, n)
+        measure_latency_profile(&mut eng, n).expect("latency profile completes")
     }
 
     #[test]

@@ -7,12 +7,18 @@
 //! components."
 
 use crate::curves::LatencyProfile;
+use crate::fleet::{FleetJob, FleetOutcome};
+use crate::infer_geometry::GeometryEstimate;
 use crate::infer_policy::InferredPolicy;
 use crate::infer_size::SizeEstimate;
+use crate::json::Value;
+use crate::online::Headroom;
 use crate::pattern::TangoPattern;
 use ofwire::types::Dpid;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
 
 /// Everything Tango has learned about one switch.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
@@ -25,6 +31,10 @@ pub struct SwitchKnowledge {
     pub policy: Option<InferredPolicy>,
     /// Measured operation-cost profile.
     pub latency: Option<LatencyProfile>,
+    /// Inferred TCAM geometry.
+    pub geometry: Option<GeometryEstimate>,
+    /// Last online headroom measurement.
+    pub headroom: Option<Headroom>,
 }
 
 impl SwitchKnowledge {
@@ -81,6 +91,25 @@ impl TangoDb {
         self.knowledge.keys().map(|&d| Dpid(d)).collect()
     }
 
+    /// Folds a batch of fleet-inference outcomes into the database —
+    /// the network-wide ingest path for
+    /// [`fleet::run_inference`](crate::fleet::run_inference). Jobs and
+    /// outcomes are matched by position (outcomes come back in job
+    /// order); pattern outcomes carry no switch knowledge and are
+    /// skipped.
+    pub fn ingest_fleet(&mut self, jobs: &[FleetJob], outcomes: &[FleetOutcome]) {
+        for (job, outcome) in jobs.iter().zip(outcomes) {
+            let k = self.switch_mut(job.dpid);
+            match outcome {
+                FleetOutcome::Size(e) => k.size = Some(e.clone()),
+                FleetOutcome::Policy(p) => k.policy = Some(p.clone()),
+                FleetOutcome::Geometry(g) => k.geometry = Some(g.clone()),
+                FleetOutcome::Headroom(h) => k.headroom = Some(*h),
+                FleetOutcome::Pattern(_) => {}
+            }
+        }
+    }
+
     /// Registers (or replaces) a pattern by name — "Tango allows new
     /// Tango Patterns to be continuously added to the database".
     pub fn add_pattern(&mut self, pattern: TangoPattern) {
@@ -117,6 +146,600 @@ impl TangoDb {
                 shift_us: 10.0,
             })
     }
+
+    /// Serializes the whole database (knowledge and patterns) to the
+    /// score-database JSON form.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        codec::db_to_value(self).render()
+    }
+
+    /// Parses a database from its JSON form.
+    ///
+    /// # Errors
+    /// [`io::ErrorKind::InvalidData`] when the text is not valid JSON or
+    /// not a score database.
+    pub fn from_json(text: &str) -> io::Result<TangoDb> {
+        let v = Value::parse(text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        codec::db_from_value(&v)
+    }
+
+    /// Writes the database to `path` as JSON, creating parent
+    /// directories as needed — how fleet inference results land under
+    /// `results/` for the scheduler to reload.
+    ///
+    /// # Errors
+    /// Any I/O failure creating or writing the file.
+    pub fn save_json(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Reads a database previously written by
+    /// [`save_json`](TangoDb::save_json).
+    ///
+    /// # Errors
+    /// Any I/O failure, or [`io::ErrorKind::InvalidData`] on malformed
+    /// content.
+    pub fn load_json(path: impl AsRef<Path>) -> io::Result<TangoDb> {
+        TangoDb::from_json(&std::fs::read_to_string(path)?)
+    }
+}
+
+/// Hand-rolled (de)serialization of the database to [`Value`] trees.
+/// The workspace `serde` is a derive-only shim, so the derives on these
+/// types provide no runtime — this module is the runtime.
+mod codec {
+    use super::{LatencyProfile, SwitchKnowledge, TangoDb, Value};
+    use crate::cluster::Clustering;
+    use crate::infer_geometry::{GeometryClass, GeometryEstimate};
+    use crate::infer_policy::{InferredPolicy, PolicyRound};
+    use crate::infer_size::{LevelEstimate, SizeEstimate};
+    use crate::online::Headroom;
+    use crate::pattern::{PatternStep, RuleKind, TangoPattern};
+    use std::io;
+    use switchsim::cache::{Attribute, Direction, SortKey};
+
+    fn bad(msg: impl Into<String>) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, msg.into())
+    }
+
+    fn obj(members: Vec<(&str, Value)>) -> Value {
+        Value::Obj(
+            members
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+        )
+    }
+
+    fn opt(v: Option<Value>) -> Value {
+        v.unwrap_or(Value::Null)
+    }
+
+    fn field<'a>(v: &'a Value, key: &str) -> io::Result<&'a Value> {
+        v.get(key)
+            .ok_or_else(|| bad(format!("missing field `{key}`")))
+    }
+
+    fn f64_field(v: &Value, key: &str) -> io::Result<f64> {
+        field(v, key)?
+            .as_f64()
+            .ok_or_else(|| bad(format!("field `{key}` is not a number")))
+    }
+
+    /// A number field where `null` means NaN (the writer's encoding of
+    /// non-finite values).
+    fn f64_or_nan_field(v: &Value, key: &str) -> io::Result<f64> {
+        match field(v, key)? {
+            Value::Null => Ok(f64::NAN),
+            other => other
+                .as_f64()
+                .ok_or_else(|| bad(format!("field `{key}` is not a number"))),
+        }
+    }
+
+    fn usize_field(v: &Value, key: &str) -> io::Result<usize> {
+        field(v, key)?
+            .as_usize()
+            .ok_or_else(|| bad(format!("field `{key}` is not an integer")))
+    }
+
+    fn bool_field(v: &Value, key: &str) -> io::Result<bool> {
+        field(v, key)?
+            .as_bool()
+            .ok_or_else(|| bad(format!("field `{key}` is not a bool")))
+    }
+
+    fn str_field<'a>(v: &'a Value, key: &str) -> io::Result<&'a str> {
+        field(v, key)?
+            .as_str()
+            .ok_or_else(|| bad(format!("field `{key}` is not a string")))
+    }
+
+    fn f64_arr(v: &Value, key: &str) -> io::Result<Vec<f64>> {
+        field(v, key)?
+            .as_arr()
+            .ok_or_else(|| bad(format!("field `{key}` is not an array")))?
+            .iter()
+            .map(|x| x.as_f64().ok_or_else(|| bad("non-numeric array element")))
+            .collect()
+    }
+
+    fn usize_arr(v: &Value, key: &str) -> io::Result<Vec<usize>> {
+        field(v, key)?
+            .as_arr()
+            .ok_or_else(|| bad(format!("field `{key}` is not an array")))?
+            .iter()
+            .map(|x| x.as_usize().ok_or_else(|| bad("non-integer array element")))
+            .collect()
+    }
+
+    fn option_of<T>(
+        v: &Value,
+        key: &str,
+        read: impl FnOnce(&Value) -> io::Result<T>,
+    ) -> io::Result<Option<T>> {
+        match v.get(key) {
+            None | Some(Value::Null) => Ok(None),
+            Some(inner) => read(inner).map(Some),
+        }
+    }
+
+    fn kind_to_str(kind: RuleKind) -> &'static str {
+        match kind {
+            RuleKind::L2 => "l2",
+            RuleKind::L3 => "l3",
+            RuleKind::L2L3 => "l2l3",
+        }
+    }
+
+    fn kind_from_str(s: &str) -> io::Result<RuleKind> {
+        match s {
+            "l2" => Ok(RuleKind::L2),
+            "l3" => Ok(RuleKind::L3),
+            "l2l3" => Ok(RuleKind::L2L3),
+            other => Err(bad(format!("unknown rule kind `{other}`"))),
+        }
+    }
+
+    fn attribute_from_str(s: &str) -> io::Result<Attribute> {
+        match s {
+            "insertion_time" => Ok(Attribute::InsertionTime),
+            "use_time" => Ok(Attribute::UseTime),
+            "traffic_count" => Ok(Attribute::TrafficCount),
+            "priority" => Ok(Attribute::Priority),
+            other => Err(bad(format!("unknown attribute `{other}`"))),
+        }
+    }
+
+    fn sort_key_to_value(k: &SortKey) -> Value {
+        obj(vec![
+            ("attribute", Value::Str(k.attribute.to_string())),
+            (
+                "direction",
+                Value::Str(
+                    match k.direction {
+                        Direction::KeepHigh => "keep_high",
+                        Direction::KeepLow => "keep_low",
+                    }
+                    .to_owned(),
+                ),
+            ),
+        ])
+    }
+
+    fn sort_key_from_value(v: &Value) -> io::Result<SortKey> {
+        let attribute = attribute_from_str(str_field(v, "attribute")?)?;
+        let direction = match str_field(v, "direction")? {
+            "keep_high" => Direction::KeepHigh,
+            "keep_low" => Direction::KeepLow,
+            other => return Err(bad(format!("unknown direction `{other}`"))),
+        };
+        Ok(SortKey {
+            attribute,
+            direction,
+        })
+    }
+
+    fn size_to_value(e: &SizeEstimate) -> Value {
+        let levels = e
+            .levels
+            .iter()
+            .map(|l| {
+                obj(vec![
+                    ("rtt_ms", Value::num(l.rtt_ms)),
+                    ("estimated_size", Value::num(l.estimated_size)),
+                    ("swept_count", Value::Num(l.swept_count as f64)),
+                    ("saturated", Value::Bool(l.saturated)),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("m", Value::Num(e.m as f64)),
+            ("hit_rejection", Value::Bool(e.hit_rejection)),
+            ("levels", Value::Arr(levels)),
+            (
+                "clustering",
+                obj(vec![
+                    (
+                        "centers",
+                        Value::Arr(
+                            e.clustering
+                                .centers
+                                .iter()
+                                .map(|&x| Value::num(x))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "boundaries",
+                        Value::Arr(
+                            e.clustering
+                                .boundaries
+                                .iter()
+                                .map(|&x| Value::num(x))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "sizes",
+                        Value::Arr(
+                            e.clustering
+                                .sizes
+                                .iter()
+                                .map(|&x| Value::Num(x as f64))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            ("rules_attempted", Value::Num(e.rules_attempted as f64)),
+            ("packets_sent", Value::Num(e.packets_sent as f64)),
+            ("batches", Value::Num(e.batches as f64)),
+        ])
+    }
+
+    fn size_from_value(v: &Value) -> io::Result<SizeEstimate> {
+        let levels = field(v, "levels")?
+            .as_arr()
+            .ok_or_else(|| bad("`levels` is not an array"))?
+            .iter()
+            .map(|l| {
+                Ok(LevelEstimate {
+                    rtt_ms: f64_field(l, "rtt_ms")?,
+                    estimated_size: f64_field(l, "estimated_size")?,
+                    swept_count: usize_field(l, "swept_count")?,
+                    saturated: bool_field(l, "saturated")?,
+                })
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        let c = field(v, "clustering")?;
+        Ok(SizeEstimate {
+            m: usize_field(v, "m")?,
+            hit_rejection: bool_field(v, "hit_rejection")?,
+            levels,
+            clustering: Clustering {
+                centers: f64_arr(c, "centers")?,
+                boundaries: f64_arr(c, "boundaries")?,
+                sizes: usize_arr(c, "sizes")?,
+            },
+            rules_attempted: usize_field(v, "rules_attempted")?,
+            packets_sent: usize_field(v, "packets_sent")?,
+            batches: usize_field(v, "batches")?,
+        })
+    }
+
+    fn policy_to_value(p: &InferredPolicy) -> Value {
+        let rounds = p
+            .rounds
+            .iter()
+            .map(|r| {
+                let correlations = r
+                    .correlations
+                    .iter()
+                    .map(|(a, x)| {
+                        obj(vec![
+                            ("attribute", Value::Str(a.to_string())),
+                            ("r", Value::num(*x)),
+                        ])
+                    })
+                    .collect();
+                obj(vec![
+                    ("correlations", Value::Arr(correlations)),
+                    ("chosen", opt(r.chosen.as_ref().map(sort_key_to_value))),
+                    ("cached_count", Value::Num(r.cached_count as f64)),
+                ])
+            })
+            .collect();
+        obj(vec![
+            (
+                "keys",
+                Value::Arr(p.keys.iter().map(sort_key_to_value).collect()),
+            ),
+            ("rounds", Value::Arr(rounds)),
+        ])
+    }
+
+    fn policy_from_value(v: &Value) -> io::Result<InferredPolicy> {
+        let keys = field(v, "keys")?
+            .as_arr()
+            .ok_or_else(|| bad("`keys` is not an array"))?
+            .iter()
+            .map(sort_key_from_value)
+            .collect::<io::Result<Vec<_>>>()?;
+        let rounds = field(v, "rounds")?
+            .as_arr()
+            .ok_or_else(|| bad("`rounds` is not an array"))?
+            .iter()
+            .map(|r| {
+                let correlations = field(r, "correlations")?
+                    .as_arr()
+                    .ok_or_else(|| bad("`correlations` is not an array"))?
+                    .iter()
+                    .map(|c| {
+                        Ok((
+                            attribute_from_str(str_field(c, "attribute")?)?,
+                            f64_or_nan_field(c, "r")?,
+                        ))
+                    })
+                    .collect::<io::Result<Vec<_>>>()?;
+                Ok(PolicyRound {
+                    correlations,
+                    chosen: option_of(r, "chosen", sort_key_from_value)?,
+                    cached_count: usize_field(r, "cached_count")?,
+                })
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(InferredPolicy { keys, rounds })
+    }
+
+    fn latency_to_value(l: &LatencyProfile) -> Value {
+        obj(vec![
+            ("calibrated_n", Value::Num(l.calibrated_n as f64)),
+            ("add_asc_ms", Value::num(l.add_asc_ms)),
+            ("add_desc_ms", Value::num(l.add_desc_ms)),
+            ("add_same_ms", Value::num(l.add_same_ms)),
+            ("add_rand_ms", Value::num(l.add_rand_ms)),
+            ("mod_ms", Value::num(l.mod_ms)),
+            ("del_ms", Value::num(l.del_ms)),
+            ("shift_us", Value::num(l.shift_us)),
+        ])
+    }
+
+    fn latency_from_value(v: &Value) -> io::Result<LatencyProfile> {
+        Ok(LatencyProfile {
+            calibrated_n: usize_field(v, "calibrated_n")?,
+            add_asc_ms: f64_field(v, "add_asc_ms")?,
+            add_desc_ms: f64_field(v, "add_desc_ms")?,
+            add_same_ms: f64_field(v, "add_same_ms")?,
+            add_rand_ms: f64_field(v, "add_rand_ms")?,
+            mod_ms: f64_field(v, "mod_ms")?,
+            del_ms: f64_field(v, "del_ms")?,
+            shift_us: f64_field(v, "shift_us")?,
+        })
+    }
+
+    fn geometry_to_value(g: &GeometryEstimate) -> Value {
+        let class = match &g.class {
+            GeometryClass::Unbounded => obj(vec![("kind", Value::Str("unbounded".into()))]),
+            GeometryClass::FixedWidth { entries } => obj(vec![
+                ("kind", Value::Str("fixed_width".into())),
+                ("entries", Value::num(*entries)),
+            ]),
+            GeometryClass::WidthSensitive { narrow, wide } => obj(vec![
+                ("kind", Value::Str("width_sensitive".into())),
+                ("narrow", Value::num(*narrow)),
+                ("wide", Value::num(*wide)),
+            ]),
+        };
+        obj(vec![
+            ("l2_only", opt(g.l2_only.map(Value::num))),
+            ("l3_only", opt(g.l3_only.map(Value::num))),
+            ("l2l3", opt(g.l2l3.map(Value::num))),
+            ("class", class),
+        ])
+    }
+
+    fn geometry_from_value(v: &Value) -> io::Result<GeometryEstimate> {
+        let cv = field(v, "class")?;
+        let class = match str_field(cv, "kind")? {
+            "unbounded" => GeometryClass::Unbounded,
+            "fixed_width" => GeometryClass::FixedWidth {
+                entries: f64_or_nan_field(cv, "entries")?,
+            },
+            "width_sensitive" => GeometryClass::WidthSensitive {
+                narrow: f64_or_nan_field(cv, "narrow")?,
+                wide: f64_or_nan_field(cv, "wide")?,
+            },
+            other => return Err(bad(format!("unknown geometry class `{other}`"))),
+        };
+        Ok(GeometryEstimate {
+            l2_only: option_of(v, "l2_only", |x| {
+                x.as_f64().ok_or_else(|| bad("`l2_only` is not a number"))
+            })?,
+            l3_only: option_of(v, "l3_only", |x| {
+                x.as_f64().ok_or_else(|| bad("`l3_only` is not a number"))
+            })?,
+            l2l3: option_of(v, "l2l3", |x| {
+                x.as_f64().ok_or_else(|| bad("`l2l3` is not a number"))
+            })?,
+            class,
+        })
+    }
+
+    fn headroom_to_value(h: &Headroom) -> Value {
+        obj(vec![
+            ("accepted", Value::Num(h.accepted as f64)),
+            ("hit_rejection", Value::Bool(h.hit_rejection)),
+            ("cleaned", Value::Num(h.cleaned as f64)),
+        ])
+    }
+
+    fn headroom_from_value(v: &Value) -> io::Result<Headroom> {
+        Ok(Headroom {
+            accepted: usize_field(v, "accepted")?,
+            hit_rejection: bool_field(v, "hit_rejection")?,
+            cleaned: usize_field(v, "cleaned")?,
+        })
+    }
+
+    fn pattern_to_value(p: &TangoPattern) -> Value {
+        let steps = p
+            .steps
+            .iter()
+            .map(|step| match *step {
+                PatternStep::Add { id, priority } => obj(vec![
+                    ("op", Value::Str("add".into())),
+                    ("id", Value::Num(f64::from(id))),
+                    ("priority", Value::Num(f64::from(priority))),
+                ]),
+                PatternStep::Modify {
+                    id,
+                    priority,
+                    out_port,
+                } => obj(vec![
+                    ("op", Value::Str("modify".into())),
+                    ("id", Value::Num(f64::from(id))),
+                    ("priority", Value::Num(f64::from(priority))),
+                    ("out_port", Value::Num(f64::from(out_port))),
+                ]),
+                PatternStep::Delete { id, priority } => obj(vec![
+                    ("op", Value::Str("delete".into())),
+                    ("id", Value::Num(f64::from(id))),
+                    ("priority", Value::Num(f64::from(priority))),
+                ]),
+                PatternStep::Probe { id } => obj(vec![
+                    ("op", Value::Str("probe".into())),
+                    ("id", Value::Num(f64::from(id))),
+                ]),
+                PatternStep::Barrier => obj(vec![("op", Value::Str("barrier".into()))]),
+            })
+            .collect();
+        obj(vec![
+            ("name", Value::Str(p.name.clone())),
+            ("kind", Value::Str(kind_to_str(p.kind).to_owned())),
+            ("steps", Value::Arr(steps)),
+        ])
+    }
+
+    #[allow(clippy::cast_possible_truncation)]
+    fn pattern_from_value(v: &Value) -> io::Result<TangoPattern> {
+        let u32_field = |v: &Value, key: &str| -> io::Result<u32> {
+            usize_field(v, key)?
+                .try_into()
+                .map_err(|_| bad(format!("field `{key}` out of range")))
+        };
+        let u16_field = |v: &Value, key: &str| -> io::Result<u16> {
+            usize_field(v, key)?
+                .try_into()
+                .map_err(|_| bad(format!("field `{key}` out of range")))
+        };
+        let steps = field(v, "steps")?
+            .as_arr()
+            .ok_or_else(|| bad("`steps` is not an array"))?
+            .iter()
+            .map(|step| {
+                Ok(match str_field(step, "op")? {
+                    "add" => PatternStep::Add {
+                        id: u32_field(step, "id")?,
+                        priority: u16_field(step, "priority")?,
+                    },
+                    "modify" => PatternStep::Modify {
+                        id: u32_field(step, "id")?,
+                        priority: u16_field(step, "priority")?,
+                        out_port: u16_field(step, "out_port")?,
+                    },
+                    "delete" => PatternStep::Delete {
+                        id: u32_field(step, "id")?,
+                        priority: u16_field(step, "priority")?,
+                    },
+                    "probe" => PatternStep::Probe {
+                        id: u32_field(step, "id")?,
+                    },
+                    "barrier" => PatternStep::Barrier,
+                    other => return Err(bad(format!("unknown pattern op `{other}`"))),
+                })
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(TangoPattern {
+            name: str_field(v, "name")?.to_owned(),
+            kind: kind_from_str(str_field(v, "kind")?)?,
+            steps,
+        })
+    }
+
+    fn knowledge_to_value(k: &SwitchKnowledge) -> Value {
+        obj(vec![
+            ("label", Value::Str(k.label.clone())),
+            ("size", opt(k.size.as_ref().map(size_to_value))),
+            ("policy", opt(k.policy.as_ref().map(policy_to_value))),
+            ("latency", opt(k.latency.as_ref().map(latency_to_value))),
+            ("geometry", opt(k.geometry.as_ref().map(geometry_to_value))),
+            ("headroom", opt(k.headroom.as_ref().map(headroom_to_value))),
+        ])
+    }
+
+    fn knowledge_from_value(v: &Value) -> io::Result<SwitchKnowledge> {
+        Ok(SwitchKnowledge {
+            label: str_field(v, "label")?.to_owned(),
+            size: option_of(v, "size", size_from_value)?,
+            policy: option_of(v, "policy", policy_from_value)?,
+            latency: option_of(v, "latency", latency_from_value)?,
+            geometry: option_of(v, "geometry", geometry_from_value)?,
+            headroom: option_of(v, "headroom", headroom_from_value)?,
+        })
+    }
+
+    pub(super) fn db_to_value(db: &TangoDb) -> Value {
+        let knowledge = db
+            .knowledge
+            .iter()
+            .map(|(dpid, k)| (dpid.to_string(), knowledge_to_value(k)))
+            .collect();
+        let patterns = db
+            .patterns
+            .iter()
+            .map(|(name, p)| (name.clone(), pattern_to_value(p)))
+            .collect();
+        Value::Obj(vec![
+            ("knowledge".to_owned(), Value::Obj(knowledge)),
+            ("patterns".to_owned(), Value::Obj(patterns)),
+        ])
+    }
+
+    pub(super) fn db_from_value(v: &Value) -> io::Result<TangoDb> {
+        let mut db = TangoDb::new();
+        for (dpid, kv) in field(v, "knowledge")?
+            .as_obj()
+            .ok_or_else(|| bad("`knowledge` is not an object"))?
+        {
+            let dpid: u64 = dpid
+                .parse()
+                .map_err(|_| bad(format!("non-numeric dpid key `{dpid}`")))?;
+            db.knowledge.insert(dpid, knowledge_from_value(kv)?);
+        }
+        for (name, pv) in field(v, "patterns")?
+            .as_obj()
+            .ok_or_else(|| bad("`patterns` is not an object"))?
+        {
+            let pattern = pattern_from_value(pv)?;
+            if pattern.name != *name {
+                return Err(bad(format!(
+                    "pattern key `{name}` disagrees with pattern name `{}`",
+                    pattern.name
+                )));
+            }
+            db.patterns.insert(name.clone(), pattern);
+        }
+        Ok(db)
+    }
 }
 
 #[cfg(test)]
@@ -144,6 +767,110 @@ mod tests {
         assert!(db.pattern(&name).is_some());
         assert_eq!(db.pattern_names(), vec![name.as_str()]);
         assert!(db.pattern("nope").is_none());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        use crate::cluster::Clustering;
+        use crate::infer_geometry::{GeometryClass, GeometryEstimate};
+        use crate::infer_policy::{InferredPolicy, PolicyRound};
+        use crate::infer_size::{LevelEstimate, SizeEstimate};
+        use crate::online::Headroom;
+        use switchsim::cache::{Attribute, Direction, SortKey};
+
+        let mut db = TangoDb::new();
+        let k = db.switch_mut(Dpid(3));
+        k.label = "Switch \"#3\"".into();
+        k.size = Some(SizeEstimate {
+            m: 1534,
+            hit_rejection: true,
+            levels: vec![
+                LevelEstimate {
+                    rtt_ms: 1.25,
+                    estimated_size: 767.0,
+                    swept_count: 760,
+                    saturated: false,
+                },
+                LevelEstimate {
+                    rtt_ms: 11.5,
+                    estimated_size: 767.0,
+                    swept_count: 774,
+                    saturated: true,
+                },
+            ],
+            clustering: Clustering {
+                centers: vec![1.25, 11.5],
+                boundaries: vec![6.375],
+                sizes: vec![760, 774],
+            },
+            rules_attempted: 2048,
+            packets_sent: 3000,
+            batches: 11,
+        });
+        k.policy = Some(InferredPolicy {
+            keys: vec![SortKey {
+                attribute: Attribute::InsertionTime,
+                direction: Direction::KeepLow,
+            }],
+            rounds: vec![PolicyRound {
+                correlations: vec![
+                    (Attribute::InsertionTime, -0.92),
+                    (Attribute::Priority, 0.03),
+                ],
+                chosen: Some(SortKey {
+                    attribute: Attribute::InsertionTime,
+                    direction: Direction::KeepLow,
+                }),
+                cached_count: 383,
+            }],
+        });
+        k.latency = Some(TangoDb::new().latency_or_default(Dpid(3)));
+        k.geometry = Some(GeometryEstimate {
+            l2_only: Some(767.0),
+            l3_only: Some(767.0),
+            l2l3: Some(369.0),
+            class: GeometryClass::WidthSensitive {
+                narrow: 767.0,
+                wide: 369.0,
+            },
+        });
+        k.headroom = Some(Headroom {
+            accepted: 567,
+            hit_rejection: true,
+            cleaned: 567,
+        });
+        // A second switch with nothing probed yet, and a pattern.
+        db.switch_mut(Dpid(9)).label = "fresh".into();
+        db.add_pattern(TangoPattern::priority_insertion(
+            3,
+            PriorityOrder::Descending,
+            RuleKind::L2L3,
+        ));
+
+        let path = std::env::temp_dir().join("tango_db_roundtrip_test.json");
+        db.save_json(&path).expect("save");
+        let loaded = TangoDb::load_json(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+
+        // Field-for-field equality, via the canonical rendering plus
+        // spot checks on the typed view.
+        assert_eq!(loaded.to_json(), db.to_json());
+        let lk = loaded.switch(Dpid(3)).expect("switch survives");
+        assert_eq!(lk, db.switch(Dpid(3)).expect("source switch"));
+        assert_eq!(lk.fast_layer_size(), Some(767.0));
+        assert_eq!(loaded.pattern_names(), db.pattern_names());
+        assert_eq!(
+            loaded.pattern(db.pattern_names()[0]),
+            db.pattern(db.pattern_names()[0])
+        );
+    }
+
+    #[test]
+    fn malformed_json_is_a_typed_io_error() {
+        let err = TangoDb::from_json("{\"knowledge\": 5}").expect_err("not a database");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let err = TangoDb::from_json("not json").expect_err("not JSON at all");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     }
 
     #[test]

@@ -1,0 +1,453 @@
+//! Resumable inference drivers: the adaptive probing algorithms as
+//! event-driven state machines over the [`ControlPath`] layer.
+//!
+//! Every adaptive pipeline in this crate — Algorithm 1
+//! ([`SizeDriver`](crate::infer_size::SizeDriver)), Algorithm 2
+//! ([`PolicyDriver`](crate::infer_policy::PolicyDriver)), the geometry
+//! probe, the online headroom probe, and plain pattern execution — is a
+//! small state machine implementing [`InferenceDriver`]: it *issues*
+//! control-path operations and *consumes* their completions one at a
+//! time, never blocking on the transport. The synchronous entry points
+//! (`probe_sizes`, `probe_policy`, …) are thin adapters that feed a
+//! single driver through [`run_driver`]; whole-network inference feeds
+//! one driver per switch through [`run_drivers`] (see
+//! [`fleet`](crate::fleet)) so N switches are characterized in the
+//! wall-clock time of the slowest, not the sum.
+//!
+//! # Determinism
+//!
+//! Interleaving drivers does not change what any one of them measures.
+//! Two properties make that true:
+//!
+//! 1. **Pacing is preserved.** A driver's next operation is submitted
+//!    with `ready_at` equal to the completion's `acked_at` — the exact
+//!    instant a synchronous submit/wait/warp loop would have issued it.
+//!    The op sequence and op timing one switch observes are therefore
+//!    identical whether its driver runs alone or among many.
+//! 2. **Randomness is per-switch.** Latency jitter comes from RNG
+//!    streams forked per switch at attach time, and each driver owns its
+//!    own sampling RNG seeded from its config — nothing is drawn from a
+//!    shared stream whose order interleaving could perturb.
+//!
+//! Hence `run_drivers` is bit-identical to running each driver
+//! sequentially on its own — the property the `fleet_inference`
+//! integration test and the `driver_equivalence` proptest enforce.
+
+use ofwire::types::Dpid;
+use simnet::time::{SimDuration, SimTime};
+use std::collections::{HashMap, HashSet, VecDeque};
+use switchsim::control::{self, ControlOp, ControlPath, OpToken};
+
+use crate::pattern::RuleKind;
+
+/// A typed error from the probing layer. Replaces the panics and asserts
+/// that used to live on the probing hot path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProbeError {
+    /// A completion's outcome did not match the operation the driver had
+    /// in flight — a control-path contract violation.
+    CompletionMismatch {
+        /// Debug rendering of the op the driver expected to complete.
+        expected: String,
+        /// Debug rendering of the outcome that actually arrived.
+        got: String,
+    },
+    /// Two concurrent jobs named the same switch; their op streams would
+    /// interleave on one control channel, which is not a pattern any
+    /// more.
+    DuplicateSwitch(Dpid),
+    /// An online probe failed to remove every rule it installed, leaving
+    /// probe state behind in the switch.
+    LeakedRules {
+        /// Probe rules the cleanup tried to delete.
+        installed: usize,
+        /// Probe rules actually removed.
+        cleaned: usize,
+    },
+    /// A driver neither finished nor issued another operation — it can
+    /// never make progress again.
+    DriverStalled(Dpid),
+    /// A pattern was handed to an engine bound to a different rule kind.
+    PatternKindMismatch {
+        /// The pattern's rule kind.
+        pattern: RuleKind,
+        /// The engine's bound rule kind.
+        engine: RuleKind,
+    },
+}
+
+impl std::fmt::Display for ProbeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProbeError::CompletionMismatch { expected, got } => {
+                write!(f, "completion {got} does not match issued op {expected}")
+            }
+            ProbeError::DuplicateSwitch(dpid) => {
+                write!(
+                    f,
+                    "duplicate job for {dpid}: one driver per switch at a time"
+                )
+            }
+            ProbeError::LeakedRules { installed, cleaned } => write!(
+                f,
+                "online probe leaked rules: installed {installed}, cleaned {cleaned}"
+            ),
+            ProbeError::DriverStalled(dpid) => {
+                write!(f, "driver for {dpid} stalled: not done, nothing in flight")
+            }
+            ProbeError::PatternKindMismatch { pattern, engine } => write!(
+                f,
+                "pattern kind {pattern:?} does not match engine kind {engine:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProbeError {}
+
+/// What a driver does next: issue more operations, or finish.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step<T> {
+    /// Submit these operations, in order, behind anything already
+    /// queued. An empty `Issue` is a no-op (the driver is still waiting
+    /// on earlier operations).
+    Issue(Vec<ControlOp>),
+    /// The driver is finished; this is its outcome. Any still-queued
+    /// operations are discarded.
+    Done(T),
+}
+
+impl<T> Step<T> {
+    /// Maps the outcome type, leaving issued ops untouched.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Step<U> {
+        match self {
+            Step::Issue(ops) => Step::Issue(ops),
+            Step::Done(t) => Step::Done(f(t)),
+        }
+    }
+}
+
+/// A completion as a driver sees it: the transport-level event plus the
+/// controller-side instant the op was submitted with, so elapsed time is
+/// measured exactly as the synchronous adapters measured it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Completion {
+    /// When the operation left the controller.
+    pub issued_at: SimTime,
+    /// The transport-level completion event.
+    pub inner: control::Completion,
+}
+
+impl Completion {
+    /// Controller-observed elapsed time (submit → ack).
+    #[must_use]
+    pub fn elapsed(&self) -> SimDuration {
+        self.inner.acked_at.since(self.issued_at)
+    }
+
+    /// Controller-observed elapsed time in milliseconds.
+    #[must_use]
+    pub fn elapsed_ms(&self) -> f64 {
+        self.elapsed().as_millis_f64()
+    }
+}
+
+/// A resumable inference state machine.
+///
+/// The runner calls [`start`](InferenceDriver::start) once, submits the
+/// issued operations one at a time (each at the previous completion's
+/// `acked_at`), and feeds every completion back through
+/// [`on_completion`](InferenceDriver::on_completion). Completions arrive
+/// in issue order, exactly one per issued op.
+pub trait InferenceDriver {
+    /// What the driver produces when it finishes.
+    type Outcome;
+
+    /// Called once before any completion: the driver's opening
+    /// operations (or an immediate outcome for degenerate configs).
+    fn start(&mut self) -> Step<Self::Outcome>;
+
+    /// Called with the completion of the oldest outstanding operation.
+    fn on_completion(&mut self, c: &Completion) -> Result<Step<Self::Outcome>, ProbeError>;
+}
+
+/// One driver's bookkeeping inside [`run_drivers`].
+struct Job<D: InferenceDriver> {
+    dpid: Dpid,
+    driver: D,
+    /// Operations issued by the driver but not yet submitted.
+    queue: VecDeque<ControlOp>,
+    outcome: Option<D::Outcome>,
+}
+
+impl<D: InferenceDriver> Job<D> {
+    /// Submits this job's next queued op at `ready_at`, registering the
+    /// token; errors if the driver is unfinished with nothing queued.
+    fn submit_next<C: ControlPath>(
+        &mut self,
+        idx: usize,
+        cp: &mut C,
+        ready_at: SimTime,
+        inflight: &mut HashMap<OpToken, (usize, SimTime)>,
+    ) -> Result<(), ProbeError> {
+        let Some(op) = self.queue.pop_front() else {
+            return Err(ProbeError::DriverStalled(self.dpid));
+        };
+        let token = cp.submit(self.dpid, op, ready_at);
+        inflight.insert(token, (idx, ready_at));
+        Ok(())
+    }
+}
+
+/// Drives many inference state machines over one control path, each
+/// switch's driver advancing as its own completions arrive. Returns the
+/// outcomes in job order.
+///
+/// Each driver keeps exactly one operation in flight; its next op is
+/// submitted at the previous op's `acked_at`, the instant a synchronous
+/// loop would have issued it — so the results are bit-identical to
+/// running the drivers one after another (see the module docs). On
+/// return the shared clock sits at the latest acknowledgement any driver
+/// observed, matching where a sequence of synchronous runs would have
+/// left it.
+///
+/// Completions from operations the caller had in flight before this call
+/// are consumed and dropped; don't run drivers with foreign ops pending
+/// if those completions matter.
+pub fn run_drivers<C, D>(cp: &mut C, jobs: Vec<(Dpid, D)>) -> Result<Vec<D::Outcome>, ProbeError>
+where
+    C: ControlPath,
+    D: InferenceDriver,
+{
+    let mut seen = HashSet::new();
+    for (dpid, _) in &jobs {
+        if !seen.insert(*dpid) {
+            return Err(ProbeError::DuplicateSwitch(*dpid));
+        }
+    }
+    let mut jobs: Vec<Job<D>> = jobs
+        .into_iter()
+        .map(|(dpid, driver)| Job {
+            dpid,
+            driver,
+            queue: VecDeque::new(),
+            outcome: None,
+        })
+        .collect();
+
+    // Kick off every driver at the common start instant.
+    let start = cp.now();
+    let mut horizon = start;
+    let mut inflight: HashMap<OpToken, (usize, SimTime)> = HashMap::new();
+    for (i, job) in jobs.iter_mut().enumerate() {
+        match job.driver.start() {
+            Step::Issue(ops) => job.queue.extend(ops),
+            Step::Done(o) => job.outcome = Some(o),
+        }
+        if job.outcome.is_none() {
+            job.submit_next(i, cp, start, &mut inflight)?;
+        }
+    }
+
+    while !inflight.is_empty() {
+        let Some(c) = cp.next_completion() else {
+            // Ops are registered in flight but the path went quiet — a
+            // transport invariant violation. Surface the lowest-token
+            // job as stalled (deterministic choice).
+            let &(i, _) = inflight
+                .iter()
+                .min_by_key(|(t, _)| **t)
+                .map(|(_, v)| v)
+                .expect("inflight is non-empty");
+            return Err(ProbeError::DriverStalled(jobs[i].dpid));
+        };
+        let Some((i, issued_at)) = inflight.remove(&c.token) else {
+            // A completion from outside these drivers (the caller had
+            // other work in flight) — not ours to account.
+            continue;
+        };
+        horizon = horizon.max(c.acked_at);
+        let completion = Completion {
+            issued_at,
+            inner: c,
+        };
+        match jobs[i].driver.on_completion(&completion)? {
+            Step::Issue(ops) => jobs[i].queue.extend(ops),
+            Step::Done(o) => {
+                jobs[i].outcome = Some(o);
+                jobs[i].queue.clear();
+            }
+        }
+        if jobs[i].outcome.is_none() {
+            // The driver's next op leaves the controller when this op's
+            // ack arrives — exactly when a synchronous loop would issue
+            // it.
+            jobs[i].submit_next(i, cp, c.acked_at, &mut inflight)?;
+        }
+    }
+
+    // Leave the clock where the last synchronous call would have: at the
+    // latest observed acknowledgement (per-job acks are monotone, so for
+    // a single job this is its final ack).
+    cp.warp_to(horizon);
+    jobs.into_iter()
+        .map(|j| j.outcome.ok_or(ProbeError::DriverStalled(j.dpid)))
+        .collect()
+}
+
+/// Drives a single inference state machine to completion — the adapter
+/// the synchronous entry points are built on.
+pub fn run_driver<C, D>(cp: &mut C, dpid: Dpid, driver: D) -> Result<D::Outcome, ProbeError>
+where
+    C: ControlPath,
+    D: InferenceDriver,
+{
+    let mut outcomes = run_drivers(cp, vec![(dpid, driver)])?;
+    outcomes.pop().ok_or(ProbeError::DriverStalled(dpid))
+}
+
+/// Builds a [`ProbeError::CompletionMismatch`] from an expected-op
+/// rendering and the completion that arrived.
+pub(crate) fn mismatch(expected: &dyn std::fmt::Debug, c: &Completion) -> ProbeError {
+    ProbeError::CompletionMismatch {
+        expected: format!("{expected:?}"),
+        got: format!("{:?}", c.inner.outcome),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofwire::flow_mod::FlowMod;
+    use switchsim::control::OpOutcome;
+    use switchsim::harness::Testbed;
+    use switchsim::profiles::SwitchProfile;
+
+    /// Installs `n` rules one flow-mod at a time, counting acceptances.
+    struct CountingDriver {
+        kind: RuleKind,
+        n: u32,
+        next: u32,
+        accepted: usize,
+    }
+
+    impl InferenceDriver for CountingDriver {
+        type Outcome = usize;
+
+        fn start(&mut self) -> Step<usize> {
+            if self.n == 0 {
+                return Step::Done(0);
+            }
+            self.next = 1;
+            Step::Issue(vec![ControlOp::FlowMod(FlowMod::add(
+                self.kind.flow_match(0),
+                10,
+            ))])
+        }
+
+        fn on_completion(&mut self, c: &Completion) -> Result<Step<usize>, ProbeError> {
+            let OpOutcome::FlowMod(r) = c.inner.outcome else {
+                return Err(mismatch(&"flow-mod", c));
+            };
+            if r == switchsim::control::OpResult::Ok {
+                self.accepted += 1;
+            }
+            if self.next == self.n {
+                return Ok(Step::Done(self.accepted));
+            }
+            let id = self.next;
+            self.next += 1;
+            Ok(Step::Issue(vec![ControlOp::FlowMod(FlowMod::add(
+                self.kind.flow_match(id),
+                10,
+            ))]))
+        }
+    }
+
+    fn driver(n: u32) -> CountingDriver {
+        CountingDriver {
+            kind: RuleKind::L3,
+            n,
+            next: 0,
+            accepted: 0,
+        }
+    }
+
+    #[test]
+    fn single_driver_runs_to_completion() {
+        let mut tb = Testbed::new(3);
+        tb.attach_default(Dpid(1), SwitchProfile::ovs());
+        let got = run_driver(&mut tb, Dpid(1), driver(25)).expect("driver completes");
+        assert_eq!(got, 25);
+        assert_eq!(tb.switch(Dpid(1)).rule_count(), 25);
+    }
+
+    #[test]
+    fn immediate_done_needs_no_ops() {
+        let mut tb = Testbed::new(3);
+        tb.attach_default(Dpid(1), SwitchProfile::ovs());
+        let before = ControlPath::now(&tb);
+        let got = run_driver(&mut tb, Dpid(1), driver(0)).expect("degenerate driver");
+        assert_eq!(got, 0);
+        assert_eq!(ControlPath::now(&tb), before, "no ops, no time");
+    }
+
+    #[test]
+    fn duplicate_switches_are_a_typed_error() {
+        let mut tb = Testbed::new(3);
+        tb.attach_default(Dpid(1), SwitchProfile::ovs());
+        let err = run_drivers(&mut tb, vec![(Dpid(1), driver(2)), (Dpid(1), driver(2))])
+            .expect_err("duplicate dpid must be rejected");
+        assert_eq!(err, ProbeError::DuplicateSwitch(Dpid(1)));
+    }
+
+    #[test]
+    fn concurrent_drivers_interleave_and_finish() {
+        let mut tb = Testbed::new(3);
+        tb.attach_default(Dpid(1), SwitchProfile::ovs());
+        tb.attach_default(Dpid(2), SwitchProfile::vendor1());
+        let got = run_drivers(&mut tb, vec![(Dpid(1), driver(30)), (Dpid(2), driver(20))])
+            .expect("both drivers complete");
+        assert_eq!(got, vec![30, 20]);
+        assert_eq!(tb.switch(Dpid(1)).rule_count(), 30);
+        assert_eq!(tb.switch(Dpid(2)).rule_count(), 20);
+    }
+
+    /// A driver that returns an empty issue without finishing.
+    struct StallingDriver;
+
+    impl InferenceDriver for StallingDriver {
+        type Outcome = ();
+
+        fn start(&mut self) -> Step<()> {
+            Step::Issue(vec![])
+        }
+
+        fn on_completion(&mut self, _c: &Completion) -> Result<Step<()>, ProbeError> {
+            Ok(Step::Issue(vec![]))
+        }
+    }
+
+    #[test]
+    fn stalled_driver_is_a_typed_error() {
+        let mut tb = Testbed::new(3);
+        tb.attach_default(Dpid(7), SwitchProfile::ovs());
+        let err = run_driver(&mut tb, Dpid(7), StallingDriver).expect_err("stall must surface");
+        assert_eq!(err, ProbeError::DriverStalled(Dpid(7)));
+    }
+
+    #[test]
+    fn probe_error_displays_are_informative() {
+        let e = ProbeError::LeakedRules {
+            installed: 10,
+            cleaned: 9,
+        };
+        assert!(e.to_string().contains("installed 10"));
+        let e = ProbeError::PatternKindMismatch {
+            pattern: RuleKind::L2,
+            engine: RuleKind::L3,
+        };
+        assert!(e.to_string().contains("L2"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -12,11 +12,13 @@
 //!   here; they are distinguished by the capacity pair);
 //! * no bounded layer at all → software switch.
 
-use crate::infer_size::{probe_sizes, SizeProbeConfig};
+use crate::driver::{self, mismatch, InferenceDriver, ProbeError, Step};
+use crate::infer_size::{SizeDriver, SizeEstimate, SizeProbeConfig};
 use crate::pattern::RuleKind;
-use crate::probe::ProbingEngine;
+use ofwire::flow_mod::FlowMod;
 use ofwire::types::Dpid;
 use serde::{Deserialize, Serialize};
+use switchsim::control::{ControlOp, OpOutcome};
 use switchsim::harness::Testbed;
 
 /// The classified TCAM geometry.
@@ -53,64 +55,186 @@ pub struct GeometryEstimate {
     pub class: GeometryClass,
 }
 
-/// Probes one rule kind: returns the fast-layer capacity if a bounded
-/// layer was observed (rejection, or a spill tier behind the fast one).
-fn fast_layer(tb: &mut Testbed, dpid: Dpid, kind: RuleKind, cfg: &SizeProbeConfig) -> Option<f64> {
-    let mut engine = ProbingEngine::new(tb, dpid, kind);
-    engine.clear_rules();
-    let est = probe_sizes(&mut engine, cfg);
-    engine.clear_rules();
-    if est.hit_rejection || est.levels.len() >= 2 {
-        est.fast_layer_size()
-    } else {
-        None
+/// The three sub-probes, in issue order, with their legacy seeds.
+const PHASES: [(RuleKind, u64); 3] = [(RuleKind::L2, 1), (RuleKind::L3, 2), (RuleKind::L2L3, 3)];
+
+/// Where the geometry driver is within the current phase.
+enum GeometryState {
+    /// The pre-probe `delete_all` is in flight.
+    ClearBefore,
+    /// The embedded size probe is running.
+    Size(Box<SizeDriver>),
+    /// The post-probe `delete_all` is in flight.
+    ClearAfter,
+    /// Terminal (outcome already produced).
+    Finished,
+}
+
+/// The geometry probe as a resumable state machine: three embedded
+/// [`SizeDriver`] runs (L2-only, L3-only, combined), each bracketed by
+/// `delete_all` cleanups, classified at the end.
+pub struct GeometryDriver {
+    cap: usize,
+    trials: usize,
+    phase: usize,
+    state: GeometryState,
+    fast: [Option<f64>; 3],
+}
+
+impl GeometryDriver {
+    /// A driver probing with per-kind caps of `cap` rules and `trials`
+    /// sampling trials per layer.
+    #[must_use]
+    pub fn new(cap: usize, trials: usize) -> GeometryDriver {
+        GeometryDriver {
+            cap,
+            trials,
+            phase: 0,
+            state: GeometryState::ClearBefore,
+            fast: [None; 3],
+        }
+    }
+
+    fn size_config(&self, seed: u64) -> SizeProbeConfig {
+        SizeProbeConfig {
+            max_flows: self.cap,
+            trials_per_level: self.trials,
+            seed,
+            ..SizeProbeConfig::default()
+        }
+    }
+
+    /// Records one sub-probe's fast-layer capacity, if a bounded layer
+    /// was observed (rejection, or a spill tier behind the fast one).
+    fn record(&mut self, est: &SizeEstimate) {
+        self.fast[self.phase] = if est.hit_rejection || est.levels.len() >= 2 {
+            est.fast_layer_size()
+        } else {
+            None
+        };
+    }
+
+    /// Classification from the three capacities (cf. Table 1).
+    fn classify(&self) -> GeometryEstimate {
+        let [l2_only, l3_only, l2l3] = self.fast;
+        let class = match (l2_only.or(l3_only), l2l3) {
+            (None, None) => GeometryClass::Unbounded,
+            (Some(narrow), Some(wide)) => {
+                // Within estimator noise (< 5 %), equal capacities mean
+                // the width does not matter.
+                if (narrow - wide).abs() / narrow.max(wide) < 0.10 {
+                    GeometryClass::FixedWidth {
+                        entries: (narrow + wide) / 2.0,
+                    }
+                } else {
+                    GeometryClass::WidthSensitive { narrow, wide }
+                }
+            }
+            // A bounded layer for only one kind: treat the bounded
+            // figure as both (the other probe was capped too low).
+            (Some(narrow), None) => GeometryClass::WidthSensitive {
+                narrow,
+                wide: f64::NAN,
+            },
+            (None, Some(wide)) => GeometryClass::WidthSensitive {
+                narrow: f64::NAN,
+                wide,
+            },
+        };
+        GeometryEstimate {
+            l2_only,
+            l3_only,
+            l2l3,
+            class,
+        }
+    }
+
+    /// After the pre-probe clear: start the phase's size driver, which
+    /// may finish immediately under a degenerate config (`cap == 0`).
+    fn start_size(&mut self) -> Step<GeometryEstimate> {
+        let (kind, seed) = PHASES[self.phase];
+        let cfg = self.size_config(seed);
+        let mut sub = Box::new(SizeDriver::new(kind, cfg));
+        match sub.start() {
+            Step::Issue(ops) => {
+                self.state = GeometryState::Size(sub);
+                Step::Issue(ops)
+            }
+            Step::Done(est) => {
+                self.record(&est);
+                self.state = GeometryState::ClearAfter;
+                Step::Issue(vec![ControlOp::FlowMod(FlowMod::delete_all())])
+            }
+        }
+    }
+
+    /// After the post-probe clear: next phase, or classify and finish.
+    fn next_phase(&mut self) -> Step<GeometryEstimate> {
+        self.phase += 1;
+        if self.phase < PHASES.len() {
+            self.state = GeometryState::ClearBefore;
+            Step::Issue(vec![ControlOp::FlowMod(FlowMod::delete_all())])
+        } else {
+            self.state = GeometryState::Finished;
+            Step::Done(self.classify())
+        }
+    }
+}
+
+impl InferenceDriver for GeometryDriver {
+    type Outcome = GeometryEstimate;
+
+    fn start(&mut self) -> Step<GeometryEstimate> {
+        self.phase = 0;
+        self.state = GeometryState::ClearBefore;
+        Step::Issue(vec![ControlOp::FlowMod(FlowMod::delete_all())])
+    }
+
+    fn on_completion(
+        &mut self,
+        c: &driver::Completion,
+    ) -> Result<Step<GeometryEstimate>, ProbeError> {
+        match &mut self.state {
+            GeometryState::ClearBefore => {
+                let OpOutcome::FlowMod(_) = c.inner.outcome else {
+                    return Err(mismatch(&"pre-probe delete_all", c));
+                };
+                Ok(self.start_size())
+            }
+            GeometryState::Size(sub) => match sub.on_completion(c)? {
+                Step::Issue(ops) => Ok(Step::Issue(ops)),
+                Step::Done(est) => {
+                    self.record(&est);
+                    self.state = GeometryState::ClearAfter;
+                    Ok(Step::Issue(vec![ControlOp::FlowMod(FlowMod::delete_all())]))
+                }
+            },
+            GeometryState::ClearAfter => {
+                let OpOutcome::FlowMod(_) = c.inner.outcome else {
+                    return Err(mismatch(&"post-probe delete_all", c));
+                };
+                Ok(self.next_phase())
+            }
+            GeometryState::Finished => Err(mismatch(&"no op in flight (driver finished)", c)),
+        }
     }
 }
 
 /// Probes the switch's TCAM geometry. `cap` bounds each of the three
 /// sub-probes (it should comfortably exceed the largest plausible
-/// single-layer capacity so spill tiers become visible).
-pub fn probe_geometry(tb: &mut Testbed, dpid: Dpid, cap: usize, trials: usize) -> GeometryEstimate {
-    let cfg = |seed: u64| SizeProbeConfig {
-        max_flows: cap,
-        trials_per_level: trials,
-        seed,
-        ..SizeProbeConfig::default()
-    };
-    let l2_only = fast_layer(tb, dpid, RuleKind::L2, &cfg(1));
-    let l3_only = fast_layer(tb, dpid, RuleKind::L3, &cfg(2));
-    let l2l3 = fast_layer(tb, dpid, RuleKind::L2L3, &cfg(3));
-
-    let class = match (l2_only.or(l3_only), l2l3) {
-        (None, None) => GeometryClass::Unbounded,
-        (Some(narrow), Some(wide)) => {
-            // Within estimator noise (< 5 %), equal capacities mean the
-            // width does not matter.
-            if (narrow - wide).abs() / narrow.max(wide) < 0.10 {
-                GeometryClass::FixedWidth {
-                    entries: (narrow + wide) / 2.0,
-                }
-            } else {
-                GeometryClass::WidthSensitive { narrow, wide }
-            }
-        }
-        // A bounded layer for only one kind: treat the bounded figure as
-        // both (the other probe was capped too low).
-        (Some(narrow), None) => GeometryClass::WidthSensitive {
-            narrow,
-            wide: f64::NAN,
-        },
-        (None, Some(wide)) => GeometryClass::WidthSensitive {
-            narrow: f64::NAN,
-            wide,
-        },
-    };
-    GeometryEstimate {
-        l2_only,
-        l3_only,
-        l2l3,
-        class,
-    }
+/// single-layer capacity so spill tiers become visible) — the
+/// synchronous adapter over [`GeometryDriver`].
+///
+/// # Errors
+/// [`ProbeError::CompletionMismatch`] if the transport violates its
+/// completion contract.
+pub fn probe_geometry(
+    tb: &mut Testbed,
+    dpid: Dpid,
+    cap: usize,
+    trials: usize,
+) -> Result<GeometryEstimate, ProbeError> {
+    driver::run_driver(tb, dpid, GeometryDriver::new(cap, trials))
 }
 
 #[cfg(test)]
@@ -122,7 +246,7 @@ mod tests {
         let mut tb = Testbed::new(0x9e0);
         let dpid = Dpid(1);
         tb.attach_default(dpid, profile);
-        probe_geometry(&mut tb, dpid, cap, 64)
+        probe_geometry(&mut tb, dpid, cap, 64).expect("geometry probe completes")
     }
 
     #[test]

@@ -18,10 +18,14 @@
 //! equivalent, which is all a black-box probe can promise.
 
 use crate::cluster::cluster_rtts;
+use crate::driver::{self, mismatch, InferenceDriver, ProbeError, Step};
+use crate::pattern::RuleKind;
 use crate::probe::ProbingEngine;
 use crate::stats::pearson;
+use ofwire::flow_mod::FlowMod;
 use serde::{Deserialize, Serialize};
 use switchsim::cache::{Attribute, CachePolicy, Direction, SortKey};
+use switchsim::control::{ControlOp, OpOutcome};
 
 /// Configuration for the policy probe.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -145,108 +149,232 @@ fn gcd(a: u64, b: u64) -> u64 {
     }
 }
 
+/// The policy probe as a resumable state machine (see
+/// [`driver`]). Each round's full op sequence — clear,
+/// install, traffic initialization, use-time pass, measurement pass — is
+/// issued up front; only the final `s` probe completions carry
+/// measurements, and the round's analysis plus the recursion decision
+/// run when the last one arrives.
+pub struct PolicyDriver {
+    kind: RuleKind,
+    cache_size: usize,
+    config: PolicyProbeConfig,
+    identified: Vec<SortKey>,
+    rounds: Vec<PolicyRound>,
+    // Current round.
+    plan: Vec<FlowInit>,
+    /// Ids probed by the measurement pass, in probe order.
+    measure_ids: Vec<u32>,
+    /// Completions to consume before the measurement pass starts.
+    skip: usize,
+    measured: Vec<(u32, f64)>,
+    finished: bool,
+}
+
+impl PolicyDriver {
+    /// A driver inferring the policy of a switch whose fast layer holds
+    /// `cache_size` rules (from Algorithm 1).
+    #[must_use]
+    pub fn new(kind: RuleKind, cache_size: usize, config: PolicyProbeConfig) -> PolicyDriver {
+        PolicyDriver {
+            kind,
+            cache_size,
+            config,
+            identified: Vec::new(),
+            rounds: Vec::new(),
+            plan: Vec::new(),
+            measure_ids: Vec::new(),
+            skip: 0,
+            measured: Vec::new(),
+            finished: false,
+        }
+    }
+
+    fn hold_priority(&self) -> bool {
+        self.identified
+            .iter()
+            .any(|k| k.attribute == Attribute::Priority)
+    }
+
+    fn hold_traffic(&self) -> bool {
+        self.identified
+            .iter()
+            .any(|k| k.attribute == Attribute::TrafficCount)
+    }
+
+    /// Builds one round's complete op sequence and resets the round
+    /// bookkeeping.
+    fn begin_round(&mut self) -> Vec<ControlOp> {
+        let s = 2 * self.cache_size;
+        self.plan = initialization_plan(s, self.hold_priority(), self.hold_traffic(), &self.config);
+
+        // Fresh table.
+        let mut ops = vec![ControlOp::FlowMod(FlowMod::delete_all())];
+
+        // Install in id order (insertion time = rank i).
+        for f in &self.plan {
+            ops.push(ControlOp::FlowMod(FlowMod::add(
+                self.kind.flow_match(f.id),
+                f.priority,
+            )));
+        }
+
+        // Traffic initialization: bring each flow to traffic-1 packets.
+        // The final packet comes from the use-time pass so the last-use
+        // order is exactly the use-rank permutation.
+        for f in &self.plan {
+            for _ in 1..f.traffic {
+                ops.push(ControlOp::Probe(self.kind.key(f.id)));
+            }
+        }
+
+        // Use-time initialization: one packet per flow, in use-rank
+        // order.
+        let mut by_use: Vec<&FlowInit> = self.plan.iter().collect();
+        by_use.sort_by_key(|f| f.use_rank);
+        for f in &by_use {
+            ops.push(ControlOp::Probe(self.kind.key(f.id)));
+        }
+
+        // Measurement: probe most-recently-used first. Each probed
+        // flow's new use stamp is *older* than the stamps of flows
+        // probed before it, so the relative use order is preserved
+        // (paper §5.3).
+        self.measure_ids = by_use.iter().rev().map(|f| f.id).collect();
+        for &id in &self.measure_ids {
+            ops.push(ControlOp::Probe(self.kind.key(id)));
+        }
+
+        self.skip = ops.len() - self.measure_ids.len();
+        self.measured.clear();
+        ops
+    }
+
+    /// Analysis plus the recursion decision, once the round's last
+    /// measurement completes.
+    fn finish_round(&mut self) -> Step<InferredPolicy> {
+        let round = analyze_round(
+            &self.plan,
+            &self.measured,
+            self.hold_priority(),
+            self.hold_traffic(),
+            &self.config,
+        );
+        let chosen = round.chosen;
+        self.rounds.push(round);
+        let stop = match chosen {
+            None => true,
+            Some(key) => {
+                // An attribute can only appear once in a LEX order.
+                if self.identified.iter().any(|k| k.attribute == key.attribute) {
+                    true
+                } else {
+                    let attr = key.attribute;
+                    self.identified.push(key);
+                    // A serial attribute already induces a total order;
+                    // tie-breaks below a traffic-count key are not
+                    // black-box observable (every probe packet
+                    // increments the held attribute).
+                    attr.is_serial() || attr == Attribute::TrafficCount
+                }
+            }
+        };
+        if stop || self.identified.len() >= self.config.max_keys {
+            self.finished = true;
+            Step::Done(InferredPolicy {
+                keys: std::mem::take(&mut self.identified),
+                rounds: std::mem::take(&mut self.rounds),
+            })
+        } else {
+            Step::Issue(self.begin_round())
+        }
+    }
+}
+
+impl InferenceDriver for PolicyDriver {
+    type Outcome = InferredPolicy;
+
+    fn start(&mut self) -> Step<InferredPolicy> {
+        if self.identified.len() >= self.config.max_keys {
+            self.finished = true;
+            return Step::Done(InferredPolicy {
+                keys: std::mem::take(&mut self.identified),
+                rounds: std::mem::take(&mut self.rounds),
+            });
+        }
+        Step::Issue(self.begin_round())
+    }
+
+    fn on_completion(
+        &mut self,
+        c: &driver::Completion,
+    ) -> Result<Step<InferredPolicy>, ProbeError> {
+        if self.finished {
+            return Err(mismatch(&"no op in flight (driver finished)", c));
+        }
+        if self.skip > 0 {
+            // Initialization traffic: clear, installs, warm-up probes.
+            // Only their ordering matters, not their outcomes.
+            self.skip -= 1;
+            if self.skip == 0 && self.measure_ids.is_empty() {
+                // Degenerate round (cache_size == 0): nothing to
+                // measure, analyze the empty round immediately.
+                return Ok(self.finish_round());
+            }
+            return Ok(Step::Issue(vec![]));
+        }
+        let OpOutcome::Probe(_) = c.inner.outcome else {
+            return Err(mismatch(&"measurement probe", c));
+        };
+        let id = self.measure_ids[self.measured.len()];
+        self.measured.push((id, c.elapsed_ms()));
+        if self.measured.len() == self.measure_ids.len() {
+            Ok(self.finish_round())
+        } else {
+            Ok(Step::Issue(vec![]))
+        }
+    }
+}
+
 /// Runs Algorithm 2: infers the switch's cache policy given the fast
-/// layer's size `cache_size` (from Algorithm 1).
+/// layer's size `cache_size` (from Algorithm 1) — the synchronous
+/// adapter over [`PolicyDriver`].
+///
+/// # Errors
+/// [`ProbeError::CompletionMismatch`] if the transport violates its
+/// completion contract.
 pub fn probe_policy(
     engine: &mut ProbingEngine<'_>,
     cache_size: usize,
     config: &PolicyProbeConfig,
-) -> InferredPolicy {
-    let mut identified: Vec<SortKey> = Vec::new();
-    let mut rounds = Vec::new();
-
-    while identified.len() < config.max_keys {
-        let hold_priority = identified
-            .iter()
-            .any(|k| k.attribute == Attribute::Priority);
-        let hold_traffic = identified
-            .iter()
-            .any(|k| k.attribute == Attribute::TrafficCount);
-        let round = run_round(engine, cache_size, hold_priority, hold_traffic, config);
-        let chosen = round.chosen;
-        rounds.push(round);
-        match chosen {
-            None => break,
-            Some(key) => {
-                // An attribute can only appear once in a LEX order.
-                if identified.iter().any(|k| k.attribute == key.attribute) {
-                    break;
-                }
-                let attr = key.attribute;
-                identified.push(key);
-                if attr.is_serial() {
-                    // A serial attribute already induces a total order.
-                    break;
-                }
-                if attr == Attribute::TrafficCount {
-                    // Tie-breaks below a traffic-count key are not
-                    // black-box observable: holding traffic "constant"
-                    // is impossible because every probe packet
-                    // increments it, violating the MONOTONE margin the
-                    // measurement needs (§5.3's counts must stay ≥ 2
-                    // apart). Stop here; the reported prefix is
-                    // behaviourally faithful.
-                    break;
-                }
-            }
-        }
-    }
-
-    InferredPolicy {
-        keys: identified,
-        rounds,
-    }
+) -> Result<InferredPolicy, ProbeError> {
+    let dpid = engine.dpid();
+    let kind = engine.kind();
+    driver::run_driver(
+        engine.testbed_mut(),
+        dpid,
+        PolicyDriver::new(kind, cache_size, *config),
+    )
 }
 
-fn run_round(
-    engine: &mut ProbingEngine<'_>,
-    cache_size: usize,
+/// The pure analysis of one round: classifies cached membership from the
+/// measurement RTTs and correlates each candidate attribute's
+/// initialized values with membership.
+fn analyze_round(
+    plan: &[FlowInit],
+    rtts: &[(u32, f64)],
     hold_priority: bool,
     hold_traffic: bool,
     config: &PolicyProbeConfig,
 ) -> PolicyRound {
-    let s = 2 * cache_size;
-    let plan = initialization_plan(s, hold_priority, hold_traffic, config);
-
-    // Fresh table.
-    engine.clear_rules();
-
-    // Install in id order (insertion time = rank i).
-    for f in &plan {
-        engine.install_one(f.id, f.priority);
-    }
-
-    // Traffic initialization: bring each flow to traffic-1 packets. The
-    // final packet comes from the use-time pass so the last-use order is
-    // exactly the use-rank permutation.
-    for f in &plan {
-        for _ in 1..f.traffic {
-            engine.probe_one(f.id);
-        }
-    }
-
-    // Use-time initialization: one packet per flow, in use-rank order.
-    let mut by_use: Vec<&FlowInit> = plan.iter().collect();
-    by_use.sort_by_key(|f| f.use_rank);
-    for f in &by_use {
-        engine.probe_one(f.id);
-    }
-
-    // Measurement: probe most-recently-used first. Each probed flow's
-    // new use stamp is *older* than the stamps of flows probed before it,
-    // so the relative use order is preserved (paper §5.3).
-    let mut rtts: Vec<(u32, f64)> = Vec::with_capacity(s);
-    for f in by_use.iter().rev() {
-        let sample = engine.probe_one(f.id);
-        rtts.push((f.id, sample.rtt_ms));
-    }
+    let s = plan.len();
 
     // Classify cached membership from the RTT clusters.
     let values: Vec<f64> = rtts.iter().map(|&(_, r)| r).collect();
     let clustering = cluster_rtts(&values);
     let mut cached = vec![0.0f64; s];
     let mut cached_count = 0;
-    for &(id, rtt) in &rtts {
+    for &(id, rtt) in rtts {
         if clustering.k() >= 2 && clustering.within(rtt, 0) {
             cached[id as usize] = 1.0;
             cached_count += 1;
@@ -328,6 +456,7 @@ mod tests {
         tb.attach_default(dpid, SwitchProfile::generic_cached(cache_size, policy));
         let mut eng = ProbingEngine::new(&mut tb, dpid, RuleKind::L3);
         probe_policy(&mut eng, cache_size as usize, &PolicyProbeConfig::default())
+            .expect("policy probe completes")
     }
 
     #[test]
@@ -467,7 +596,8 @@ mod tests {
             SwitchProfile::generic_cached(1000, CachePolicy::lru()),
         );
         let mut eng = ProbingEngine::new(&mut tb, dpid, RuleKind::L3);
-        let inferred = probe_policy(&mut eng, 50, &PolicyProbeConfig::default());
+        let inferred = probe_policy(&mut eng, 50, &PolicyProbeConfig::default())
+            .expect("policy probe completes");
         assert!(inferred.keys.is_empty(), "rounds: {:?}", inferred.rounds);
     }
 }

@@ -15,6 +15,11 @@
 //! * [`curves`] — per-operation latency curves (add under each priority
 //!   ordering, modify, delete) feeding the scheduler's pattern oracle.
 //!
+//! Every adaptive pipeline is implemented as a resumable state machine
+//! over the control path (see [`driver`]); the functions above are thin
+//! synchronous adapters, and [`fleet::run_inference`] interleaves full
+//! inference of many switches with bit-identical per-switch results.
+//!
 //! Results land in the central [`db::TangoDb`] (score + pattern
 //! databases), from which the network scheduler (`tango-sched` crate) and
 //! application [`hints`] draw.
@@ -27,7 +32,7 @@
 //! let mut tb = Testbed::new(1);
 //! tb.attach_default(Dpid(1), SwitchProfile::vendor1());
 //! let mut engine = ProbingEngine::new(&mut tb, Dpid(1), RuleKind::L3);
-//! let sizes = probe_sizes(&mut engine, &SizeProbeConfig::default());
+//! let sizes = probe_sizes(&mut engine, &SizeProbeConfig::default()).expect("probe");
 //! println!("layers: {:?}", sizes.levels);
 //! ```
 
@@ -35,10 +40,13 @@ pub mod cluster;
 pub mod concurrent;
 pub mod curves;
 pub mod db;
+pub mod driver;
+pub mod fleet;
 pub mod hints;
 pub mod infer_geometry;
 pub mod infer_policy;
 pub mod infer_size;
+pub mod json;
 pub mod online;
 pub mod pattern;
 pub mod probe;
@@ -50,6 +58,10 @@ pub mod prelude {
     pub use crate::concurrent::run_patterns;
     pub use crate::curves::{measure_latency_profile, LatencyProfile};
     pub use crate::db::{SwitchKnowledge, TangoDb};
+    pub use crate::driver::{
+        run_driver, run_drivers, Completion as DriverCompletion, InferenceDriver, ProbeError, Step,
+    };
+    pub use crate::fleet::{run_inference, FleetJob, FleetOutcome, FleetTask};
     pub use crate::hints::{advise_placement, AppHint, FlowGoal};
     pub use crate::infer_geometry::{probe_geometry, GeometryClass, GeometryEstimate};
     pub use crate::infer_policy::{probe_policy, InferredPolicy, PolicyProbeConfig};

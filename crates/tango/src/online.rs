@@ -9,9 +9,12 @@
 //! installed — leaving every application rule (and its counters)
 //! untouched.
 
+use crate::driver::{self, mismatch, InferenceDriver, ProbeError, Step};
+use crate::pattern::RuleKind;
 use crate::probe::ProbingEngine;
 use ofwire::flow_mod::FlowMod;
 use serde::{Deserialize, Serialize};
+use switchsim::control::{ControlOp, OpOutcome};
 
 /// Flow-id namespace reserved for online probes; applications should
 /// keep their ids below this.
@@ -30,43 +33,147 @@ pub struct Headroom {
     pub cleaned: usize,
 }
 
+/// Where the headroom driver is.
+enum HeadroomState {
+    /// A doubling add-batch is in flight.
+    Insert,
+    /// The strict cleanup batch (of `n_dels` deletes) is in flight.
+    Cleanup { n_dels: usize },
+    /// Terminal (outcome already produced).
+    Finished,
+}
+
+/// The online headroom probe as a resumable state machine: doubling
+/// add-batches in the reserved flow-id namespace, then one strict
+/// cleanup batch removing exactly what was installed.
+pub struct HeadroomDriver {
+    kind: RuleKind,
+    priority: u16,
+    cap: usize,
+    accepted: usize,
+    hit_rejection: bool,
+    x: usize,
+    state: HeadroomState,
+}
+
+impl HeadroomDriver {
+    /// A driver probing with rules of `kind` at `priority`, installing
+    /// at most `cap` probe rules.
+    #[must_use]
+    pub fn new(kind: RuleKind, priority: u16, cap: usize) -> HeadroomDriver {
+        HeadroomDriver {
+            kind,
+            priority,
+            cap,
+            accepted: 0,
+            hit_rejection: false,
+            x: 1,
+            state: HeadroomState::Finished,
+        }
+    }
+
+    /// Issues the next doubling batch, or the final strict cleanup when
+    /// insertion is over. The cleanup batch is issued even when empty so
+    /// the probe's op stream (and hence its timing) always ends with the
+    /// cleanup barrier.
+    fn next_batch_or_cleanup(&mut self) -> Step<Headroom> {
+        while !self.hit_rejection && self.accepted < self.cap {
+            let target = self.x.min(self.cap);
+            if target > self.accepted {
+                let fms: Vec<FlowMod> = (self.accepted..target)
+                    .map(|i| {
+                        FlowMod::add(
+                            self.kind.flow_match(ONLINE_PROBE_ID_BASE + i as u32),
+                            self.priority,
+                        )
+                    })
+                    .collect();
+                self.state = HeadroomState::Insert;
+                return Step::Issue(vec![ControlOp::Batch(fms)]);
+            }
+            self.x *= 2;
+        }
+        // Clean up strictly: only the probe's own rules.
+        let dels: Vec<FlowMod> = (0..self.accepted)
+            .map(|i| {
+                FlowMod::delete_strict(
+                    self.kind.flow_match(ONLINE_PROBE_ID_BASE + i as u32),
+                    self.priority,
+                )
+            })
+            .collect();
+        self.state = HeadroomState::Cleanup { n_dels: dels.len() };
+        Step::Issue(vec![ControlOp::Batch(dels)])
+    }
+}
+
+impl InferenceDriver for HeadroomDriver {
+    type Outcome = Headroom;
+
+    fn start(&mut self) -> Step<Headroom> {
+        self.next_batch_or_cleanup()
+    }
+
+    fn on_completion(&mut self, c: &driver::Completion) -> Result<Step<Headroom>, ProbeError> {
+        match self.state {
+            HeadroomState::Insert => {
+                let OpOutcome::Batch { ok, failed } = c.inner.outcome else {
+                    return Err(mismatch(&"headroom add batch", c));
+                };
+                self.accepted += ok;
+                if failed > 0 {
+                    self.hit_rejection = true;
+                }
+                self.x *= 2;
+                Ok(self.next_batch_or_cleanup())
+            }
+            HeadroomState::Cleanup { n_dels } => {
+                let OpOutcome::Batch { ok, failed } = c.inner.outcome else {
+                    return Err(mismatch(&"headroom cleanup batch", c));
+                };
+                if failed != 0 || ok != n_dels {
+                    // Probe rules were left behind — the switch is no
+                    // longer in its pre-probe state, which an online
+                    // probe must never silently accept.
+                    return Err(ProbeError::LeakedRules {
+                        installed: n_dels,
+                        cleaned: ok,
+                    });
+                }
+                self.state = HeadroomState::Finished;
+                Ok(Step::Done(Headroom {
+                    accepted: self.accepted,
+                    hit_rejection: self.hit_rejection,
+                    cleaned: ok,
+                }))
+            }
+            HeadroomState::Finished => Err(mismatch(&"no op in flight (driver finished)", c)),
+        }
+    }
+}
+
 /// Measures how many more rules the switch can accept right now,
 /// without touching application rules. `priority` should be low so the
 /// probe rules cannot shadow production traffic; `cap` bounds the probe
-/// on switches with unbounded software tables.
-pub fn probe_headroom(engine: &mut ProbingEngine<'_>, priority: u16, cap: usize) -> Headroom {
+/// on switches with unbounded software tables — the synchronous adapter
+/// over [`HeadroomDriver`].
+///
+/// # Errors
+/// [`ProbeError::LeakedRules`] if the cleanup failed to remove every
+/// probe rule; [`ProbeError::CompletionMismatch`] if the transport
+/// violates its completion contract.
+pub fn probe_headroom(
+    engine: &mut ProbingEngine<'_>,
+    priority: u16,
+    cap: usize,
+) -> Result<Headroom, ProbeError> {
+    let dpid = engine.dpid();
     let kind = engine.kind();
-    let mut accepted = 0usize;
-    let mut hit_rejection = false;
-    // Doubling batches, as in Algorithm 1 stage 1.
-    let mut x = 1usize;
-    while !hit_rejection && accepted < cap {
-        let target = x.min(cap);
-        if target > accepted {
-            let fms: Vec<FlowMod> = (accepted..target)
-                .map(|i| FlowMod::add(kind.flow_match(ONLINE_PROBE_ID_BASE + i as u32), priority))
-                .collect();
-            let (ok, failed, _) = engine.run_batch(fms);
-            accepted += ok;
-            if failed > 0 {
-                hit_rejection = true;
-            }
-        }
-        x *= 2;
-    }
-    // Clean up strictly: only the probe's own rules.
-    let dels: Vec<FlowMod> = (0..accepted)
-        .map(|i| FlowMod::delete_strict(kind.flow_match(ONLINE_PROBE_ID_BASE + i as u32), priority))
-        .collect();
-    let n_dels = dels.len();
-    let (ok, failed, _) = engine.run_batch(dels);
-    debug_assert_eq!(failed, 0);
-    debug_assert_eq!(ok, n_dels);
-    Headroom {
-        accepted,
-        hit_rejection,
-        cleaned: ok,
-    }
+    driver::run_driver(
+        engine.testbed_mut(),
+        dpid,
+        HeadroomDriver::new(kind, priority, cap),
+    )
 }
 
 #[cfg(test)]
@@ -93,7 +200,7 @@ mod tests {
         }
 
         let mut eng = ProbingEngine::new(&mut tb, dpid, RuleKind::L3);
-        let h = probe_headroom(&mut eng, 1, 2048);
+        let h = probe_headroom(&mut eng, 1, 2048).expect("headroom probe completes");
         assert!(h.hit_rejection);
         assert_eq!(h.accepted, 767 - 200);
         assert_eq!(h.cleaned, h.accepted);
@@ -113,7 +220,7 @@ mod tests {
         let dpid = Dpid(1);
         tb.attach_default(dpid, SwitchProfile::ovs());
         let mut eng = ProbingEngine::new(&mut tb, dpid, RuleKind::L3);
-        let h = probe_headroom(&mut eng, 1, 300);
+        let h = probe_headroom(&mut eng, 1, 300).expect("headroom probe completes");
         assert!(!h.hit_rejection);
         assert_eq!(h.accepted, 300);
         assert_eq!(tb.switch(dpid).rule_count(), 0);
@@ -125,8 +232,8 @@ mod tests {
         let dpid = Dpid(1);
         tb.attach_default(dpid, SwitchProfile::vendor2());
         let mut eng = ProbingEngine::new(&mut tb, dpid, RuleKind::L3);
-        let h1 = probe_headroom(&mut eng, 1, 4096);
-        let h2 = probe_headroom(&mut eng, 1, 4096);
+        let h1 = probe_headroom(&mut eng, 1, 4096).expect("headroom probe completes");
+        let h2 = probe_headroom(&mut eng, 1, 4096).expect("headroom probe completes");
         assert_eq!(h1.accepted, 2560);
         assert_eq!(h1.accepted, h2.accepted);
     }

@@ -12,6 +12,7 @@
 //! [`concurrent`](crate::concurrent) module drives one program per
 //! switch, interleaved in the same virtual time.
 
+use crate::driver::{self, InferenceDriver, ProbeError, Step};
 use crate::pattern::{PatternStep, RuleKind, TangoPattern};
 use ofwire::action::Action;
 use ofwire::flow_mod::FlowMod;
@@ -147,13 +148,15 @@ pub(crate) fn to_control_op(kind: RuleKind, op: &ProgramOp) -> ControlOp {
 
 /// Folds one completion into a [`PatternResult`]. `ops` is the batch
 /// size (for segment accounting) and `issued_at` the controller-side
-/// ready time the op was submitted with.
+/// ready time the op was submitted with. A completion whose outcome does
+/// not match the issued op's shape is a control-path contract violation,
+/// reported as [`ProbeError::CompletionMismatch`].
 pub(crate) fn record_completion(
     result: &mut PatternResult,
     op: &ProgramOp,
     issued_at: simnet::time::SimTime,
     c: &switchsim::control::Completion,
-) {
+) -> Result<(), ProbeError> {
     match (op, c.outcome) {
         (ProgramOp::Batch(fms), OpOutcome::Batch { failed, .. }) => {
             result.segments.push(Segment {
@@ -161,6 +164,7 @@ pub(crate) fn record_completion(
                 rejected: failed,
                 elapsed: c.acked_at.since(issued_at),
             });
+            Ok(())
         }
         (ProgramOp::Probe(id), OpOutcome::Probe(hit)) => {
             result.probes.push(ProbeSample {
@@ -168,8 +172,67 @@ pub(crate) fn record_completion(
                 hit,
                 rtt_ms: c.acked_at.since(issued_at).as_millis_f64(),
             });
+            Ok(())
         }
-        (op, outcome) => panic!("completion {outcome:?} does not match issued op {op:?}"),
+        (op, outcome) => Err(ProbeError::CompletionMismatch {
+            expected: format!("{op:?}"),
+            got: format!("{outcome:?}"),
+        }),
+    }
+}
+
+/// The trivial inference driver: executes one compiled pattern program,
+/// folding each completion into a [`PatternResult`]. All ops are issued
+/// up front; the runner paces them one completion at a time.
+pub struct PatternDriver {
+    program: PatternProgram,
+    cursor: usize,
+    result: PatternResult,
+}
+
+impl PatternDriver {
+    /// Wraps a compiled program.
+    #[must_use]
+    pub fn new(program: PatternProgram) -> PatternDriver {
+        PatternDriver {
+            program,
+            cursor: 0,
+            result: PatternResult::default(),
+        }
+    }
+
+    /// Compiles and wraps a pattern.
+    #[must_use]
+    pub fn for_pattern(pattern: &TangoPattern) -> PatternDriver {
+        PatternDriver::new(compile_pattern(pattern))
+    }
+}
+
+impl InferenceDriver for PatternDriver {
+    type Outcome = PatternResult;
+
+    fn start(&mut self) -> Step<PatternResult> {
+        if self.program.ops.is_empty() {
+            return Step::Done(std::mem::take(&mut self.result));
+        }
+        Step::Issue(
+            self.program
+                .ops
+                .iter()
+                .map(|op| to_control_op(self.program.kind, op))
+                .collect(),
+        )
+    }
+
+    fn on_completion(&mut self, c: &driver::Completion) -> Result<Step<PatternResult>, ProbeError> {
+        let op = &self.program.ops[self.cursor];
+        record_completion(&mut self.result, op, c.issued_at, &c.inner)?;
+        self.cursor += 1;
+        if self.cursor == self.program.ops.len() {
+            Ok(Step::Done(std::mem::take(&mut self.result)))
+        } else {
+            Ok(Step::Issue(vec![]))
+        }
     }
 }
 
@@ -210,24 +273,21 @@ impl<'a> ProbingEngine<'a> {
     }
 
     /// Runs a pattern to completion: compiles it and drives the program
-    /// through the control path, one op per completion.
-    pub fn run(&mut self, pattern: &TangoPattern) -> PatternResult {
-        assert_eq!(
-            pattern.kind, self.kind,
-            "pattern kind must match engine kind"
-        );
-        let program = compile_pattern(pattern);
-        let mut result = PatternResult::default();
-        for op in &program.ops {
-            let issued_at = ControlPath::now(self.tb);
-            let token = self
-                .tb
-                .submit(self.dpid, to_control_op(self.kind, op), issued_at);
-            let c = self.tb.wait_for(token);
-            record_completion(&mut result, op, issued_at, &c);
-            self.tb.warp_to(c.acked_at);
+    /// through the control path as a [`PatternDriver`], one op per
+    /// completion.
+    ///
+    /// # Errors
+    /// [`ProbeError::PatternKindMismatch`] if the pattern's rule kind is
+    /// not the engine's; [`ProbeError::CompletionMismatch`] if the
+    /// transport violates its completion contract.
+    pub fn run(&mut self, pattern: &TangoPattern) -> Result<PatternResult, ProbeError> {
+        if pattern.kind != self.kind {
+            return Err(ProbeError::PatternKindMismatch {
+                pattern: pattern.kind,
+                engine: self.kind,
+            });
         }
-        result
+        driver::run_driver(self.tb, self.dpid, PatternDriver::for_pattern(pattern))
     }
 
     /// Issues one barriered batch through the control path, waiting for
@@ -297,7 +357,7 @@ mod tests {
         let (mut tb, dpid) = engine_on(SwitchProfile::ovs());
         let mut eng = ProbingEngine::new(&mut tb, dpid, RuleKind::L3);
         let pat = TangoPattern::priority_insertion(50, PriorityOrder::Ascending, RuleKind::L3);
-        let res = eng.run(&pat);
+        let res = eng.run(&pat).expect("pattern runs");
         assert_eq!(res.segments.len(), 1);
         assert_eq!(res.segments[0].ops, 50);
         assert_eq!(res.rejected(), 0);
@@ -311,7 +371,7 @@ mod tests {
             let (mut tb, dpid) = engine_on(SwitchProfile::vendor1());
             let mut eng = ProbingEngine::new(&mut tb, dpid, RuleKind::L3);
             let pat = TangoPattern::priority_insertion(500, order, RuleKind::L3);
-            eng.run(&pat).install_time()
+            eng.run(&pat).expect("pattern runs").install_time()
         };
         let asc = run_order(PriorityOrder::Ascending);
         let desc = run_order(PriorityOrder::Descending);
@@ -333,7 +393,7 @@ mod tests {
                 PatternStep::Probe { id: 1 },
             ],
         };
-        let res = eng.run(&pat);
+        let res = eng.run(&pat).expect("pattern runs");
         assert_eq!(res.segments.len(), 1);
         assert_eq!(res.probes.len(), 1);
         assert!(
@@ -347,7 +407,7 @@ mod tests {
         let (mut tb, dpid) = engine_on(SwitchProfile::vendor3());
         let mut eng = ProbingEngine::new(&mut tb, dpid, RuleKind::L2L3);
         let pat = TangoPattern::priority_insertion(400, PriorityOrder::Same, RuleKind::L2L3);
-        let res = eng.run(&pat);
+        let res = eng.run(&pat).expect("pattern runs");
         assert_eq!(res.rejected(), 400 - 369);
     }
 

@@ -36,14 +36,19 @@ fn concurrent_matches_sequential_and_overlaps() {
     // Sequential: one switch fully probed, then the other.
     let mut seq_tb = testbed();
     let seq_start = seq_tb.now();
-    let r1: PatternResult = ProbingEngine::new(&mut seq_tb, Dpid(1), RuleKind::L3).run(&p1);
-    let r2: PatternResult = ProbingEngine::new(&mut seq_tb, Dpid(2), RuleKind::L3).run(&p2);
+    let r1: PatternResult = ProbingEngine::new(&mut seq_tb, Dpid(1), RuleKind::L3)
+        .run(&p1)
+        .expect("sequential run 1");
+    let r2: PatternResult = ProbingEngine::new(&mut seq_tb, Dpid(2), RuleKind::L3)
+        .run(&p2)
+        .expect("sequential run 2");
     let seq_elapsed = seq_tb.now().since(seq_start);
 
     // Concurrent: both programs interleaved in the same virtual time.
     let mut con_tb = testbed();
     let con_start = con_tb.now();
-    let results = run_patterns(&mut con_tb, &[(Dpid(1), &p1), (Dpid(2), &p2)]);
+    let results =
+        run_patterns(&mut con_tb, &[(Dpid(1), &p1), (Dpid(2), &p2)]).expect("concurrent run");
     let con_elapsed = con_tb.all_quiet_at().since(con_start);
 
     // (a) Measurements are bit-identical: each switch saw the exact same
@@ -67,11 +72,15 @@ fn concurrent_inference_feeds_identical_install_times() {
     let (p1, p2) = patterns();
     let mut seq_tb = testbed();
     let seq = [
-        ProbingEngine::new(&mut seq_tb, Dpid(1), RuleKind::L3).run(&p1),
-        ProbingEngine::new(&mut seq_tb, Dpid(2), RuleKind::L3).run(&p2),
+        ProbingEngine::new(&mut seq_tb, Dpid(1), RuleKind::L3)
+            .run(&p1)
+            .expect("sequential run 1"),
+        ProbingEngine::new(&mut seq_tb, Dpid(2), RuleKind::L3)
+            .run(&p2)
+            .expect("sequential run 2"),
     ];
     let mut con_tb = testbed();
-    let con = run_patterns(&mut con_tb, &[(Dpid(1), &p1), (Dpid(2), &p2)]);
+    let con = run_patterns(&mut con_tb, &[(Dpid(1), &p1), (Dpid(2), &p2)]).expect("concurrent run");
     for (s, c) in seq.iter().zip(&con) {
         assert_eq!(s.install_time(), c.install_time());
         assert_eq!(s.rtts_ms(), c.rtts_ms());

@@ -49,7 +49,7 @@ proptest! {
             seed,
             ..SizeProbeConfig::default()
         };
-        let est = probe_sizes(&mut eng, &cfg);
+        let est = probe_sizes(&mut eng, &cfg).expect("size probe completes");
         prop_assert_eq!(est.m, (tcam * 2) as usize);
         // Rules left behind = exactly the installed probe rules.
         prop_assert_eq!(tb.switch(dpid).rule_count(), est.m);

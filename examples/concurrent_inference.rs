@@ -35,7 +35,11 @@ fn main() {
     let seq_start = seq_tb.now();
     let seq: Vec<PatternResult> = dpids
         .iter()
-        .map(|&d| ProbingEngine::new(&mut seq_tb, d, RuleKind::L3).run(&pattern))
+        .map(|&d| {
+            ProbingEngine::new(&mut seq_tb, d, RuleKind::L3)
+                .run(&pattern)
+                .expect("sequential run completes")
+        })
         .collect();
     let seq_elapsed = seq_tb.now().since(seq_start);
 
@@ -43,7 +47,7 @@ fn main() {
     let mut con_tb = testbed();
     let con_start = con_tb.now();
     let jobs: Vec<(Dpid, &TangoPattern)> = dpids.iter().map(|&d| (d, &pattern)).collect();
-    let con = run_patterns(&mut con_tb, &jobs);
+    let con = run_patterns(&mut con_tb, &jobs).expect("concurrent run completes");
     let con_elapsed = con_tb.all_quiet_at().since(con_start);
 
     println!("switch                   install time   rules");

@@ -28,7 +28,8 @@ fn probe_kind(tb: &mut Testbed, dpid: Dpid, kind: RuleKind, cap: usize) -> SizeE
             trials_per_level: 64,
             ..SizeProbeConfig::default()
         },
-    );
+    )
+    .expect("size probe completes");
     eng.clear_rules();
     est
 }

@@ -35,7 +35,8 @@ fn main() {
             max_flows: 1024,
             ..SizeProbeConfig::default()
         },
-    );
+    )
+    .expect("size probe completes");
     println!("layers detected: {}", size.levels.len());
     for (i, l) in size.levels.iter().enumerate() {
         println!(
@@ -52,7 +53,8 @@ fn main() {
 
     // --- Algorithm 2: cache-replacement policy -----------------------
     let fast_layer = size.fast_layer_size().unwrap_or(0.0).round() as usize;
-    let policy = probe_policy(&mut engine, fast_layer, &PolicyProbeConfig::default());
+    let policy = probe_policy(&mut engine, fast_layer, &PolicyProbeConfig::default())
+        .expect("policy probe completes");
     println!("inferred cache policy: {}", policy.as_policy().describe());
     for (i, round) in policy.rounds.iter().enumerate() {
         let best = round
@@ -65,7 +67,7 @@ fn main() {
     }
 
     // --- Latency curves ----------------------------------------------
-    let curves = measure_latency_profile(&mut engine, 400);
+    let curves = measure_latency_profile(&mut engine, 400).expect("latency profile completes");
     println!("\nper-op latency profile (n = 400):");
     println!("  add (ascending):  {:.3} ms", curves.add_asc_ms);
     println!("  add (descending): {:.3} ms", curves.add_desc_ms);

@@ -23,11 +23,13 @@ fn understand(profile: SwitchProfile, max_flows: usize) -> (TangoDb, Dpid) {
             trials_per_level: 300,
             ..SizeProbeConfig::default()
         },
-    );
+    )
+    .expect("size probe completes");
     let fast = size.fast_layer_size().unwrap_or(0.0).round() as usize;
-    let policy = probe_policy(&mut engine, fast, &PolicyProbeConfig::default());
+    let policy = probe_policy(&mut engine, fast, &PolicyProbeConfig::default())
+        .expect("policy probe completes");
     engine.clear_rules();
-    let latency = measure_latency_profile(&mut engine, 200);
+    let latency = measure_latency_profile(&mut engine, 200).expect("latency profile completes");
 
     let k = db.switch_mut(dpid);
     k.size = Some(size);
@@ -88,9 +90,10 @@ fn knowledge_drives_placement_decisions() {
                 trials_per_level: 32,
                 ..SizeProbeConfig::default()
             },
-        );
+        )
+        .expect("size probe completes");
         engine.clear_rules();
-        let latency = measure_latency_profile(&mut engine, 150);
+        let latency = measure_latency_profile(&mut engine, 150).expect("latency profile completes");
         let k = db.switch_mut(dpid);
         k.size = Some(size);
         k.latency = Some(latency);

@@ -38,7 +38,8 @@ fn size_error(profile: SwitchProfile, ctrl: Link, tcam: u64, seed: u64) -> f64 {
             seed,
             ..SizeProbeConfig::default()
         },
-    );
+    )
+    .expect("size probe completes");
     relative_error(est.fast_layer_size().unwrap_or(0.0), tcam as f64)
 }
 
@@ -77,7 +78,8 @@ fn policy_inference_survives_moderate_loss() {
         lossy,
     );
     let mut eng = ProbingEngine::new(&mut tb, dpid, RuleKind::L3);
-    let inferred = probe_policy(&mut eng, 100, &PolicyProbeConfig::default());
+    let inferred =
+        probe_policy(&mut eng, 100, &PolicyProbeConfig::default()).expect("policy probe completes");
     assert_eq!(inferred.as_policy().describe(), "use_time↑");
 }
 
@@ -106,7 +108,7 @@ fn latency_curves_still_rank_orderings_under_noise() {
         Link::control_channel(0.1).with_drop_chance(0.002),
     );
     let mut eng = ProbingEngine::new(&mut tb, dpid, RuleKind::L3);
-    let lp = measure_latency_profile(&mut eng, 300);
+    let lp = measure_latency_profile(&mut eng, 300).expect("latency profile completes");
     assert!(lp.priority_sensitive());
     assert!(lp.add_desc_ms > lp.add_rand_ms);
     assert!(lp.add_rand_ms > lp.add_asc_ms);
