@@ -5,12 +5,19 @@
 //! cargo run --release -p bench --bin experiments -- all
 //! cargo run --release -p bench --bin experiments -- fig3c infer_size
 //! cargo run --release -p bench --bin experiments -- --quick all
+//! cargo run --release -p bench --bin experiments -- --threads 4 all
 //! ```
 //!
-//! `--quick` shrinks workload sizes ~10× for smoke runs.
+//! `--quick` shrinks workload sizes ~10× for smoke runs. `--threads N`
+//! sets the worker count of the deterministic `bench::par` pool (also
+//! settable via `TANGO_BENCH_THREADS`; default = available cores);
+//! results are bit-identical for every N. Wall-clock per experiment is
+//! recorded to `BENCH_experiments.json` next to `results/` — outside it,
+//! so timing noise never pollutes the determinism-diffed artifacts.
 
 use bench::experiments::*;
 use bench::report::{results_dir, write_figure, write_text};
+use tango::json::Value;
 
 struct Scale {
     quick: bool,
@@ -36,10 +43,14 @@ fn run_one(name: &str, scale: &Scale) -> bool {
             write_text("table1", &text);
         }
         "fig2" => {
-            let a = fig2::fig2a(q.n(80).min(80), q.n(160).min(160));
-            let b = fig2::fig2b(q.n(3500), q.n(5500));
-            let c = fig2::fig2c(q.n(500), q.n(5500));
-            for (n, f) in [("fig2a", &a), ("fig2b", &b), ("fig2c", &c)] {
+            // Each sub-figure drives one long-lived testbed, so the
+            // fan-out happens here, across the three sub-figures.
+            let figs = bench::par::par_map_idx(3, |i| match i {
+                0 => fig2::fig2a(q.n(80).min(80), q.n(160).min(160)),
+                1 => fig2::fig2b(q.n(3500), q.n(5500)),
+                _ => fig2::fig2c(q.n(500), q.n(5500)),
+            });
+            for (n, f) in ["fig2a", "fig2b", "fig2c"].iter().zip(&figs) {
                 println!("{n}: {} series written", f.series.len());
                 write_figure(n, f);
             }
@@ -206,20 +217,73 @@ const ALL: &[&str] = &[
     "ablations",
 ];
 
+/// Writes per-experiment wall-clock timings as machine-readable JSON.
+///
+/// The file lands *next to* `results/`, not inside it: timings vary run
+/// to run, while everything under `results/` must diff byte-identical
+/// across thread counts.
+fn write_bench_json(timings: &[(String, f64)], threads: usize, quick: bool, total_s: f64) {
+    let experiments: Vec<Value> = timings
+        .iter()
+        .map(|(name, secs)| {
+            Value::Obj(vec![
+                ("name".into(), Value::Str(name.clone())),
+                ("secs".into(), Value::num(*secs)),
+            ])
+        })
+        .collect();
+    let doc = Value::Obj(vec![
+        ("threads".into(), Value::num(threads as f64)),
+        ("quick".into(), Value::Bool(quick)),
+        ("total_secs".into(), Value::num(total_s)),
+        ("experiments".into(), Value::Arr(experiments)),
+    ]);
+    let dir = results_dir();
+    let path = dir
+        .parent()
+        .map_or_else(|| dir.clone(), std::path::Path::to_path_buf)
+        .join("BENCH_experiments.json");
+    std::fs::write(&path, doc.render()).expect("write BENCH_experiments.json");
+    println!("\nperf baseline -> {}", path.display());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let scale = Scale { quick };
-    let wanted: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    // `--threads N` (or `--threads=N`) pins the worker pool; the value
+    // token after `--threads` must not be mistaken for an experiment.
+    let mut wanted: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if a == "--threads" {
+            let n = args
+                .get(i + 1)
+                .and_then(|v| v.parse::<usize>().ok())
+                .expect("--threads needs a positive integer");
+            bench::par::set_threads(n);
+            i += 2;
+            continue;
+        }
+        if let Some(v) = a.strip_prefix("--threads=") {
+            let n = v
+                .parse::<usize>()
+                .expect("--threads needs a positive integer");
+            bench::par::set_threads(n);
+        } else if !a.starts_with("--") {
+            wanted.push(a);
+        }
+        i += 1;
+    }
     let list: Vec<&str> = if wanted.is_empty() || wanted.contains(&"all") {
         ALL.to_vec()
     } else {
         wanted
     };
+    println!("worker threads: {}", bench::par::threads());
+    let suite_t0 = std::time::Instant::now();
+    let mut timings: Vec<(String, f64)> = Vec::new();
     let mut failed = false;
     for name in list {
         let t0 = std::time::Instant::now();
@@ -227,8 +291,16 @@ fn main() {
         if !run_one(name, &scale) {
             failed = true;
         }
-        println!("({name} took {:.1}s)", t0.elapsed().as_secs_f64());
+        let secs = t0.elapsed().as_secs_f64();
+        println!("({name} took {secs:.1}s)");
+        timings.push((name.to_string(), secs));
     }
+    write_bench_json(
+        &timings,
+        bench::par::threads(),
+        quick,
+        suite_t0.elapsed().as_secs_f64(),
+    );
     if failed {
         std::process::exit(1);
     }

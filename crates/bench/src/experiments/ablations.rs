@@ -7,6 +7,7 @@
 //! 4. guard-time concurrent dispatch on/off for dependent requests.
 
 use crate::lower::{lower_scenario, triangle_testbed};
+use crate::par::par_map;
 use crate::report::format_table;
 use ofwire::types::Dpid;
 use simnet::time::SimDuration;
@@ -49,41 +50,52 @@ fn size_probe_error(tcam: u64, method: ClusterMethod, trials: usize, seed: u64) 
 /// Ablation 1: gap-based vs k-means clustering at fixed trials.
 #[must_use]
 pub fn clustering_ablation(tcam: u64) -> String {
-    let mut rows = Vec::new();
-    for (name, method) in [
-        ("gaps", ClusterMethod::Gaps),
-        ("kmeans", ClusterMethod::KMeans),
-    ] {
-        let (err, packets) = size_probe_error(tcam, method, 600, 0xab1);
-        rows.push(vec![
-            name.to_string(),
-            format!("{:.2}%", err * 100.0),
-            packets.to_string(),
-        ]);
-    }
+    let rows = par_map(
+        vec![
+            ("gaps", ClusterMethod::Gaps),
+            ("kmeans", ClusterMethod::KMeans),
+        ],
+        |(name, method)| {
+            let (err, packets) = size_probe_error(tcam, method, 600, 0xab1);
+            vec![
+                name.to_string(),
+                format!("{:.2}%", err * 100.0),
+                packets.to_string(),
+            ]
+        },
+    );
     format_table(&["clustering", "error", "packets"], &rows)
 }
 
 /// Ablation 2: trials-per-level sweep (accuracy vs probe overhead).
+///
+/// The trials × seeds grid fans out cell-by-cell; per-trial averages
+/// reassemble from the index-ordered results.
 #[must_use]
 pub fn trials_sweep(tcam: u64, trials: &[usize]) -> String {
-    let mut rows = Vec::new();
-    for &k in trials {
-        // Average over a few seeds so the trend is visible.
-        let seeds = [1u64, 2, 3, 4, 5];
-        let mut errs = 0.0;
-        let mut packets = 0usize;
-        for &s in &seeds {
-            let (e, p) = size_probe_error(tcam, ClusterMethod::Gaps, k, s);
-            errs += e;
-            packets += p;
-        }
-        rows.push(vec![
-            k.to_string(),
-            format!("{:.2}%", errs / seeds.len() as f64 * 100.0),
-            (packets / seeds.len()).to_string(),
-        ]);
-    }
+    // Average over a few seeds so the trend is visible.
+    let seeds = [1u64, 2, 3, 4, 5];
+    let cells: Vec<(usize, u64)> = trials
+        .iter()
+        .flat_map(|&k| seeds.iter().map(move |&s| (k, s)))
+        .collect();
+    let probed = par_map(cells, |(k, s)| {
+        size_probe_error(tcam, ClusterMethod::Gaps, k, s)
+    });
+    let rows: Vec<Vec<String>> = trials
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| {
+            let chunk = &probed[i * seeds.len()..(i + 1) * seeds.len()];
+            let errs: f64 = chunk.iter().map(|&(e, _)| e).sum();
+            let packets: usize = chunk.iter().map(|&(_, p)| p).sum();
+            vec![
+                k.to_string(),
+                format!("{:.2}%", errs / seeds.len() as f64 * 100.0),
+                (packets / seeds.len()).to_string(),
+            ]
+        })
+        .collect();
     format_table(&["trials/level", "mean error", "mean packets"], &rows)
 }
 
@@ -92,25 +104,21 @@ pub fn trials_sweep(tcam: u64, trials: &[usize]) -> String {
 #[must_use]
 pub fn batching_ablation(lf_flows: usize) -> (f64, f64) {
     let scen = link_failure(&Topology::triangle(), (0, 1), lf_flows, 0xab3);
-    let greedy = {
+    let arms = par_map(vec![true, false], |greedy| {
         let (mut tb, dpids) = triangle_testbed(1);
         let mut dag = lower_scenario(&mut tb, &dpids, &scen);
         let db = TangoDb::new();
-        execute_batched_greedy(&mut tb, &mut dag, &db)
+        let report = if greedy {
+            execute_batched_greedy(&mut tb, &mut dag, &db)
+        } else {
+            execute_batched_lookahead(&mut tb, &mut dag, &db)
+        };
+        report
             .expect("generated scenarios are acyclic")
             .makespan
             .as_secs_f64()
-    };
-    let lookahead = {
-        let (mut tb, dpids) = triangle_testbed(1);
-        let mut dag = lower_scenario(&mut tb, &dpids, &scen);
-        let db = TangoDb::new();
-        execute_batched_lookahead(&mut tb, &mut dag, &db)
-            .expect("generated scenarios are acyclic")
-            .makespan
-            .as_secs_f64()
-    };
-    (greedy, lookahead)
+    });
+    (arms[0], arms[1])
 }
 
 /// Ablation 4: ack-waiting vs guard-time dispatch on the same DAG.
@@ -118,27 +126,26 @@ pub fn batching_ablation(lf_flows: usize) -> (f64, f64) {
 #[must_use]
 pub fn guard_ablation(lf_flows: usize, guard_us: u64) -> (f64, f64) {
     let scen = link_failure(&Topology::triangle(), (0, 1), lf_flows, 0xab4);
-    let ack = {
+    let arms = par_map(vec![true, false], |ack| {
         let (mut tb, dpids) = triangle_testbed(2);
         let mut dag = lower_scenario(&mut tb, &dpids, &scen);
-        execute_online(
-            &mut tb,
-            &mut dag,
-            Discipline::TangoTypePriority,
-            Release::Ack,
-        )
-        .expect("generated scenarios are acyclic")
-        .makespan
-        .as_secs_f64()
-    };
-    let guard = {
-        let (mut tb, dpids) = triangle_testbed(2);
-        let mut dag = lower_scenario(&mut tb, &dpids, &scen);
-        run_tango_guarded(&mut tb, &mut dag, SimDuration::from_micros(guard_us))
+        if ack {
+            execute_online(
+                &mut tb,
+                &mut dag,
+                Discipline::TangoTypePriority,
+                Release::Ack,
+            )
+            .expect("generated scenarios are acyclic")
             .makespan
             .as_secs_f64()
-    };
-    (ack, guard)
+        } else {
+            run_tango_guarded(&mut tb, &mut dag, SimDuration::from_micros(guard_us))
+                .makespan
+                .as_secs_f64()
+        }
+    });
+    (arms[0], arms[1])
 }
 
 #[cfg(test)]

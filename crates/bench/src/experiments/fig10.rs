@@ -4,6 +4,7 @@
 //! rule-type + priority patterns.
 
 use crate::lower::{lower_scenario, triangle_testbed};
+use crate::par::par_map;
 use simnet::trace::Figure;
 use tango_sched::basic::{run_dionysus, run_tango_online, TangoMode};
 use workloads::scenarios::{link_failure, traffic_engineering, Scenario};
@@ -76,10 +77,17 @@ pub fn run(lf_flows: usize, te_requests: usize) -> Figure {
     for arm in Arm::all() {
         fig.series_mut(arm.label());
     }
-    for (x, scen) in scenarios(lf_flows, te_requests).iter().enumerate() {
-        for (si, arm) in Arm::all().into_iter().enumerate() {
-            let t = makespan_s(scen, arm, 0x10aa + x as u64);
-            fig.series[si].push(x as f64, t);
+    // 3 scenarios × 3 arms, each on its own seeded testbed — fan out.
+    let scens = scenarios(lf_flows, te_requests);
+    let cells: Vec<(usize, Arm)> = (0..scens.len())
+        .flat_map(|x| Arm::all().into_iter().map(move |arm| (x, arm)))
+        .collect();
+    let times = par_map(cells, |(x, arm)| {
+        makespan_s(&scens[x], arm, 0x10aa + x as u64)
+    });
+    for x in 0..scens.len() {
+        for si in 0..Arm::all().len() {
+            fig.series[si].push(x as f64, times[x * Arm::all().len() + si]);
         }
     }
     fig

@@ -9,6 +9,7 @@
 //! DAG-level priorities so batches install at a single priority).
 
 use crate::lower::{enforce_dag_priorities, lower_scenario, triangle_testbed};
+use crate::par::par_map;
 use simnet::trace::Figure;
 use tango_sched::basic::{run_dionysus, run_tango_online, TangoMode};
 use workloads::scenarios::{traffic_engineering, Scenario};
@@ -106,11 +107,24 @@ pub fn run(scale: usize) -> Figure {
     for arm in Arm::all() {
         fig.series_mut(arm.label());
     }
-    for (x, (_, add_only, levels, rules)) in scenario_descriptors(scale).into_iter().enumerate() {
-        for (si, arm) in Arm::all().into_iter().enumerate() {
-            let t = makespan_s(add_only, levels, rules, arm, 0x1100 + x as u64);
-            fig.series[si].push(x as f64, t);
-        }
+    // 4 scenarios × 3 arms, every cell fully self-seeded — fan out.
+    let descriptors = scenario_descriptors(scale);
+    let cells: Vec<(usize, (bool, usize, usize), Arm)> = descriptors
+        .into_iter()
+        .enumerate()
+        .flat_map(|(x, (_, add_only, levels, rules))| {
+            Arm::all()
+                .into_iter()
+                .map(move |arm| (x, (add_only, levels, rules), arm))
+        })
+        .collect();
+    let times = par_map(cells, |(x, (add_only, levels, rules), arm)| {
+        makespan_s(add_only, levels, rules, arm, 0x1100 + x as u64)
+    });
+    let arms = Arm::all().len();
+    for (cell, t) in times.into_iter().enumerate() {
+        let (x, si) = (cell / arms, cell % arms);
+        fig.series[si].push(x as f64, t);
     }
     fig
 }

@@ -8,27 +8,30 @@
 //! modest (~8 % in the paper).
 
 use crate::lower::{b4_testbed, lower_scenario};
+use crate::par::par_map;
 use simnet::trace::Figure;
 use tango_sched::basic::{run_dionysus, run_tango_online, TangoMode};
 use workloads::scenarios::b4_traffic_engineering;
 
 /// Makespans in seconds: `(dionysus, tango)`.
+///
+/// Both arms replay the same scenario on identically-seeded but separate
+/// testbeds, so they run concurrently.
 #[must_use]
 pub fn makespans_s(n_flows: usize, seed: u64) -> (f64, f64) {
     let scen = b4_traffic_engineering(n_flows, seed);
-    let dio = {
+    let arms = par_map(vec![true, false], |dionysus| {
         let (mut tb, dpids) = b4_testbed(seed ^ 0xd);
         let mut dag = lower_scenario(&mut tb, &dpids, &scen);
-        run_dionysus(&mut tb, &mut dag).makespan.as_secs_f64()
-    };
-    let tango = {
-        let (mut tb, dpids) = b4_testbed(seed ^ 0xd);
-        let mut dag = lower_scenario(&mut tb, &dpids, &scen);
-        run_tango_online(&mut tb, &mut dag, TangoMode::TypeAndPriority)
-            .makespan
-            .as_secs_f64()
-    };
-    (dio, tango)
+        if dionysus {
+            run_dionysus(&mut tb, &mut dag).makespan.as_secs_f64()
+        } else {
+            run_tango_online(&mut tb, &mut dag, TangoMode::TypeAndPriority)
+                .makespan
+                .as_secs_f64()
+        }
+    });
+    (arms[0], arms[1])
 }
 
 /// Runs the figure (paper scale: 2 200 end-to-end requests).

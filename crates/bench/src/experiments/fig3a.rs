@@ -6,6 +6,7 @@
 //! strict operations can name them); each permutation is run on a fresh
 //! switch; the experiment repeats `reps` times and reports the average.
 
+use crate::par::par_map;
 use ofwire::flow_mod::FlowMod;
 use ofwire::types::Dpid;
 use simnet::rng::DetRng;
@@ -53,7 +54,27 @@ pub fn run(preinstalled: usize, per_phase: usize, reps: usize) -> Figure {
         "scenario",
         "installation time (s)",
     );
-    for (x, perm) in OpPhase::permutations().into_iter().enumerate() {
+    // Grid: 6 permutations × reps, every rep on a fresh seeded switch —
+    // fan the whole grid out and average per permutation afterwards.
+    let perms = OpPhase::permutations();
+    let cells: Vec<(usize, usize)> = (0..perms.len())
+        .flat_map(|x| (0..reps).map(move |rep| (x, rep)))
+        .collect();
+    let times = par_map(cells, |(x, rep)| {
+        let pattern = TangoPattern::op_permutation(
+            perms[x],
+            per_phase,
+            preinstalled as u32,
+            BASE_PRIORITY,
+            RuleKind::L3,
+        );
+        let (mut tb, dpid) = fresh_switch(preinstalled, per_phase, rep as u64);
+        let mut eng = ProbingEngine::new(&mut tb, dpid, RuleKind::L3);
+        let res = eng.run(&pattern).expect("pattern runs");
+        assert_eq!(res.rejected(), 0, "{}", pattern.name);
+        res.install_time().as_secs_f64()
+    });
+    for (x, perm) in perms.into_iter().enumerate() {
         let pattern = TangoPattern::op_permutation(
             perm,
             per_phase,
@@ -61,14 +82,7 @@ pub fn run(preinstalled: usize, per_phase: usize, reps: usize) -> Figure {
             BASE_PRIORITY,
             RuleKind::L3,
         );
-        let mut total = 0.0;
-        for rep in 0..reps {
-            let (mut tb, dpid) = fresh_switch(preinstalled, per_phase, rep as u64);
-            let mut eng = ProbingEngine::new(&mut tb, dpid, RuleKind::L3);
-            let res = eng.run(&pattern).expect("pattern runs");
-            assert_eq!(res.rejected(), 0, "{}", pattern.name);
-            total += res.install_time().as_secs_f64();
-        }
+        let total: f64 = times[x * reps..(x + 1) * reps].iter().sum();
         let series = fig.series_mut(pattern.name.clone());
         series.push(x as f64, total / reps as f64);
     }

@@ -8,6 +8,7 @@
 //! "modifying 5000 entries could be six times faster than adding new
 //! flows"; OVS is linear and fast in both cases.
 
+use crate::par::par_map;
 use ofwire::types::Dpid;
 use simnet::trace::Figure;
 use switchsim::harness::Testbed;
@@ -60,9 +61,23 @@ pub fn run(sizes: &[usize]) -> Figure {
     fig.series_mut("mod flow (HW switch #1)");
     fig.series_mut("add flow (OVS)");
     fig.series_mut("mod flow (OVS)");
-    for &n in sizes {
-        let (hw_add, hw_mod) = measure(SwitchProfile::vendor1(), n, 0x3b);
-        let (sw_add, sw_mod) = measure(SwitchProfile::ovs(), n, 0x3b);
+    // Each (size, profile) cell builds its own pair of testbeds with a
+    // fixed seed — fan the grid out, then fill the series in size order.
+    let cells: Vec<(usize, bool)> = sizes
+        .iter()
+        .flat_map(|&n| [(n, true), (n, false)])
+        .collect();
+    let measured = par_map(cells, |(n, hw)| {
+        let profile = if hw {
+            SwitchProfile::vendor1()
+        } else {
+            SwitchProfile::ovs()
+        };
+        measure(profile, n, 0x3b)
+    });
+    for (i, &n) in sizes.iter().enumerate() {
+        let (hw_add, hw_mod) = measured[i * 2];
+        let (sw_add, sw_mod) = measured[i * 2 + 1];
         fig.series[0].push(n as f64, hw_add);
         fig.series[1].push(n as f64, hw_mod);
         fig.series[2].push(n as f64, sw_add);

@@ -5,6 +5,7 @@
 //! constant priority (2 000 rules), random 12× slower than ascending;
 //! the four OVS curves coincide.
 
+use crate::par::par_map;
 use ofwire::types::Dpid;
 use simnet::trace::Figure;
 use switchsim::harness::Testbed;
@@ -43,16 +44,30 @@ pub fn run(sizes: &[usize]) -> Figure {
         "number of flow_mod",
         "installation time (s)",
     );
-    for (profile, tag) in [
+    // Grid: 2 profiles × 4 orders × sizes, each cell a fresh fixed-seed
+    // testbed — fan out and fill the series in legend order after.
+    let arms = [
         (SwitchProfile::vendor1(), "HW switch #1"),
         (SwitchProfile::ovs(), "OVS"),
-    ] {
+    ];
+    let cells: Vec<(SwitchProfile, PriorityOrder, usize)> = arms
+        .iter()
+        .flat_map(|(profile, _)| {
+            orders()
+                .into_iter()
+                .flat_map(move |order| sizes.iter().map(move |&n| (profile.clone(), order, n)))
+        })
+        .collect();
+    let times = par_map(cells, |(profile, order, n)| {
+        install_time_s(profile, n, order)
+    });
+    let mut at = times.into_iter();
+    for (_, tag) in &arms {
         for order in orders() {
             let label = format!("{} ({tag})", order.label());
             let series = fig.series_mut(label);
             for &n in sizes {
-                let t = install_time_s(profile.clone(), n, order);
-                series.push(n as f64, t);
+                series.push(n as f64, at.next().expect("cell count"));
             }
         }
     }

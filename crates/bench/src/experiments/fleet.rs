@@ -9,6 +9,7 @@
 //! and reports both the (virtual) wall-clock compression and the
 //! identity check.
 
+use crate::par::par_map;
 use crate::report::format_table;
 use ofwire::types::Dpid;
 use switchsim::cache::CachePolicy;
@@ -74,44 +75,43 @@ fn config(dpid: Dpid, tcam: u64) -> SizeProbeConfig {
 /// sequentially and then concurrently on identically-seeded testbeds.
 #[must_use]
 pub fn run(widths: &[usize], tcam: u64) -> Vec<FleetScalingRow> {
-    widths
-        .iter()
-        .map(|&width| {
-            let dpids: Vec<Dpid> = (1..=width as u64).map(Dpid).collect();
+    // Each width owns both of its testbeds (sequential and fleet), so
+    // the sweep fans out across widths.
+    par_map(widths.to_vec(), |width| {
+        let dpids: Vec<Dpid> = (1..=width as u64).map(Dpid).collect();
 
-            let mut seq_tb = build(width, tcam, 7);
-            let seq_start = seq_tb.now();
-            let seq: Vec<SizeEstimate> = dpids
-                .iter()
-                .map(|&d| {
-                    let mut eng = ProbingEngine::new(&mut seq_tb, d, RuleKind::L3);
-                    probe_sizes(&mut eng, &config(d, tcam)).expect("sequential size probe")
-                })
-                .collect();
-            let sequential_s = seq_tb.now().since(seq_start).as_millis_f64() / 1000.0;
+        let mut seq_tb = build(width, tcam, 7);
+        let seq_start = seq_tb.now();
+        let seq: Vec<SizeEstimate> = dpids
+            .iter()
+            .map(|&d| {
+                let mut eng = ProbingEngine::new(&mut seq_tb, d, RuleKind::L3);
+                probe_sizes(&mut eng, &config(d, tcam)).expect("sequential size probe")
+            })
+            .collect();
+        let sequential_s = seq_tb.now().since(seq_start).as_millis_f64() / 1000.0;
 
-            let mut fleet_tb = build(width, tcam, 7);
-            let fleet_start = fleet_tb.now();
-            let jobs: Vec<FleetJob> = dpids
-                .iter()
-                .map(|&d| FleetJob::size(d, RuleKind::L3, config(d, tcam)))
-                .collect();
-            let outcomes = run_inference(&mut fleet_tb, &jobs).expect("fleet inference");
-            let fleet_s = fleet_tb.now().since(fleet_start).as_millis_f64() / 1000.0;
+        let mut fleet_tb = build(width, tcam, 7);
+        let fleet_start = fleet_tb.now();
+        let jobs: Vec<FleetJob> = dpids
+            .iter()
+            .map(|&d| FleetJob::size(d, RuleKind::L3, config(d, tcam)))
+            .collect();
+        let outcomes = run_inference(&mut fleet_tb, &jobs).expect("fleet inference");
+        let fleet_s = fleet_tb.now().since(fleet_start).as_millis_f64() / 1000.0;
 
-            let identical = seq
-                .iter()
-                .zip(&outcomes)
-                .all(|(s, o)| o.as_size() == Some(s));
-            FleetScalingRow {
-                switches: width,
-                sequential_s,
-                fleet_s,
-                speedup: sequential_s / fleet_s,
-                identical,
-            }
-        })
-        .collect()
+        let identical = seq
+            .iter()
+            .zip(&outcomes)
+            .all(|(s, o)| o.as_size() == Some(s));
+        FleetScalingRow {
+            switches: width,
+            sequential_s,
+            fleet_s,
+            speedup: sequential_s / fleet_s,
+            identical,
+        }
+    })
 }
 
 /// Characterizes a four-switch fleet and folds the outcomes into a

@@ -1,6 +1,7 @@
 //! TCAM geometry (width-mode) inference — the paper's §9 future-work
 //! pattern, exercised across all four switch profiles.
 
+use crate::par::par_map;
 use crate::report::format_table;
 use ofwire::types::Dpid;
 use switchsim::harness::Testbed;
@@ -17,27 +18,31 @@ pub struct GeometryRow {
 }
 
 /// Probes every profile. `cap` bounds each sub-probe.
+///
+/// Each profile probes an independent testbed (fixed per-cell seed), so
+/// the four probes fan out across cores via [`par_map`].
 #[must_use]
 pub fn run(cap: usize) -> Vec<GeometryRow> {
-    [
-        SwitchProfile::ovs(),
-        SwitchProfile::vendor1(),
-        SwitchProfile::vendor2(),
-        SwitchProfile::vendor3(),
-    ]
-    .into_iter()
-    .map(|profile| {
-        let mut tb = Testbed::new(0x9e02);
-        let dpid = Dpid(1);
-        let name = profile.name.clone();
-        tb.attach_default(dpid, profile);
-        let estimate = probe_geometry(&mut tb, dpid, cap, 400).expect("geometry probe completes");
-        GeometryRow {
-            switch: name,
-            estimate,
-        }
-    })
-    .collect()
+    par_map(
+        vec![
+            SwitchProfile::ovs(),
+            SwitchProfile::vendor1(),
+            SwitchProfile::vendor2(),
+            SwitchProfile::vendor3(),
+        ],
+        |profile| {
+            let mut tb = Testbed::new(0x9e02);
+            let dpid = Dpid(1);
+            let name = profile.name.clone();
+            tb.attach_default(dpid, profile);
+            let estimate =
+                probe_geometry(&mut tb, dpid, cap, 400).expect("geometry probe completes");
+            GeometryRow {
+                switch: name,
+                estimate,
+            }
+        },
+    )
 }
 
 /// Renders the classification table.

@@ -2,6 +2,7 @@
 //! against switches with known policies and the report is compared
 //! against ground truth (up to black-box behavioural equivalence).
 
+use crate::par::par_map;
 use crate::report::format_table;
 use ofwire::types::Dpid;
 use switchsim::cache::{Attribute, CachePolicy, Direction, SortKey};
@@ -58,27 +59,24 @@ pub fn run(cache_size: u64) -> Vec<PolicyRow> {
         CachePolicy::priority_then_lru(),
         CachePolicy::lfu_then_fifo(),
     ];
-    policies
-        .into_iter()
-        .map(|policy| {
-            let mut tb = Testbed::new(0xb0);
-            let dpid = Dpid(1);
-            tb.attach_default(
-                dpid,
-                SwitchProfile::generic_cached(cache_size, policy.clone()),
-            );
-            let mut eng = ProbingEngine::new(&mut tb, dpid, RuleKind::L3);
-            let inferred =
-                probe_policy(&mut eng, cache_size as usize, &PolicyProbeConfig::default())
-                    .expect("policy probe completes");
-            let expected = expected_report(&policy);
-            PolicyRow {
-                actual: policy.describe(),
-                inferred: inferred.as_policy().describe(),
-                correct: inferred.keys == expected,
-            }
-        })
-        .collect()
+    // Six independent fixed-seed testbeds — one per policy — fan out.
+    par_map(policies.to_vec(), |policy| {
+        let mut tb = Testbed::new(0xb0);
+        let dpid = Dpid(1);
+        tb.attach_default(
+            dpid,
+            SwitchProfile::generic_cached(cache_size, policy.clone()),
+        );
+        let mut eng = ProbingEngine::new(&mut tb, dpid, RuleKind::L3);
+        let inferred = probe_policy(&mut eng, cache_size as usize, &PolicyProbeConfig::default())
+            .expect("policy probe completes");
+        let expected = expected_report(&policy);
+        PolicyRow {
+            actual: policy.describe(),
+            inferred: inferred.as_policy().describe(),
+            correct: inferred.keys == expected,
+        }
+    })
 }
 
 /// Renders the comparison table.

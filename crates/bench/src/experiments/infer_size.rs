@@ -6,6 +6,7 @@
 //! vendor profiles and generic policy-cached switches across
 //! FIFO/LRU/LFU/priority policies and several TCAM sizes.
 
+use crate::par::par_map;
 use crate::report::format_table;
 use ofwire::types::Dpid;
 use switchsim::cache::CachePolicy;
@@ -58,23 +59,30 @@ fn probe(profile: SwitchProfile, actual: usize, max_flows: usize, seed: u64) -> 
 
 /// Probes the three calibrated vendor profiles (full paper scale —
 /// Switch #1 needs 8 192 rules installed, so this arm is release-bench
-/// territory).
+/// territory). Each probe owns its testbed and seed, so the three run
+/// concurrently.
 #[must_use]
 pub fn run_vendors() -> Vec<SizeAccuracyRow> {
-    vec![
-        probe(SwitchProfile::vendor2(), 2560, 4096, 1),
-        probe(SwitchProfile::vendor3(), 767, 2048, 2),
-        probe(SwitchProfile::vendor1(), 4095, 8192, 5),
-    ]
+    par_map(
+        vec![
+            (SwitchProfile::vendor2(), 2560, 4096, 1),
+            (SwitchProfile::vendor3(), 767, 2048, 2),
+            (SwitchProfile::vendor1(), 4095, 8192, 5),
+        ],
+        |(profile, actual, max_flows, seed)| probe(profile, actual, max_flows, seed),
+    )
 }
 
 /// Runs the generic policy-cached grid. `tcam_sizes` are the capacities
 /// to sweep (paper-scale default: `[256, 512, 1024]`).
+///
+/// The grid (sizes × policies) materializes first, then every cell runs
+/// on the [`par_map`] pool with its own testbed and cell-derived seed.
 #[must_use]
 pub fn run(tcam_sizes: &[u64]) -> Vec<SizeAccuracyRow> {
-    let mut rows = Vec::new();
     // Generic policy-cached switches: the diverse-caching-algorithms
     // claim.
+    let mut cells = Vec::new();
     for &size in tcam_sizes {
         for (tag, policy) in [
             ("fifo", CachePolicy::fifo()),
@@ -83,17 +91,19 @@ pub fn run(tcam_sizes: &[u64]) -> Vec<SizeAccuracyRow> {
             ("priority", CachePolicy::priority()),
             ("priority+lru", CachePolicy::priority_then_lru()),
         ] {
-            let profile = SwitchProfile::generic_cached(size, policy);
-            let max_flows = (size as usize) * 2;
-            rows.push(probe(
-                profile,
-                size as usize,
-                max_flows,
-                (100 + size).wrapping_mul(43) ^ tag.len() as u64,
-            ));
+            cells.push((size, tag, policy));
         }
     }
-    rows
+    par_map(cells, |(size, tag, policy)| {
+        let profile = SwitchProfile::generic_cached(size, policy);
+        let max_flows = (size as usize) * 2;
+        probe(
+            profile,
+            size as usize,
+            max_flows,
+            (100 + size).wrapping_mul(43) ^ tag.len() as u64,
+        )
+    })
 }
 
 /// Renders rows plus the aggregate max error.

@@ -6,6 +6,7 @@
 //! row values: OVS `<∞` everywhere; Switch #1 TCAM 4K/2K (plus unbounded
 //! user space); Switch #2 2560/2560; Switch #3 767/369.
 
+use crate::par::par_map;
 use crate::report::format_table;
 use ofwire::flow_mod::FlowMod;
 use ofwire::types::Dpid;
@@ -58,39 +59,47 @@ fn hardware_occupancy(profile: &SwitchProfile, kind: RuleKind, overfill: usize) 
 
 /// Runs the Table 1 experiment. `cap` bounds the probe for unbounded
 /// tables (paper-scale: 8192).
+///
+/// All 12 cells (4 profiles × 3 kinds) probe independent testbeds, so
+/// they fan out on the [`par_map`] pool; rows reassemble from the
+/// index-ordered results.
 #[must_use]
 pub fn run(cap: usize) -> Vec<Table1Row> {
     let kinds = [RuleKind::L2, RuleKind::L3, RuleKind::L2L3];
-    let mut rows = Vec::new();
-    for profile in [
+    let profiles = [
         SwitchProfile::ovs(),
         SwitchProfile::vendor1(),
         SwitchProfile::vendor2(),
         SwitchProfile::vendor3(),
-    ] {
-        let mut capacity = [None, None, None];
-        for (i, kind) in kinds.into_iter().enumerate() {
-            capacity[i] = match installed_until_rejection(&profile, kind, cap) {
-                Some(n) => Some(n),
-                None => {
-                    // No rejection: if there is a bounded hardware level
-                    // underneath (Switch #1), report its occupancy;
-                    // OVS-style switches stay unbounded.
-                    let hw = hardware_occupancy(&profile, kind, cap.min(6000));
-                    if hw > 0 && hw < cap.min(6000) {
-                        Some(hw)
-                    } else {
-                        None
-                    }
+    ];
+    let cells: Vec<(SwitchProfile, RuleKind)> = profiles
+        .iter()
+        .flat_map(|p| kinds.into_iter().map(move |k| (p.clone(), k)))
+        .collect();
+    let observed = par_map(cells, |(profile, kind)| {
+        match installed_until_rejection(&profile, kind, cap) {
+            Some(n) => Some(n),
+            None => {
+                // No rejection: if there is a bounded hardware level
+                // underneath (Switch #1), report its occupancy;
+                // OVS-style switches stay unbounded.
+                let hw = hardware_occupancy(&profile, kind, cap.min(6000));
+                if hw > 0 && hw < cap.min(6000) {
+                    Some(hw)
+                } else {
+                    None
                 }
-            };
+            }
         }
-        rows.push(Table1Row {
+    });
+    profiles
+        .iter()
+        .enumerate()
+        .map(|(p, profile)| Table1Row {
             switch: profile.name.clone(),
-            capacity,
-        });
-    }
-    rows
+            capacity: [observed[p * 3], observed[p * 3 + 1], observed[p * 3 + 2]],
+        })
+        .collect()
 }
 
 /// Formats rows like the paper's Table 1.

@@ -9,6 +9,7 @@
 
 pub mod experiments;
 pub mod lower;
+pub mod par;
 pub mod report;
 
 pub use lower::{

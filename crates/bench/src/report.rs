@@ -5,12 +5,18 @@ use std::fs;
 use std::path::PathBuf;
 
 /// The repository `results/` directory (created on demand).
+///
+/// Overridable with `TANGO_RESULTS_DIR`, so determinism checks can run
+/// the same experiments into two separate directories and diff them.
 #[must_use]
 pub fn results_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("..")
-        .join("..")
-        .join("results");
+    let dir = match std::env::var_os("TANGO_RESULTS_DIR") {
+        Some(d) if !d.is_empty() => PathBuf::from(d),
+        _ => PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+            .join("results"),
+    };
     fs::create_dir_all(&dir).expect("create results dir");
     dir
 }

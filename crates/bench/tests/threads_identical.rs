@@ -1,0 +1,69 @@
+//! Determinism gate: `experiments --quick all` must produce
+//! byte-identical `results/` artifacts at `--threads 4` and
+//! `--threads 1`. This is the contract that makes the `bench::par`
+//! fan-out safe to use everywhere — parallelism may change wall-clock,
+//! never output.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::Command;
+
+fn run_suite(out_dir: &Path, threads: usize) {
+    let status = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(["--quick", "--threads", &threads.to_string(), "all"])
+        .env("TANGO_RESULTS_DIR", out_dir)
+        .env_remove("TANGO_BENCH_THREADS")
+        .status()
+        .expect("spawn experiments binary");
+    assert!(
+        status.success(),
+        "experiments run failed at --threads {threads}"
+    );
+}
+
+/// Every artifact in `dir`, name → bytes.
+fn artifacts(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    std::fs::read_dir(dir)
+        .expect("read results dir")
+        .map(|e| {
+            let e = e.expect("dir entry");
+            let name = e.file_name().to_string_lossy().into_owned();
+            let bytes = std::fs::read(e.path()).expect("read artifact");
+            (name, bytes)
+        })
+        .collect()
+}
+
+#[test]
+fn quick_all_is_byte_identical_across_thread_counts() {
+    let base = std::env::temp_dir().join(format!("tango_det_{}", std::process::id()));
+    let seq_dir = base.join("threads1");
+    let par_dir = base.join("threads4");
+    std::fs::create_dir_all(&seq_dir).expect("mkdir");
+    std::fs::create_dir_all(&par_dir).expect("mkdir");
+
+    run_suite(&seq_dir, 1);
+    run_suite(&par_dir, 4);
+
+    let seq = artifacts(&seq_dir);
+    let par = artifacts(&par_dir);
+    assert!(!seq.is_empty(), "sequential run wrote no artifacts");
+    assert_eq!(
+        seq.keys().collect::<Vec<_>>(),
+        par.keys().collect::<Vec<_>>(),
+        "artifact sets differ"
+    );
+    for (name, seq_bytes) in &seq {
+        assert_eq!(
+            seq_bytes, &par[name],
+            "{name} differs between --threads 1 and --threads 4"
+        );
+    }
+
+    // BENCH_experiments.json lands next to the results dir (timings are
+    // run-dependent, so it must stay out of the byte-diffed set).
+    assert!(base.join("BENCH_experiments.json").exists());
+    assert!(!seq.contains_key("BENCH_experiments.json"));
+
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -17,11 +17,22 @@ pub trait Encode {
     /// Appends the wire encoding of `self` to `buf`.
     fn encode(&self, buf: &mut BytesMut);
 
+    /// Appends the wire encoding of `self` to a plain vector, reusing
+    /// its allocation. The buffer round-trips through `BytesMut`
+    /// zero-copy, so repeated encodes into one vector amortize to a
+    /// single allocation — unlike [`Encode::to_vec`], which clones the
+    /// bytes out of a fresh buffer every call.
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut buf = BytesMut::from(std::mem::take(out));
+        self.encode(&mut buf);
+        *out = buf.into();
+    }
+
     /// Convenience: encode into a fresh buffer.
     fn to_vec(&self) -> Vec<u8> {
-        let mut buf = BytesMut::new();
-        self.encode(&mut buf);
-        buf.to_vec()
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
     }
 }
 
@@ -134,6 +145,12 @@ impl Framer {
 #[must_use]
 pub fn encode_message(msg: &Message, xid: Xid) -> Vec<u8> {
     msg.to_bytes(xid)
+}
+
+/// Appends the frame for `msg` to `out`, reusing its allocation. The
+/// buffer-reuse counterpart of [`encode_message`] for batched channels.
+pub fn encode_message_into(msg: &Message, xid: Xid, out: &mut Vec<u8>) {
+    msg.encode_frame_into(xid, out);
 }
 
 #[cfg(test)]

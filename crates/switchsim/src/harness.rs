@@ -188,7 +188,8 @@ impl Testbed {
             ControlOp::FlowMod(fm) => {
                 let xid = att.next_xid;
                 att.next_xid = xid.next();
-                let bytes = Message::FlowMod(fm).to_bytes(xid);
+                let mut bytes = Vec::new();
+                Message::FlowMod(fm).encode_frame_into(xid, &mut bytes);
                 let mut up_rng = att.rng.fork(dpid.0 ^ 0xa11ce);
                 let up = att.ctrl_link.delivery_latency(bytes.len(), &mut up_rng);
                 let mut down_rng = att.rng.fork(dpid.0 ^ 0xd0_17);
@@ -203,17 +204,19 @@ impl Testbed {
             }
             ControlOp::Batch(fms) => {
                 let mut link_rng = att.rng.fork(dpid.0 ^ 0xba7c4);
+                // All frames build into one reused buffer: no
+                // per-message intermediate allocation on the batch path.
                 let mut bytes = Vec::new();
                 for fm in fms {
                     let xid = att.next_xid;
                     att.next_xid = xid.next();
-                    bytes.extend(Message::FlowMod(fm).to_bytes(xid));
+                    Message::FlowMod(fm).encode_frame_into(xid, &mut bytes);
                 }
                 let barrier_xid = att.next_xid;
                 att.next_xid = barrier_xid.next();
                 let size = bytes.len();
                 att.barriers.register(barrier_xid, size);
-                bytes.extend(Message::BarrierRequest.to_bytes(barrier_xid));
+                Message::BarrierRequest.encode_frame_into(barrier_xid, &mut bytes);
                 let up = att.ctrl_link.delivery_latency(bytes.len(), &mut link_rng);
                 let down = att.ctrl_link.delivery_latency(16, &mut link_rng);
                 PendingOp {
@@ -229,7 +232,8 @@ impl Testbed {
                 att.next_xid = xid.next();
                 let frame = RawFrame::build(&key, 46);
                 let po = PacketOut::send(frame, PortNo(1));
-                let bytes = Message::PacketOut(po).to_bytes(xid);
+                let mut bytes = Vec::new();
+                Message::PacketOut(po).encode_frame_into(xid, &mut bytes);
                 let mut up_rng = att.rng.fork(dpid.0 ^ 0xa11ce);
                 let up = att.ctrl_link.delivery_latency(bytes.len(), &mut up_rng);
                 PendingOp {
@@ -243,7 +247,8 @@ impl Testbed {
             ControlOp::Echo(payload) => {
                 let xid = att.next_xid;
                 att.next_xid = xid.next();
-                let bytes = Message::EchoRequest(vec![0xec; payload]).to_bytes(xid);
+                let mut bytes = Vec::new();
+                Message::EchoRequest(vec![0xec; payload]).encode_frame_into(xid, &mut bytes);
                 let mut up_rng = att.rng.fork(dpid.0 ^ 0xa11ce);
                 let up = att.ctrl_link.delivery_latency(bytes.len(), &mut up_rng);
                 let mut down_rng = att.rng.fork(dpid.0 ^ 0xec0);

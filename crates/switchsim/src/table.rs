@@ -7,16 +7,62 @@ use ofwire::action::Action;
 use ofwire::flow_match::{FlowKey, FlowMatch};
 use ofwire::types::PortNo;
 use simnet::time::SimTime;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FNV-1a. The strict index hashes a `(FlowMatch, u16)` on every
+/// insert/remove/find — a small fixed-size key from simulation state,
+/// so SipHash's flooding resistance buys nothing and costs the hot
+/// path several fold.
+#[derive(Default)]
+pub struct FnvHasher(u64);
+
+impl Hasher for FnvHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = if self.0 == 0 { OFFSET } else { self.0 };
+        for &b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+        self.0 = h;
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type FnvMap<K, V> = HashMap<K, V, BuildHasherDefault<FnvHasher>>;
 
 /// A wildcard-match flow table.
 ///
 /// Lookup returns the highest-priority covering entry; among equal
 /// priorities the earliest-installed entry wins (deterministic, and the
 /// common hardware behaviour).
+///
+/// Two side indexes keep the control-path hot spots off the linear scan:
+/// a strict-match map `(match, priority) → indices` makes
+/// [`FlowTable::find_strict`] O(1), and per-priority buckets let
+/// [`FlowTable::lookup`] walk priorities from the top and stop at the
+/// first bucket with a covering entry instead of scanning the dominated
+/// rest of the table. Both indexes hold positions into the entry vector
+/// and are repaired on every structural change.
+///
+/// Invariant: `flow_match` and `priority` of an installed entry are
+/// immutable. [`FlowTable::get_mut`]/[`FlowTable::iter_mut`] exist for
+/// attribute updates (counters, timestamps, actions) only — mutating a
+/// key field through them desynchronizes the indexes. OpenFlow has no
+/// "change the match in place" operation, so no caller needs to.
 #[derive(Debug, Clone, Default)]
 pub struct FlowTable {
     entries: Vec<FlowEntry>,
+    /// `(match, priority)` → entry indices holding exactly that pair,
+    /// ascending (so `first()` is the earliest-installed position,
+    /// matching the old linear `position` semantics).
+    strict: FnvMap<(FlowMatch, u16), Vec<usize>>,
+    /// priority → entry indices at that priority, ascending.
+    prio_buckets: BTreeMap<u16, Vec<usize>>,
 }
 
 impl FlowTable {
@@ -43,7 +89,8 @@ impl FlowTable {
         self.entries.iter()
     }
 
-    /// Iterates entries mutably.
+    /// Iterates entries mutably. Key fields (`flow_match`, `priority`)
+    /// must not be changed through this — see the type-level invariant.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut FlowEntry> {
         self.entries.iter_mut()
     }
@@ -54,39 +101,134 @@ impl FlowTable {
         &self.entries
     }
 
+    fn strict_key(e: &FlowEntry) -> (FlowMatch, u16) {
+        (e.flow_match, e.priority)
+    }
+
+    /// Adds `index` (the current maximum) to both indexes for `e`.
+    fn index_insert(&mut self, e_key: (FlowMatch, u16), index: usize) {
+        self.strict.entry(e_key).or_default().push(index);
+        self.prio_buckets.entry(e_key.1).or_default().push(index);
+    }
+
+    /// Drops `index` from both indexes for an entry with key `e_key`.
+    fn index_remove(&mut self, e_key: (FlowMatch, u16), index: usize) {
+        if let Some(bucket) = self.strict.get_mut(&e_key) {
+            if let Ok(pos) = bucket.binary_search(&index) {
+                bucket.remove(pos);
+            }
+            if bucket.is_empty() {
+                self.strict.remove(&e_key);
+            }
+        }
+        if let Some(bucket) = self.prio_buckets.get_mut(&e_key.1) {
+            if let Ok(pos) = bucket.binary_search(&index) {
+                bucket.remove(pos);
+            }
+            if bucket.is_empty() {
+                self.prio_buckets.remove(&e_key.1);
+            }
+        }
+    }
+
+    /// After the entry at `removed` was taken out of the vector, every
+    /// stored position above it is off by one. Decrement the affected
+    /// suffix of every bucket directly — pure integer work, no
+    /// re-hashing of flow matches. `removed` itself is already gone from
+    /// its buckets, so decrementing the strictly-greater suffix keeps
+    /// every bucket sorted and duplicate-free.
+    fn index_shift_down(&mut self, removed: usize) {
+        for bucket in self.strict.values_mut() {
+            let from = bucket.partition_point(|&i| i <= removed);
+            for i in &mut bucket[from..] {
+                *i -= 1;
+            }
+        }
+        for bucket in self.prio_buckets.values_mut() {
+            let from = bucket.partition_point(|&i| i <= removed);
+            for i in &mut bucket[from..] {
+                *i -= 1;
+            }
+        }
+    }
+
+    /// Remaps both indexes through `new_of_old` (old position →
+    /// `usize::MAX` if removed, else new position) after a compaction.
+    /// The mapping is monotone on surviving positions, so every bucket
+    /// stays sorted; emptied buckets are dropped.
+    fn index_remap(&mut self, new_of_old: &[usize]) {
+        self.strict.retain(|_, bucket| {
+            let mut w = 0;
+            for r in 0..bucket.len() {
+                let mapped = new_of_old[bucket[r]];
+                if mapped != usize::MAX {
+                    bucket[w] = mapped;
+                    w += 1;
+                }
+            }
+            bucket.truncate(w);
+            !bucket.is_empty()
+        });
+        self.prio_buckets.retain(|_, bucket| {
+            let mut w = 0;
+            for r in 0..bucket.len() {
+                let mapped = new_of_old[bucket[r]];
+                if mapped != usize::MAX {
+                    bucket[w] = mapped;
+                    w += 1;
+                }
+            }
+            bucket.truncate(w);
+            !bucket.is_empty()
+        });
+    }
+
     /// Installs an entry.
     pub fn insert(&mut self, entry: FlowEntry) {
+        let key = Self::strict_key(&entry);
+        let index = self.entries.len();
         self.entries.push(entry);
+        self.index_insert(key, index);
     }
 
     /// Removes and returns the entry at `index`.
     pub fn remove_at(&mut self, index: usize) -> FlowEntry {
-        self.entries.remove(index)
+        let e = self.entries.remove(index);
+        self.index_remove(Self::strict_key(&e), index);
+        self.index_shift_down(index);
+        e
     }
 
     /// Index of the matching entry for `key`: maximal priority, then
     /// earliest entry id.
+    ///
+    /// Scans priority buckets from the highest priority down and stops
+    /// at the first bucket containing a cover — every lower priority is
+    /// dominated and never inspected.
     #[must_use]
     pub fn lookup(&self, key: &FlowKey) -> Option<usize> {
-        let mut best: Option<usize> = None;
-        for (i, e) in self.entries.iter().enumerate() {
-            if !e.flow_match.covers(key) {
-                continue;
-            }
-            match best {
-                None => best = Some(i),
-                Some(b) => {
-                    let cur = &self.entries[b];
-                    if e.priority > cur.priority || (e.priority == cur.priority && e.id < cur.id) {
-                        best = Some(i);
-                    }
+        for bucket in self.prio_buckets.values().rev() {
+            let mut best: Option<usize> = None;
+            for &i in bucket {
+                let e = &self.entries[i];
+                if !e.flow_match.covers(key) {
+                    continue;
+                }
+                match best {
+                    None => best = Some(i),
+                    Some(b) if e.id < self.entries[b].id => best = Some(i),
+                    Some(_) => {}
                 }
             }
+            if best.is_some() {
+                return best;
+            }
         }
-        best
+        None
     }
 
-    /// Mutable access by index.
+    /// Mutable access by index. Key fields (`flow_match`, `priority`)
+    /// must not be changed through this — see the type-level invariant.
     pub fn get_mut(&mut self, index: usize) -> &mut FlowEntry {
         &mut self.entries[index]
     }
@@ -98,12 +240,12 @@ impl FlowTable {
     }
 
     /// Finds the entry that *strictly* equals the given match and
-    /// priority (OpenFlow strict semantics).
+    /// priority (OpenFlow strict semantics). O(1) via the strict index.
     #[must_use]
     pub fn find_strict(&self, flow_match: &FlowMatch, priority: u16) -> Option<usize> {
-        self.entries
-            .iter()
-            .position(|e| e.priority == priority && e.flow_match == *flow_match)
+        self.strict
+            .get(&(*flow_match, priority))
+            .and_then(|bucket| bucket.first().copied())
     }
 
     /// Indices of entries selected by a non-strict filter: entries whose
@@ -127,17 +269,48 @@ impl FlowTable {
 
     /// Removes a set of indices (any order), returning the removed
     /// entries in descending index order.
+    ///
+    /// Single mark-and-compact pass: O(n + k log k) instead of the
+    /// k·O(n) of repeated `Vec::remove`.
     pub fn remove_indices(&mut self, mut indices: Vec<usize>) -> Vec<FlowEntry> {
         indices.sort_unstable_by(|a, b| b.cmp(a));
         indices.dedup();
-        indices
-            .into_iter()
-            .map(|i| self.entries.remove(i))
-            .collect()
+        if indices.is_empty() {
+            return Vec::new();
+        }
+        let mut mask = vec![false; self.entries.len()];
+        for &i in &indices {
+            mask[i] = true;
+        }
+        let mut new_of_old = vec![usize::MAX; self.entries.len()];
+        let mut kept_count = 0;
+        for (i, &dead) in mask.iter().enumerate() {
+            if !dead {
+                new_of_old[i] = kept_count;
+                kept_count += 1;
+            }
+        }
+        let mut removed = Vec::with_capacity(indices.len());
+        let mut kept = Vec::with_capacity(kept_count);
+        for (i, e) in self.entries.drain(..).enumerate() {
+            if mask[i] {
+                removed.push(e);
+            } else {
+                kept.push(e);
+            }
+        }
+        self.entries = kept;
+        // Compaction collects ascending; the documented contract returns
+        // descending index order.
+        removed.reverse();
+        self.index_remap(&new_of_old);
+        removed
     }
 
     /// Removes every entry, returning them.
     pub fn drain_all(&mut self) -> Vec<FlowEntry> {
+        self.strict.clear();
+        self.prio_buckets.clear();
         std::mem::take(&mut self.entries)
     }
 
@@ -145,6 +318,70 @@ impl FlowTable {
     #[must_use]
     pub fn position_of(&self, id: EntryId) -> Option<usize> {
         self.entries.iter().position(|e| e.id == id)
+    }
+
+    /// Reference oracle: the pre-index linear scan `lookup`. Kept under
+    /// `cfg(test)` so property tests can assert the indexed path agrees.
+    #[cfg(test)]
+    #[must_use]
+    pub fn lookup_linear(&self, key: &FlowKey) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, e) in self.entries.iter().enumerate() {
+            if !e.flow_match.covers(key) {
+                continue;
+            }
+            match best {
+                None => best = Some(i),
+                Some(b) => {
+                    let cur = &self.entries[b];
+                    if e.priority > cur.priority || (e.priority == cur.priority && e.id < cur.id) {
+                        best = Some(i);
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Reference oracle: the pre-index linear scan `find_strict`.
+    #[cfg(test)]
+    #[must_use]
+    pub fn find_strict_linear(&self, flow_match: &FlowMatch, priority: u16) -> Option<usize> {
+        self.entries
+            .iter()
+            .position(|e| e.priority == priority && e.flow_match == *flow_match)
+    }
+
+    /// Test hook: verifies both indexes describe exactly the entries.
+    #[cfg(test)]
+    pub fn assert_index_consistent(&self) {
+        let mut strict_count = 0;
+        for (key, bucket) in &self.strict {
+            assert!(!bucket.is_empty(), "empty strict bucket for {key:?}");
+            assert!(
+                bucket.windows(2).all(|w| w[0] < w[1]),
+                "strict bucket not sorted: {bucket:?}"
+            );
+            for &i in bucket {
+                let e = &self.entries[i];
+                assert_eq!((e.flow_match, e.priority), *key, "stale strict index {i}");
+            }
+            strict_count += bucket.len();
+        }
+        assert_eq!(strict_count, self.entries.len());
+        let mut prio_count = 0;
+        for (&prio, bucket) in &self.prio_buckets {
+            assert!(!bucket.is_empty(), "empty priority bucket for {prio}");
+            assert!(
+                bucket.windows(2).all(|w| w[0] < w[1]),
+                "priority bucket not sorted: {bucket:?}"
+            );
+            for &i in bucket {
+                assert_eq!(self.entries[i].priority, prio, "stale priority index {i}");
+            }
+            prio_count += bucket.len();
+        }
+        assert_eq!(prio_count, self.entries.len());
     }
 }
 
@@ -299,6 +536,69 @@ mod tests {
         assert_eq!(t.len(), 3);
         let left: Vec<u64> = t.iter().map(|e| e.id.0).collect();
         assert_eq!(left, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn indexed_lookup_agrees_with_linear_oracle() {
+        let mut t = FlowTable::new();
+        // Mixed priorities, overlapping covers, churn via remove_at.
+        for i in 0..32u64 {
+            let m = match i % 4 {
+                0 => FlowMatch::any(),
+                1 => FlowMatch::l2_for_id((i / 4) as u32),
+                2 => FlowMatch::l3_for_id((i / 4) as u32),
+                _ => FlowMatch::l3_for_id((i / 2) as u32),
+            };
+            t.insert(entry(i, m, (i % 5) as u16 * 10));
+        }
+        t.remove_at(7);
+        t.remove_at(0);
+        t.remove_indices(vec![4, 12, 4, 20]);
+        t.assert_index_consistent();
+        for id in 0..20u32 {
+            let key = FlowMatch::key_for_id(id);
+            assert_eq!(t.lookup(&key), t.lookup_linear(&key), "key {id}");
+        }
+        for id in 0..20u32 {
+            for prio in [0u16, 10, 20, 30, 40] {
+                let m = FlowMatch::l3_for_id(id);
+                assert_eq!(
+                    t.find_strict(&m, prio),
+                    t.find_strict_linear(&m, prio),
+                    "strict {id}/{prio}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn index_survives_duplicate_strict_keys() {
+        let mut t = FlowTable::new();
+        let m = FlowMatch::l3_for_id(9);
+        t.insert(entry(1, m, 10));
+        t.insert(entry(2, m, 10)); // duplicate (match, priority)
+        t.assert_index_consistent();
+        // Strict find returns the earliest position, like the old scan.
+        assert_eq!(t.find_strict(&m, 10), Some(0));
+        t.remove_at(0);
+        t.assert_index_consistent();
+        assert_eq!(t.find_strict(&m, 10), Some(0));
+        assert_eq!(t.get(0).id, EntryId(2));
+    }
+
+    #[test]
+    fn drain_all_resets_indexes() {
+        let mut t = FlowTable::new();
+        for i in 0..4 {
+            t.insert(entry(i, FlowMatch::l3_for_id(i as u32), 5));
+        }
+        let drained = t.drain_all();
+        assert_eq!(drained.len(), 4);
+        assert!(t.is_empty());
+        t.assert_index_consistent();
+        assert!(t.find_strict(&FlowMatch::l3_for_id(1), 5).is_none());
+        t.insert(entry(9, FlowMatch::l3_for_id(1), 5));
+        assert_eq!(t.find_strict(&FlowMatch::l3_for_id(1), 5), Some(0));
     }
 
     #[test]

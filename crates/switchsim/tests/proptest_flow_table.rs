@@ -1,0 +1,166 @@
+//! Property test: the indexed `FlowTable` agrees with a naive
+//! linear-scan oracle on random operation sequences.
+//!
+//! The oracle reimplements the pre-index semantics (scan everything,
+//! max priority then min id; strict find = first position) on a plain
+//! `Vec<FlowEntry>`. Every operation — insert, strict modify, strict
+//! delete, loose delete, lookup — is applied to both tables and their
+//! observable state compared, so any index-maintenance bug (stale
+//! position, unsorted bucket, missed compaction fix-up) surfaces as a
+//! divergence.
+
+use ofwire::action::Action;
+use ofwire::flow_match::{FlowKey, FlowMatch};
+use ofwire::types::PortNo;
+use proptest::prelude::*;
+use simnet::time::SimTime;
+use switchsim::entry::{EntryId, FlowEntry};
+use switchsim::table::FlowTable;
+
+/// The pre-index linear-scan semantics, kept deliberately naive.
+#[derive(Default)]
+struct NaiveTable {
+    entries: Vec<FlowEntry>,
+}
+
+impl NaiveTable {
+    fn insert(&mut self, entry: FlowEntry) {
+        self.entries.push(entry);
+    }
+
+    fn lookup(&self, key: &FlowKey) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, e) in self.entries.iter().enumerate() {
+            if !e.flow_match.covers(key) {
+                continue;
+            }
+            match best {
+                None => best = Some(i),
+                Some(b) => {
+                    let cur = &self.entries[b];
+                    if e.priority > cur.priority || (e.priority == cur.priority && e.id < cur.id) {
+                        best = Some(i);
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    fn find_strict(&self, flow_match: &FlowMatch, priority: u16) -> Option<usize> {
+        self.entries
+            .iter()
+            .position(|e| e.priority == priority && e.flow_match == *flow_match)
+    }
+
+    fn select_loose(&self, filter: &FlowMatch) -> Vec<usize> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| filter.subsumes(&e.flow_match))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn remove_at(&mut self, index: usize) -> FlowEntry {
+        self.entries.remove(index)
+    }
+
+    fn remove_indices(&mut self, mut indices: Vec<usize>) -> Vec<FlowEntry> {
+        indices.sort_unstable_by(|a, b| b.cmp(a));
+        indices.dedup();
+        indices
+            .into_iter()
+            .map(|i| self.entries.remove(i))
+            .collect()
+    }
+}
+
+fn a_match(fid: u32) -> FlowMatch {
+    // A small family with genuine overlap: wildcards cover everything,
+    // L2/L3 matches collide across ids modulo a narrow range.
+    match fid % 4 {
+        0 => FlowMatch::any(),
+        1 => FlowMatch::l2_for_id(fid / 4 % 6),
+        2 => FlowMatch::l3_for_id(fid / 4 % 6),
+        _ => FlowMatch::l2l3_for_id(fid / 4 % 6),
+    }
+}
+
+/// Compares every observable of the two tables.
+fn assert_agree(indexed: &FlowTable, naive: &NaiveTable) {
+    assert_eq!(indexed.as_slice(), naive.entries.as_slice(), "entry order");
+    for fid in 0..8u32 {
+        let key = FlowMatch::key_for_id(fid);
+        assert_eq!(indexed.lookup(&key), naive.lookup(&key), "lookup fid={fid}");
+        for prio in 0..4u16 {
+            let m = a_match(fid);
+            assert_eq!(
+                indexed.find_strict(&m, prio),
+                naive.find_strict(&m, prio),
+                "strict fid={fid} prio={prio}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn indexed_table_matches_linear_oracle(
+        ops in proptest::collection::vec((0u8..5, any::<u32>(), 0u16..4), 1..120)
+    ) {
+        let mut indexed = FlowTable::new();
+        let mut naive = NaiveTable::default();
+        let mut next_id = 0u64;
+        for (step, (op, fid, prio)) in ops.into_iter().enumerate() {
+            match op {
+                // Insert (weighted: two opcodes) — duplicates of the
+                // same (match, priority) are allowed and exercised.
+                0 | 1 => {
+                    let e = FlowEntry::new(
+                        EntryId(next_id),
+                        a_match(fid),
+                        prio,
+                        vec![Action::output(1)],
+                        SimTime(step as u64),
+                    );
+                    next_id += 1;
+                    indexed.insert(e.clone());
+                    naive.insert(e);
+                }
+                // Strict modify: rewrite actions in place (key fields
+                // are immutable per the table contract).
+                2 => {
+                    let m = a_match(fid);
+                    let at = indexed.find_strict(&m, prio);
+                    prop_assert_eq!(at, naive.find_strict(&m, prio));
+                    if let Some(i) = at {
+                        indexed.get_mut(i).actions = vec![Action::output(9)];
+                        naive.entries[i].actions = vec![Action::output(9)];
+                    }
+                }
+                // Strict delete.
+                3 => {
+                    let m = a_match(fid);
+                    if let Some(i) = indexed.find_strict(&m, prio) {
+                        let a = indexed.remove_at(i);
+                        let b = naive.remove_at(i);
+                        prop_assert_eq!(a, b);
+                    }
+                }
+                // Loose delete: everything a narrower filter subsumes.
+                _ => {
+                    let filter = a_match(fid);
+                    let sel = indexed.select_loose(&filter, PortNo::NONE);
+                    prop_assert_eq!(&sel, &naive.select_loose(&filter));
+                    let a = indexed.remove_indices(sel.clone());
+                    let b = naive.remove_indices(sel);
+                    prop_assert_eq!(a, b);
+                }
+            }
+            assert_agree(&indexed, &naive);
+        }
+    }
+}
