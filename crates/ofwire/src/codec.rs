@@ -139,6 +139,61 @@ impl Framer {
         }
         Ok(out)
     }
+
+    /// Attempts to extract the next complete message, consuming from
+    /// `input` before touching the internal buffer.
+    ///
+    /// The buffer-reuse counterpart of [`Framer::push`] +
+    /// [`Framer::next_message`]: while the internal buffer is empty —
+    /// the steady state for a request/response control channel — whole
+    /// frames decode straight from the borrowed slice and nothing is
+    /// copied. Only a trailing partial frame is stashed internally, and
+    /// only its bytes are ever copied. `input` is advanced past whatever
+    /// was consumed; call in a loop until it returns `Ok(None)` with
+    /// `input` empty.
+    pub fn next_message_from(&mut self, input: &mut &[u8]) -> Result<Option<(Header, Message)>> {
+        if self.poisoned {
+            return Err(WireError::BadLength {
+                what: "poisoned framer",
+                len: 0,
+            });
+        }
+        if self.buf.is_empty() {
+            if input.len() < OFP_HEADER_LEN {
+                self.buf.extend_from_slice(input);
+                *input = &input[input.len()..];
+                return Ok(None);
+            }
+            let header = match Header::peek(input) {
+                Ok(h) => h,
+                Err(e) => {
+                    self.poisoned = true;
+                    return Err(e);
+                }
+            };
+            let total = header.length as usize;
+            if input.len() < total {
+                self.buf.extend_from_slice(input);
+                *input = &input[input.len()..];
+                return Ok(None);
+            }
+            let (frame, rest) = input.split_at(total);
+            *input = rest;
+            return match Message::from_bytes(frame) {
+                Ok((h, m)) => Ok(Some((h, m))),
+                Err(e) => {
+                    self.poisoned = true;
+                    Err(e)
+                }
+            };
+        }
+        // A partial frame is already buffered: the stream is mid-frame,
+        // so append everything and fall back to the buffered path. The
+        // fast path resumes once the buffer drains.
+        self.buf.extend_from_slice(input);
+        *input = &input[input.len()..];
+        self.next_message()
+    }
 }
 
 /// Encodes `msg` with transaction id `xid` into a standalone frame.
@@ -212,5 +267,87 @@ mod tests {
         let mut framer = Framer::new();
         framer.push(&[1, 2, 3]);
         assert_eq!(framer.next_message().unwrap(), None);
+    }
+
+    /// Drains `input` through `next_message_from` the way the agent does.
+    fn drain_from(framer: &mut Framer, mut input: &[u8]) -> Vec<(Header, Message)> {
+        let mut got = Vec::new();
+        while let Some(pair) = framer.next_message_from(&mut input).unwrap() {
+            got.push(pair);
+        }
+        assert!(input.is_empty(), "Ok(None) must mean input fully consumed");
+        got
+    }
+
+    #[test]
+    fn next_message_from_decodes_whole_frames_without_buffering() {
+        let mut framer = Framer::new();
+        let m1 = Message::EchoRequest(vec![9, 9]);
+        let m2 = Message::BarrierRequest;
+        let mut bytes = m1.to_bytes(Xid(7));
+        bytes.extend_from_slice(&m2.to_bytes(Xid(8)));
+        let got = drain_from(&mut framer, &bytes);
+        assert_eq!(got.len(), 2);
+        assert_eq!((got[0].0.xid, &got[0].1), (Xid(7), &m1));
+        assert_eq!((got[1].0.xid, &got[1].1), (Xid(8), &m2));
+        // Whole frames never touched the internal buffer.
+        assert_eq!(framer.pending(), 0);
+    }
+
+    #[test]
+    fn next_message_from_stashes_and_resumes_partial_frames() {
+        let mut framer = Framer::new();
+        let m1 = Message::EchoRequest(vec![1, 2, 3, 4]);
+        let m2 = Message::BarrierReply;
+        let mut bytes = m1.to_bytes(Xid(1));
+        bytes.extend_from_slice(&m2.to_bytes(Xid(2)));
+
+        // Deliver in awkward chunk sizes spanning header and body splits.
+        let mut got = Vec::new();
+        for chunk in bytes.chunks(5) {
+            got.extend(drain_from(&mut framer, chunk));
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!((got[0].0.xid, &got[0].1), (Xid(1), &m1));
+        assert_eq!((got[1].0.xid, &got[1].1), (Xid(2), &m2));
+        assert_eq!(framer.pending(), 0);
+    }
+
+    #[test]
+    fn next_message_from_matches_push_path_bytewise() {
+        let msgs = [
+            Message::EchoRequest(vec![0xAB; 13]),
+            Message::BarrierRequest,
+            Message::EchoReply(vec![]),
+            Message::BarrierReply,
+        ];
+        let mut bytes = Vec::new();
+        for (i, m) in msgs.iter().enumerate() {
+            bytes.extend_from_slice(&m.to_bytes(Xid(i as u32)));
+        }
+        for chunk in [1usize, 3, 8, 11, bytes.len()] {
+            let mut fast = Framer::new();
+            let mut slow = Framer::new();
+            let mut from_fast = Vec::new();
+            let mut from_slow = Vec::new();
+            for piece in bytes.chunks(chunk) {
+                from_fast.extend(drain_from(&mut fast, piece));
+                slow.push(piece);
+                while let Some(pair) = slow.next_message().unwrap() {
+                    from_slow.push(pair);
+                }
+            }
+            assert_eq!(from_fast, from_slow, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn next_message_from_poisons_on_bad_version() {
+        let mut framer = Framer::new();
+        let mut input: &[u8] = &[0x09, 0, 0, 8, 0, 0, 0, 0];
+        assert!(framer.next_message_from(&mut input).is_err());
+        let good = Message::BarrierRequest.to_bytes(Xid(0));
+        let mut input: &[u8] = &good;
+        assert!(framer.next_message_from(&mut input).is_err());
     }
 }

@@ -342,6 +342,54 @@ impl FlowMatch {
         }
     }
 
+    /// The canonical form of this match: IPv4 prefixes have their host
+    /// bits masked off and `/0` prefixes (wire-identical to a full
+    /// wildcard) are dropped. Two matches cover exactly the same packet
+    /// set under per-field comparison iff their canonical forms are
+    /// equal, which is what makes canonical matches usable as hash keys
+    /// in tuple-space lookup indexes.
+    #[must_use]
+    pub fn canonical(&self) -> FlowMatch {
+        fn canon(p: Option<Ipv4Prefix>) -> Option<Ipv4Prefix> {
+            p.and_then(|p| (p.prefix_len > 0).then(|| Ipv4Prefix::new(p.addr, p.prefix_len)))
+        }
+        FlowMatch {
+            nw_src: canon(self.nw_src),
+            nw_dst: canon(self.nw_dst),
+            ..*self
+        }
+    }
+
+    /// Projects a concrete packet key onto the match shape described by
+    /// a wildcard word: every non-wildcarded field is constrained to the
+    /// key's value, IPv4 fields masked to the word's prefix lengths.
+    ///
+    /// The defining property (the tuple-space lookup invariant): for any
+    /// match `m` and key `k`,
+    /// `m.covers(&k) == (m.canonical() == FlowMatch::project(&k, m.wildcards()))`.
+    #[must_use]
+    pub fn project(key: &FlowKey, wildcards: u32) -> FlowMatch {
+        fn keep<T>(wildcards: u32, bit: u32, v: T) -> Option<T> {
+            (wildcards & bit == 0).then_some(v)
+        }
+        let src_len = 32 - ((wildcards >> OFPFW_NW_SRC_SHIFT) & 0x3f).min(32) as u8;
+        let dst_len = 32 - ((wildcards >> OFPFW_NW_DST_SHIFT) & 0x3f).min(32) as u8;
+        FlowMatch {
+            in_port: keep(wildcards, OFPFW_IN_PORT, key.in_port),
+            dl_src: keep(wildcards, OFPFW_DL_SRC, key.dl_src),
+            dl_dst: keep(wildcards, OFPFW_DL_DST, key.dl_dst),
+            dl_vlan: keep(wildcards, OFPFW_DL_VLAN, key.dl_vlan),
+            dl_vlan_pcp: keep(wildcards, OFPFW_DL_VLAN_PCP, key.dl_vlan_pcp),
+            dl_type: keep(wildcards, OFPFW_DL_TYPE, key.dl_type),
+            nw_tos: keep(wildcards, OFPFW_NW_TOS, key.nw_tos),
+            nw_proto: keep(wildcards, OFPFW_NW_PROTO, key.nw_proto),
+            nw_src: (src_len > 0).then(|| Ipv4Prefix::new(key.nw_src, src_len)),
+            nw_dst: (dst_len > 0).then(|| Ipv4Prefix::new(key.nw_dst, dst_len)),
+            tp_src: keep(wildcards, OFPFW_TP_SRC, key.tp_src),
+            tp_dst: keep(wildcards, OFPFW_TP_DST, key.tp_dst),
+        }
+    }
+
     /// The OpenFlow 1.0 wildcard word for this match.
     #[must_use]
     pub fn wildcards(&self) -> u32 {
@@ -563,5 +611,87 @@ mod tests {
     #[test]
     fn decode_rejects_short_buffer() {
         assert!(FlowMatch::decode(&[0u8; 10]).is_err());
+    }
+
+    /// The tuple-space lookup invariant: a match covers a key iff the
+    /// key's projection onto the match's wildcard shape equals the
+    /// canonical match.
+    #[test]
+    fn projection_agrees_with_covers() {
+        let matches = [
+            FlowMatch::any(),
+            FlowMatch::l2_for_id(7),
+            FlowMatch::l3_for_id(7),
+            FlowMatch::l2l3_for_id(7),
+            FlowMatch::exact_ip_pair([10, 0, 0, 1], [10, 0, 0, 7]),
+            FlowMatch {
+                // Non-canonical: host bits set past the prefix length.
+                nw_dst: Some(Ipv4Prefix {
+                    addr: 0x0a00_0007,
+                    prefix_len: 8,
+                }),
+                tp_dst: Some(80),
+                ..FlowMatch::default()
+            },
+            FlowMatch {
+                // A /0 prefix constrains nothing.
+                nw_src: Some(Ipv4Prefix {
+                    addr: 0x0a00_0007,
+                    prefix_len: 0,
+                }),
+                ..FlowMatch::default()
+            },
+        ];
+        let keys = [
+            FlowMatch::key_for_id(7),
+            FlowMatch::key_for_id(8),
+            FlowKey::default(),
+            FlowKey {
+                nw_src: 0x0a00_0001,
+                nw_dst: 0x0a12_3456,
+                dl_type: 0x0800,
+                tp_dst: 80,
+                ..FlowKey::default()
+            },
+        ];
+        for m in &matches {
+            for k in &keys {
+                assert_eq!(
+                    m.covers(k),
+                    m.canonical() == FlowMatch::project(k, m.wildcards()),
+                    "projection invariant broken for {m:?} vs {k:?}"
+                );
+            }
+        }
+    }
+
+    /// `canonical()` is idempotent and wildcard-word preserving, so the
+    /// word of a stored (possibly non-canonical) match indexes the same
+    /// tuple group as its canonical form.
+    #[test]
+    fn canonical_preserves_wildcard_word() {
+        let m = FlowMatch {
+            nw_src: Some(Ipv4Prefix {
+                addr: 0x0a00_00ff,
+                prefix_len: 0,
+            }),
+            nw_dst: Some(Ipv4Prefix {
+                addr: 0x0a00_00ff,
+                prefix_len: 24,
+            }),
+            dl_type: Some(0x0800),
+            ..FlowMatch::default()
+        };
+        let c = m.canonical();
+        assert_eq!(c.wildcards(), m.wildcards());
+        assert_eq!(c.canonical(), c);
+        assert_eq!(c.nw_src, None);
+        assert_eq!(
+            c.nw_dst,
+            Some(Ipv4Prefix {
+                addr: 0x0a00_0000,
+                prefix_len: 24
+            })
+        );
     }
 }

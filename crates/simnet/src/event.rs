@@ -1,5 +1,5 @@
 //! A time-ordered event queue with stable FIFO ordering for ties and
-//! O(log n) cancellation.
+//! O(1) cancellation.
 //!
 //! `BinaryHeap` alone is not deterministic for simultaneous events (heap
 //! order among equal keys is arbitrary), so each entry carries a
@@ -9,20 +9,42 @@
 //!
 //! Every push hands back an [`EventKey`]; [`EventQueue::cancel`] marks
 //! the entry dead (lazy deletion — the tombstone is dropped when the
-//! entry surfaces), which is what lets one simulator drive many switches
-//! whose in-flight work can be superseded or aborted.
+//! entry surfaces). Liveness lives in a generation-stamped slab rather
+//! than a hash set: a key encodes `(slot, generation)`, so cancel and
+//! is-live checks are a bounds-checked array access with no hashing, and
+//! recycled slots can never confuse a stale key with a fresh event.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 /// Identifies one scheduled event for later cancellation.
+///
+/// Encodes `(generation << 32) | slot` into the queue's slab; a key for
+/// a delivered or cancelled event fails the generation check and is
+/// simply reported dead.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventKey(u64);
+
+impl EventKey {
+    fn new(slot: u32, gen: u32) -> EventKey {
+        EventKey((u64::from(gen) << 32) | u64::from(slot))
+    }
+
+    fn slot(self) -> u32 {
+        self.0 as u32
+    }
+
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
 
 struct Entry<E> {
     at: SimTime,
     seq: u64,
+    slot: u32,
+    gen: u32,
     event: E,
 }
 
@@ -49,15 +71,25 @@ impl<E> PartialOrd for Entry<E> {
     }
 }
 
+/// One slab cell. The generation counter advances each time the slot is
+/// recycled, invalidating any keys minted for earlier occupants.
+struct Slot {
+    gen: u32,
+    live: bool,
+}
+
 /// A min-queue of `(SimTime, E)` pairs, FIFO among equal times.
 #[derive(Default)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
-    /// Keys of entries still in the heap and not cancelled. Cancellation
-    /// removes the key here; the heap entry itself is dropped lazily when
-    /// it reaches the front.
-    live: HashSet<u64>,
+    /// Slab of liveness flags indexed by the slot half of each key. A
+    /// slot stays bound to its heap entry until that entry surfaces
+    /// (pop or cancelled-skip), at which point the generation bumps and
+    /// the slot returns to `free`.
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    live_count: usize,
 }
 
 impl<E> EventQueue<E> {
@@ -67,7 +99,9 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
-            live: HashSet::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            live_count: 0,
         }
     }
 
@@ -75,24 +109,59 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, at: SimTime, event: E) -> EventKey {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, event });
-        self.live.insert(seq);
-        EventKey(seq)
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize].live = true;
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("slab overflow");
+                self.slots.push(Slot { gen: 0, live: true });
+                slot
+            }
+        };
+        let gen = self.slots[slot as usize].gen;
+        self.heap.push(Entry {
+            at,
+            seq,
+            slot,
+            gen,
+            event,
+        });
+        self.live_count += 1;
+        EventKey::new(slot, gen)
     }
 
     /// Cancels a scheduled event. Returns `false` if the key was already
     /// delivered or cancelled.
     pub fn cancel(&mut self, key: EventKey) -> bool {
-        self.live.remove(&key.0)
+        match self.slots.get_mut(key.slot() as usize) {
+            Some(s) if s.gen == key.gen() && s.live => {
+                s.live = false;
+                self.live_count -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Returns the slot to the free list, invalidating outstanding keys.
+    /// Called only when the slot's heap entry has surfaced.
+    fn release(&mut self, slot: u32) {
+        let s = &mut self.slots[slot as usize];
+        s.gen = s.gen.wrapping_add(1);
+        s.live = false;
+        self.free.push(slot);
     }
 
     /// Drops any cancelled entries sitting at the front of the heap.
     fn skip_cancelled(&mut self) {
         while let Some(front) = self.heap.peek() {
-            if self.live.contains(&front.seq) {
+            if self.slots[front.slot as usize].live {
                 break;
             }
-            self.heap.pop();
+            let e = self.heap.pop().expect("peeked entry");
+            self.release(e.slot);
         }
     }
 
@@ -105,8 +174,9 @@ impl<E> EventQueue<E> {
     pub fn pop_keyed(&mut self) -> Option<(SimTime, EventKey, E)> {
         self.skip_cancelled();
         let e = self.heap.pop()?;
-        self.live.remove(&e.seq);
-        Some((e.at, EventKey(e.seq), e.event))
+        self.release(e.slot);
+        self.live_count -= 1;
+        Some((e.at, EventKey::new(e.slot, e.gen), e.event))
     }
 
     /// Timestamp of the earliest live event without removing it.
@@ -119,7 +189,7 @@ impl<E> EventQueue<E> {
     /// Number of pending (non-cancelled) events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.live.len()
+        self.live_count
     }
 
     /// True if no live events are pending.
@@ -212,5 +282,38 @@ mod tests {
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn recycled_slots_reject_stale_keys() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime(1), 1);
+        assert_eq!(q.pop(), Some((SimTime(1), 1)));
+        // The slot is recycled for a fresh event; the old key must not
+        // be able to cancel it.
+        let b = q.push(SimTime(2), 2);
+        assert!(!q.cancel(a), "stale generation");
+        assert_eq!(q.len(), 1);
+        assert!(q.cancel(b));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cancelled_then_recycled_slot_stays_consistent() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime(1), "a");
+        assert!(q.cancel(a));
+        // Slot is not yet recycled (entry still buried in the heap);
+        // pushing more events must not resurrect the cancelled one.
+        let b = q.push(SimTime(2), "b");
+        assert_eq!(q.pop(), Some((SimTime(2), "b")));
+        assert!(!q.cancel(a));
+        assert!(!q.cancel(b));
+        // After the cancelled entry surfaced and its slot recycled, a
+        // new push reuses it under a fresh generation.
+        let c = q.push(SimTime(3), "c");
+        assert!(!q.cancel(a));
+        assert_eq!(q.pop(), Some((SimTime(3), "c")));
+        let _ = c;
     }
 }

@@ -84,9 +84,23 @@ impl Agent {
     /// while processing surface as unsolicited `flow_removed`
     /// notifications (xid 0) appended after the triggering message.
     pub fn feed(&mut self, bytes: &[u8], now: SimTime) -> Result<Vec<AgentOutput>, WireError> {
-        self.framer.push(bytes);
         let mut outputs = Vec::new();
-        while let Some((header, msg)) = self.framer.next_message()? {
+        self.feed_into(bytes, now, &mut outputs)?;
+        Ok(outputs)
+    }
+
+    /// Buffer-reuse form of [`Agent::feed`]: appends outputs to a
+    /// caller-provided vector instead of allocating one per call, and
+    /// decodes whole frames straight from `bytes` without copying them
+    /// through the framer (only trailing partial frames are buffered).
+    pub fn feed_into(
+        &mut self,
+        bytes: &[u8],
+        now: SimTime,
+        outputs: &mut Vec<AgentOutput>,
+    ) -> Result<(), WireError> {
+        let mut input = bytes;
+        while let Some((header, msg)) = self.framer.next_message_from(&mut input)? {
             outputs.push(self.dispatch(msg, header.xid, now));
             for exp in self.switch.take_expired() {
                 outputs.push(AgentOutput {
@@ -97,7 +111,7 @@ impl Agent {
                 });
             }
         }
-        Ok(outputs)
+        Ok(())
     }
 
     fn dispatch(&mut self, msg: Message, xid: Xid, now: SimTime) -> AgentOutput {

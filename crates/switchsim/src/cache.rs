@@ -17,9 +17,11 @@
 //! recently used, LFU the most trafficked, and priority caching keeps the
 //! highest priorities.
 
-use crate::entry::FlowEntry;
+use crate::entry::{EntryId, FlowEntry};
+use crate::table::FlowTable;
 use serde::{Deserialize, Serialize};
-use std::cmp::Ordering;
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
 use std::fmt;
 
 /// The per-flow attributes a policy may inspect (paper ATTRIB).
@@ -192,6 +194,44 @@ impl CachePolicy {
         ])
     }
 
+    /// Flattens an entry into a totally ordered key whose natural `Ord`
+    /// is exactly [`CachePolicy::cmp_entries`]: greater key ⇔ better
+    /// entry. `KeepLow` attributes are bitwise-complemented (which
+    /// reverses `u64` order), unused key slots are a constant, and the
+    /// complemented id is the final component, so ties are impossible
+    /// between distinct entries. This is what lets an [`EvictionIndex`]
+    /// keep policy order in plain binary heaps.
+    ///
+    /// Attributes are deduplicated (first occurrence wins) so policies
+    /// with repeated attributes still fit the four slots: a repeated
+    /// attribute can never influence `cmp_entries` after its first
+    /// appearance.
+    #[must_use]
+    pub fn sort_key(&self, e: &FlowEntry) -> PolicyKey {
+        let mut slots = [0u64; 4];
+        let mut seen: [Option<Attribute>; 4] = [None; 4];
+        let mut n = 0;
+        for key in &self.keys {
+            if seen[..n].contains(&Some(key.attribute)) {
+                continue;
+            }
+            seen[n] = Some(key.attribute);
+            let v = key.attribute.value_of(e);
+            slots[n] = match key.direction {
+                Direction::KeepHigh => v,
+                Direction::KeepLow => !v,
+            };
+            n += 1;
+            if n == 4 {
+                break;
+            }
+        }
+        PolicyKey {
+            slots,
+            id_rank: !e.id.0,
+        }
+    }
+
     /// Compares two entries; `Greater` means `a` is *better* (kept over
     /// `b`). Falls back to entry id (older id better) so the order is
     /// total and deterministic.
@@ -214,6 +254,10 @@ impl CachePolicy {
 
     /// Index of the *worst* entry in a slice (the eviction victim).
     /// Returns `None` for an empty slice.
+    ///
+    /// Linear scan — this is the reference oracle. Hot paths route
+    /// victim selection through [`EvictionIndex::worst`], which answers
+    /// the same question in O(log n) amortized.
     #[must_use]
     pub fn worst_index(&self, entries: &[FlowEntry]) -> Option<usize> {
         let mut worst: Option<usize> = None;
@@ -231,6 +275,8 @@ impl CachePolicy {
     }
 
     /// Index of the *best* entry in a slice (the promotion candidate).
+    ///
+    /// Linear scan — the reference oracle for [`EvictionIndex::best`].
     #[must_use]
     pub fn best_index(&self, entries: &[FlowEntry]) -> Option<usize> {
         let mut best: Option<usize> = None;
@@ -261,6 +307,117 @@ impl CachePolicy {
             })
             .collect::<Vec<_>>()
             .join(",")
+    }
+}
+
+/// An entry's position in a policy's total order, flattened to plain
+/// integers (see [`CachePolicy::sort_key`]): lexicographically greater ⇔
+/// better. The complemented entry id makes keys unique per entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PolicyKey {
+    /// Direction-transformed attribute values, most significant first;
+    /// unused slots are zero (constant, so they never break ties).
+    slots: [u64; 4],
+    /// `!id` — smaller ids (installed earlier) rank better.
+    id_rank: u64,
+}
+
+/// Incrementally repaired victim/promotion index for one cache level.
+///
+/// Two lazy binary heaps hold `(PolicyKey, id)` snapshots: a min-heap
+/// whose top is the policy's *worst* resident (the eviction victim) and a
+/// max-heap whose top is the *best* (the backfill candidate). Snapshots
+/// are pushed on insert and whenever a touch changes an entry's
+/// attributes; removals and touches invalidate old snapshots *lazily* —
+/// a popped snapshot is discarded unless the entry is still installed
+/// with exactly that key. Queries are therefore O(log n) amortized
+/// (each stale snapshot is paid for by the push that created it), and
+/// always return precisely what the linear
+/// [`CachePolicy::worst_index`]/[`CachePolicy::best_index`] oracles
+/// would, because [`PolicyKey`] order equals `cmp_entries` order.
+#[derive(Debug, Clone, Default)]
+pub struct EvictionIndex {
+    /// Min-heap: worst snapshot on top.
+    worst: BinaryHeap<Reverse<(PolicyKey, EntryId)>>,
+    /// Max-heap: best snapshot on top.
+    best: BinaryHeap<(PolicyKey, EntryId)>,
+}
+
+impl EvictionIndex {
+    /// An empty index.
+    #[must_use]
+    pub fn new() -> EvictionIndex {
+        EvictionIndex::default()
+    }
+
+    /// Snapshots (live + stale) currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.worst.len().max(self.best.len())
+    }
+
+    /// True when no snapshots are held.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.worst.is_empty() && self.best.is_empty()
+    }
+
+    /// Records the current key of an entry — on insert, and again after
+    /// every attribute change (the old snapshot turns stale).
+    pub fn note(&mut self, key: PolicyKey, id: EntryId) {
+        self.worst.push(Reverse((key, id)));
+        self.best.push((key, id));
+    }
+
+    /// Drops every snapshot and re-records all current residents. Called
+    /// when stale snapshots outnumber live entries too heavily, bounding
+    /// heap growth under touch-heavy workloads.
+    pub fn rebuild(&mut self, policy: &CachePolicy, table: &FlowTable) {
+        self.worst.clear();
+        self.best.clear();
+        for e in table.iter() {
+            self.note(policy.sort_key(e), e.id);
+        }
+    }
+
+    /// A snapshot is live iff its entry is still installed with exactly
+    /// the recorded key (touched entries re-record under the new key).
+    fn validate(
+        policy: &CachePolicy,
+        table: &FlowTable,
+        key: PolicyKey,
+        id: EntryId,
+    ) -> Option<usize> {
+        let pos = table.position_of(id)?;
+        (policy.sort_key(table.get(pos)) == key).then_some(pos)
+    }
+
+    /// Position of the worst resident of `table` (the eviction victim),
+    /// equal to `policy.worst_index(table.as_slice())`.
+    pub fn worst(&mut self, policy: &CachePolicy, table: &FlowTable) -> Option<usize> {
+        while let Some(&Reverse((key, id))) = self.worst.peek() {
+            match Self::validate(policy, table, key, id) {
+                Some(pos) => return Some(pos),
+                None => {
+                    self.worst.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Position of the best resident of `table` (the backfill/promotion
+    /// candidate), equal to `policy.best_index(table.as_slice())`.
+    pub fn best(&mut self, policy: &CachePolicy, table: &FlowTable) -> Option<usize> {
+        while let Some(&(key, id)) = self.best.peek() {
+            match Self::validate(policy, table, key, id) {
+                Some(pos) => return Some(pos),
+                None => {
+                    self.best.pop();
+                }
+            }
+        }
+        None
     }
 }
 

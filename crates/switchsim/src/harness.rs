@@ -107,6 +107,9 @@ pub struct Testbed {
     next_token: u64,
     /// Completions delivered by the event core, awaiting pickup.
     completed: VecDeque<Completion>,
+    /// Scratch for agent outputs, reused across every `begin` so the
+    /// control channel does not allocate a vector per op.
+    agent_outs: Vec<AgentOutput>,
 }
 
 impl Testbed {
@@ -119,6 +122,7 @@ impl Testbed {
             rng: DetRng::new(seed),
             next_token: 0,
             completed: VecDeque::new(),
+            agent_outs: Vec::new(),
         }
     }
 
@@ -267,8 +271,13 @@ impl Testbed {
     /// Begins processing `op` on `dpid` at time `start`: runs the agent,
     /// derives the completion, and schedules its `Done` event.
     fn begin(&mut self, dpid: Dpid, op: PendingOp, start: SimTime) {
+        // Reuse one scratch vector for agent outputs across all ops.
+        let mut outs = std::mem::take(&mut self.agent_outs);
+        outs.clear();
         let att = self.switches.get_mut(&dpid).expect("unknown dpid");
-        let outs = att.agent.feed(&op.bytes, start).expect("well-formed frame");
+        att.agent
+            .feed_into(&op.bytes, start, &mut outs)
+            .expect("well-formed frame");
         let (duration, outcome) = match op.kind {
             OpKind::FlowMod => {
                 let cost = total_cost(&outs);
@@ -321,6 +330,7 @@ impl Testbed {
             acked_at: done_at + op.down,
             outcome,
         });
+        self.agent_outs = outs;
         self.sim.schedule_at(done_at, CtrlEvent::Done(dpid));
     }
 

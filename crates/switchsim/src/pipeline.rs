@@ -20,11 +20,11 @@
 //! deliberately reproduces the policy-violation hazard the paper notes
 //! for FIFO-managed tables.
 
-use crate::cache::CachePolicy;
+use crate::cache::{CachePolicy, EvictionIndex};
 use crate::entry::{EntryId, FlowEntry};
 use crate::expiry::{expiry_reason, Expired};
 use crate::table::{FlowTable, MicroflowCache};
-use crate::tcam::{shift_count, TcamGeometry};
+use crate::tcam::TcamGeometry;
 use ofwire::action::Action;
 use ofwire::flow_match::{FlowKey, FlowMatch};
 use ofwire::types::PortNo;
@@ -41,6 +41,10 @@ pub struct CacheLevel {
     pub table: FlowTable,
     /// Units consumed (only meaningful when `geometry` is `Some`).
     used_units: u64,
+    /// Lazy victim/promotion index over `table`, keyed by the owning
+    /// pipeline's policy (every `insert`/`note_touched` records the
+    /// entry's key under that policy).
+    evict: EvictionIndex,
 }
 
 impl CacheLevel {
@@ -52,6 +56,7 @@ impl CacheLevel {
             geometry: Some(geometry),
             table: FlowTable::new(),
             used_units: 0,
+            evict: EvictionIndex::new(),
         }
     }
 
@@ -63,6 +68,7 @@ impl CacheLevel {
             geometry: None,
             table: FlowTable::new(),
             used_units: 0,
+            evict: EvictionIndex::new(),
         }
     }
 
@@ -86,19 +92,76 @@ impl CacheLevel {
         }
     }
 
-    fn insert(&mut self, e: FlowEntry) {
+    fn insert(&mut self, policy: &CachePolicy, e: FlowEntry) {
         if let Some(g) = &self.geometry {
             self.used_units += g.cost(e.kind());
         }
+        self.evict.note(policy.sort_key(&e), e.id);
         self.table.insert(e);
+        self.maybe_compact(policy);
     }
 
     fn remove_at(&mut self, idx: usize) -> FlowEntry {
+        // The eviction index drops the entry's snapshots lazily.
         let e = self.table.remove_at(idx);
         if let Some(g) = &self.geometry {
             self.used_units -= g.cost(e.kind());
         }
         e
+    }
+
+    /// Batch removal: one mark-and-compact pass over the table instead
+    /// of k positional removals that each repair every index. Returns
+    /// the removed entries in descending index order; the eviction
+    /// index drops their snapshots lazily.
+    fn remove_indices(&mut self, idxs: Vec<usize>) -> Vec<FlowEntry> {
+        let removed = self.table.remove_indices(idxs);
+        if let Some(g) = &self.geometry {
+            for e in &removed {
+                self.used_units -= g.cost(e.kind());
+            }
+        }
+        removed
+    }
+
+    /// Re-records the entry at `idx` after its attributes changed (its
+    /// previous eviction-index snapshot just went stale).
+    fn note_touched(&mut self, policy: &CachePolicy, idx: usize) {
+        let e = self.table.get(idx);
+        self.evict.note(policy.sort_key(e), e.id);
+        self.maybe_compact(policy);
+    }
+
+    /// Rebuilds the eviction index when stale snapshots dominate, so its
+    /// memory stays proportional to the level's population.
+    fn maybe_compact(&mut self, policy: &CachePolicy) {
+        if self.evict.len() > 8 * self.table.len() + 64 {
+            self.evict.rebuild(policy, &self.table);
+        }
+    }
+
+    /// Position of this level's eviction victim under `policy`; `None`
+    /// when empty. O(log n) amortized via the lazy eviction index.
+    pub fn worst_pos(&mut self, policy: &CachePolicy) -> Option<usize> {
+        let pos = self.evict.worst(policy, &self.table);
+        debug_assert_eq!(
+            pos,
+            policy.worst_index(self.table.as_slice()),
+            "eviction index diverged from the linear worst-victim oracle"
+        );
+        pos
+    }
+
+    /// Position of this level's best resident under `policy` (the
+    /// backfill/promotion candidate); `None` when empty.
+    pub fn best_pos(&mut self, policy: &CachePolicy) -> Option<usize> {
+        let pos = self.evict.best(policy, &self.table);
+        debug_assert_eq!(
+            pos,
+            policy.best_index(self.table.as_slice()),
+            "eviction index diverged from the linear best-candidate oracle"
+        );
+        pos
     }
 
     /// Units currently consumed.
@@ -278,8 +341,8 @@ impl Pipeline {
         policy: &CachePolicy,
         entry: FlowEntry,
     ) -> Result<AddOutcome, TableFull> {
-        // Plan, read-only: walk levels deciding where the new entry lands
-        // and which resident entries cascade downward.
+        // Plan, without mutating tables: walk levels deciding where the
+        // new entry lands and which resident entries cascade downward.
         #[derive(Clone, Copy)]
         enum Step {
             InstallHere,
@@ -289,15 +352,14 @@ impl Pipeline {
         // The entry "in hand" while planning; starts as (a copy of) the
         // new one and becomes each evicted entry in turn.
         let mut in_hand: FlowEntry = entry.clone();
-        let mut landing: Option<(usize, usize)> = None; // (level, shifts)
-        for (i, level) in levels.iter().enumerate() {
+        let mut landed = false;
+        for (i, level) in levels.iter_mut().enumerate() {
             if level.fits(&in_hand) {
-                let shifts = shift_count(level.table.iter().map(|e| &e.priority), in_hand.priority);
                 steps.push((i, Step::InstallHere));
-                landing = Some((i, shifts));
+                landed = true;
                 break;
             }
-            let worst_idx = match policy.worst_index(level.table.as_slice()) {
+            let worst_idx = match level.worst_pos(policy) {
                 Some(w) => w,
                 None => continue, // zero-capacity level
             };
@@ -309,53 +371,44 @@ impl Pipeline {
             }
             // Otherwise the in-hand entry belongs deeper; keep walking.
         }
-        let (landing_level, shifts) = match landing {
-            Some(l) => l,
-            None => return Err(TableFull),
-        };
+        if !landed {
+            return Err(TableFull);
+        }
 
         // Apply the plan. The first step concerns the *new* entry; later
-        // steps move evicted entries downward.
+        // steps move evicted entries downward. Shifts are charged where
+        // the new entry physically lands: the count of already-resident
+        // entries strictly above its priority at insert time, read from
+        // the level's priority index just before the insert (later steps
+        // only touch deeper levels, so the count never changes again).
         let new_id = entry.id;
+        let new_priority = entry.priority;
         let mut carried: FlowEntry = entry;
-        let mut new_entry_level = landing_level;
+        let mut new_entry_level = 0;
+        let mut shifts = 0;
         for (level_idx, step) in steps {
+            let carried_is_new = carried.id == new_id;
             match step {
                 Step::InstallHere => {
-                    levels[level_idx].insert(carried);
+                    if carried_is_new {
+                        new_entry_level = level_idx;
+                        shifts = levels[level_idx].table.count_above(new_priority);
+                    }
+                    levels[level_idx].insert(policy, carried);
                     break;
                 }
                 Step::SwapWithWorst(worst_idx) => {
                     let evicted = levels[level_idx].remove_at(worst_idx);
-                    let carried_is_new = carried.id == new_id;
-                    levels[level_idx].insert(carried);
                     if carried_is_new {
                         new_entry_level = level_idx;
+                        shifts = levels[level_idx].table.count_above(new_priority);
                     }
+                    levels[level_idx].insert(policy, carried);
                     carried = evicted;
                 }
             }
         }
         let hardware = levels[new_entry_level].geometry.is_some();
-        // Shifts are charged where the *new* entry physically landed.
-        let shifts = if new_entry_level == landing_level {
-            shifts
-        } else {
-            shift_count(
-                levels[new_entry_level]
-                    .table
-                    .iter()
-                    .filter(|e| e.id != new_id)
-                    .map(|e| &e.priority),
-                // Safe: the new entry was just inserted at this level.
-                levels[new_entry_level]
-                    .table
-                    .iter()
-                    .find(|e| e.id == new_id)
-                    .expect("new entry present")
-                    .priority,
-            )
-        };
         Ok(AddOutcome {
             level: new_entry_level,
             hardware,
@@ -386,6 +439,9 @@ impl Pipeline {
                     e.touch(now, bytes);
                     e.id
                 };
+                // The touch changed sortable attributes; refresh the
+                // level's eviction-index snapshot of this entry.
+                levels[li].note_touched(policy, ei);
                 // Promotion: after the touch, the entry may outrank the
                 // worst entry of a faster level; bubble it up one level at
                 // a time (a hit at level 0 changes nothing).
@@ -398,10 +454,10 @@ impl Pipeline {
                     let candidate = lo.table.get(cur_idx).clone();
                     let moved = if up.fits(&candidate) {
                         let e = lo.remove_at(cur_idx);
-                        up.insert(e);
+                        up.insert(policy, e);
                         true
                     } else {
-                        match policy.worst_index(up.table.as_slice()) {
+                        match up.worst_pos(policy) {
                             Some(wi) => {
                                 let worst = up.table.get(wi);
                                 if policy.cmp_entries(&candidate, worst)
@@ -410,8 +466,8 @@ impl Pipeline {
                                 {
                                     let demoted = up.remove_at(wi);
                                     let promoted = lo.remove_at(cur_idx);
-                                    up.insert(promoted);
-                                    lo.insert(demoted);
+                                    up.insert(policy, promoted);
+                                    lo.insert(policy, demoted);
                                     true
                                 } else {
                                     false
@@ -477,7 +533,7 @@ impl Pipeline {
             Pipeline::PolicyCached { levels, policy } => {
                 let mut removed = 0;
                 for level in levels.iter_mut() {
-                    let mut idxs: Vec<usize> = if strict {
+                    let idxs: Vec<usize> = if strict {
                         level
                             .table
                             .find_strict(filter, priority)
@@ -486,11 +542,7 @@ impl Pipeline {
                     } else {
                         level.table.select_loose(filter, out_port)
                     };
-                    idxs.sort_unstable_by(|a, b| b.cmp(a));
-                    for i in idxs {
-                        level.remove_at(i);
-                        removed += 1;
-                    }
+                    removed += level.remove_indices(idxs).len();
                 }
                 if removed > 0 {
                     Self::backfill(levels, policy);
@@ -524,18 +576,24 @@ impl Pipeline {
             loop {
                 let (upper, lower_levels) = levels.split_at_mut(upper_idx + 1);
                 let up = &mut upper[upper_idx];
-                // Best candidate across all deeper levels, nearest first.
+                // Each deeper level's own best, then the best of those —
+                // nearest level first on ties (replace only on strictly
+                // better), matching the old single full scan.
+                let mut bests: Vec<(usize, usize)> = Vec::new();
+                for (off, lo) in lower_levels.iter_mut().enumerate() {
+                    if let Some(bi) = lo.best_pos(policy) {
+                        bests.push((off, bi));
+                    }
+                }
                 let mut candidate: Option<(usize, usize)> = None;
-                for (off, lo) in lower_levels.iter().enumerate() {
-                    if let Some(bi) = policy.best_index(lo.table.as_slice()) {
-                        match candidate {
-                            None => candidate = Some((off, bi)),
-                            Some((coff, cbi)) => {
-                                let cur = lower_levels[coff].table.get(cbi);
-                                let new = lo.table.get(bi);
-                                if policy.cmp_entries(new, cur) == std::cmp::Ordering::Greater {
-                                    candidate = Some((off, bi));
-                                }
+                for &(off, bi) in &bests {
+                    match candidate {
+                        None => candidate = Some((off, bi)),
+                        Some((coff, cbi)) => {
+                            let cur = lower_levels[coff].table.get(cbi);
+                            let new = lower_levels[off].table.get(bi);
+                            if policy.cmp_entries(new, cur) == std::cmp::Ordering::Greater {
+                                candidate = Some((off, bi));
                             }
                         }
                     }
@@ -548,7 +606,7 @@ impl Pipeline {
                     break;
                 }
                 let e = lower_levels[off].remove_at(bi);
-                up.insert(e);
+                up.insert(policy, e);
             }
         }
     }
@@ -563,15 +621,24 @@ impl Pipeline {
         match self {
             Pipeline::PolicyCached { levels, policy } => {
                 for level in levels.iter_mut() {
-                    let mut idx = 0;
-                    while idx < level.table.len() {
-                        match expiry_reason(level.table.get(idx), now) {
-                            Some(reason) => {
-                                let entry = level.remove_at(idx);
-                                out.push(Expired { entry, reason });
-                            }
-                            None => idx += 1,
-                        }
+                    // The sweep runs before every control message; levels
+                    // where no resident has a timeout (the common case in
+                    // inference fills) are skipped in O(1).
+                    if level.table.timeout_count() == 0 {
+                        continue;
+                    }
+                    let lapsed: Vec<(usize, _)> = (0..level.table.len())
+                        .filter_map(|i| expiry_reason(level.table.get(i), now).map(|r| (i, r)))
+                        .collect();
+                    if lapsed.is_empty() {
+                        continue;
+                    }
+                    let removed = level.remove_indices(lapsed.iter().map(|&(i, _)| i).collect());
+                    // `remove_indices` returns descending index order;
+                    // notifications go out in ascending table order like
+                    // the old in-place sweep.
+                    for (entry, &(_, reason)) in removed.into_iter().rev().zip(&lapsed) {
+                        out.push(Expired { entry, reason });
                     }
                 }
                 if !out.is_empty() {
@@ -579,15 +646,15 @@ impl Pipeline {
                 }
             }
             Pipeline::OvsMicroflow { kernel, userspace } => {
-                let mut idx = 0;
-                while idx < userspace.len() {
-                    match expiry_reason(userspace.get(idx), now) {
-                        Some(reason) => {
-                            let entry = userspace.remove_at(idx);
-                            kernel.invalidate_parent(entry.id);
-                            out.push(Expired { entry, reason });
-                        }
-                        None => idx += 1,
+                if userspace.timeout_count() > 0 {
+                    let lapsed: Vec<(usize, _)> = (0..userspace.len())
+                        .filter_map(|i| expiry_reason(userspace.get(i), now).map(|r| (i, r)))
+                        .collect();
+                    let removed =
+                        userspace.remove_indices(lapsed.iter().map(|&(i, _)| i).collect());
+                    for (entry, &(_, reason)) in removed.into_iter().rev().zip(&lapsed) {
+                        kernel.invalidate_parent(entry.id);
+                        out.push(Expired { entry, reason });
                     }
                 }
             }

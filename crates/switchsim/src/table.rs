@@ -3,6 +3,7 @@
 //! kernel.
 
 use crate::entry::{EntryId, FlowEntry};
+use crate::tcam::PriorityIndex;
 use ofwire::action::Action;
 use ofwire::flow_match::{FlowKey, FlowMatch};
 use ofwire::types::PortNo;
@@ -41,19 +42,25 @@ type FnvMap<K, V> = HashMap<K, V, BuildHasherDefault<FnvHasher>>;
 /// priorities the earliest-installed entry wins (deterministic, and the
 /// common hardware behaviour).
 ///
-/// Two side indexes keep the control-path hot spots off the linear scan:
+/// Side indexes keep the control-path hot spots off the linear scan:
 /// a strict-match map `(match, priority) → indices` makes
-/// [`FlowTable::find_strict`] O(1), and per-priority buckets let
-/// [`FlowTable::lookup`] walk priorities from the top and stop at the
-/// first bucket with a covering entry instead of scanning the dominated
-/// rest of the table. Both indexes hold positions into the entry vector
-/// and are repaired on every structural change.
+/// [`FlowTable::find_strict`] O(1); a tuple-space cover index (wildcard
+/// shape → canonical match → indices) lets [`FlowTable::lookup`]
+/// hash-probe one projected key per resident match shape instead of
+/// running `covers` per entry; an id map makes [`FlowTable::position_of`] O(1);
+/// and a Fenwick tree over the priority space answers
+/// [`FlowTable::count_above`] (the TCAM shift cost of an insert) in
+/// O(log 65536). All positional indexes hold positions into the entry
+/// vector and are repaired on every structural change.
 ///
 /// Invariant: `flow_match` and `priority` of an installed entry are
 /// immutable. [`FlowTable::get_mut`]/[`FlowTable::iter_mut`] exist for
 /// attribute updates (counters, timestamps, actions) only — mutating a
 /// key field through them desynchronizes the indexes. OpenFlow has no
-/// "change the match in place" operation, so no caller needs to.
+/// "change the match in place" operation, so no caller needs to. The
+/// timeout fields are likewise fixed at insert: [`FlowTable::timeout_count`]
+/// counts them once, so flipping a zero timeout to nonzero in place
+/// would make the expiry sweep skip the entry.
 #[derive(Debug, Clone, Default)]
 pub struct FlowTable {
     entries: Vec<FlowEntry>,
@@ -63,6 +70,27 @@ pub struct FlowTable {
     strict: FnvMap<(FlowMatch, u16), Vec<usize>>,
     /// priority → entry indices at that priority, ascending.
     prio_buckets: BTreeMap<u16, Vec<usize>>,
+    /// entry id → entry indices, ascending (ids are unique per switch, so
+    /// buckets are singletons in practice; the vector form mirrors
+    /// `strict` and keeps first-position semantics under duplicates).
+    by_id: FnvMap<EntryId, Vec<usize>>,
+    /// Tuple-space cover index: wildcard word (the match *shape*: which
+    /// fields are constrained, at which prefix lengths) → canonical
+    /// match → entry indices, ascending. A lookup projects the packet
+    /// key once per resident shape and hash-probes, instead of running
+    /// `covers` against every entry of a priority bucket; real tables
+    /// hold a handful of shapes, so a lookup is a handful of hashes.
+    cover: FnvMap<u32, FnvMap<FlowMatch, Vec<usize>>>,
+    /// Multiset of installed priorities for O(log) shift counting.
+    prio_counts: PriorityIndex,
+    /// How many installed entries carry a nonzero idle or hard timeout —
+    /// lets the per-op expiry sweep skip tables that can never expire.
+    timeout_entries: usize,
+}
+
+/// Whether an entry participates in expiry at all.
+fn has_timeout(e: &FlowEntry) -> bool {
+    e.idle_timeout > 0 || e.hard_timeout > 0
 }
 
 impl FlowTable {
@@ -105,96 +133,145 @@ impl FlowTable {
         (e.flow_match, e.priority)
     }
 
-    /// Adds `index` (the current maximum) to both indexes for `e`.
-    fn index_insert(&mut self, e_key: (FlowMatch, u16), index: usize) {
-        self.strict.entry(e_key).or_default().push(index);
-        self.prio_buckets.entry(e_key.1).or_default().push(index);
+    /// Drops `index` from one bucket, deleting the bucket when emptied.
+    /// Returns whether the bucket survives (for map `retain`-style use).
+    fn bucket_drop(bucket: &mut Vec<usize>, index: usize) -> bool {
+        if let Ok(pos) = bucket.binary_search(&index) {
+            bucket.remove(pos);
+        }
+        !bucket.is_empty()
     }
 
-    /// Drops `index` from both indexes for an entry with key `e_key`.
-    fn index_remove(&mut self, e_key: (FlowMatch, u16), index: usize) {
-        if let Some(bucket) = self.strict.get_mut(&e_key) {
-            if let Ok(pos) = bucket.binary_search(&index) {
-                bucket.remove(pos);
+    /// Decrements every position in `bucket` strictly above `removed` —
+    /// pure integer work, no re-hashing. The removed position itself is
+    /// already gone from its buckets, so the strictly-greater suffix
+    /// stays sorted and duplicate-free.
+    fn bucket_shift_down(bucket: &mut [usize], removed: usize) {
+        let from = bucket.partition_point(|&i| i <= removed);
+        for i in &mut bucket[from..] {
+            *i -= 1;
+        }
+    }
+
+    /// Rewrites `bucket` through `new_of_old` (old position →
+    /// `usize::MAX` if removed, else new position) after a compaction.
+    /// The mapping is monotone on surviving positions, so the bucket
+    /// stays sorted. Returns whether the bucket survives.
+    fn bucket_remap(bucket: &mut Vec<usize>, new_of_old: &[usize]) -> bool {
+        let mut w = 0;
+        for r in 0..bucket.len() {
+            let mapped = new_of_old[bucket[r]];
+            if mapped != usize::MAX {
+                bucket[w] = mapped;
+                w += 1;
             }
-            if bucket.is_empty() {
+        }
+        bucket.truncate(w);
+        !bucket.is_empty()
+    }
+
+    /// Adds `index` (the current maximum) to every positional index for
+    /// `e`, and records its priority/timeout in the counters.
+    fn index_insert(&mut self, e_key: (FlowMatch, u16), id: EntryId, index: usize) {
+        self.strict.entry(e_key).or_default().push(index);
+        self.prio_buckets.entry(e_key.1).or_default().push(index);
+        self.by_id.entry(id).or_default().push(index);
+        self.cover
+            .entry(e_key.0.wildcards())
+            .or_default()
+            .entry(e_key.0.canonical())
+            .or_default()
+            .push(index);
+        self.prio_counts.add(e_key.1);
+    }
+
+    /// Drops `index` from every positional index for the removed entry
+    /// `e`, and forgets its priority/timeout from the counters.
+    fn index_remove(&mut self, e: &FlowEntry, index: usize) {
+        let e_key = Self::strict_key(e);
+        if let Some(bucket) = self.strict.get_mut(&e_key) {
+            if !Self::bucket_drop(bucket, index) {
                 self.strict.remove(&e_key);
             }
         }
         if let Some(bucket) = self.prio_buckets.get_mut(&e_key.1) {
-            if let Ok(pos) = bucket.binary_search(&index) {
-                bucket.remove(pos);
-            }
-            if bucket.is_empty() {
+            if !Self::bucket_drop(bucket, index) {
                 self.prio_buckets.remove(&e_key.1);
             }
+        }
+        if let Some(bucket) = self.by_id.get_mut(&e.id) {
+            if !Self::bucket_drop(bucket, index) {
+                self.by_id.remove(&e.id);
+            }
+        }
+        let shape = e_key.0.wildcards();
+        if let Some(group) = self.cover.get_mut(&shape) {
+            let canon = e_key.0.canonical();
+            if let Some(bucket) = group.get_mut(&canon) {
+                if !Self::bucket_drop(bucket, index) {
+                    group.remove(&canon);
+                }
+            }
+            if group.is_empty() {
+                self.cover.remove(&shape);
+            }
+        }
+        self.prio_counts.remove(e_key.1);
+        if has_timeout(e) {
+            self.timeout_entries -= 1;
         }
     }
 
     /// After the entry at `removed` was taken out of the vector, every
-    /// stored position above it is off by one. Decrement the affected
-    /// suffix of every bucket directly — pure integer work, no
-    /// re-hashing of flow matches. `removed` itself is already gone from
-    /// its buckets, so decrementing the strictly-greater suffix keeps
-    /// every bucket sorted and duplicate-free.
+    /// stored position above it is off by one.
     fn index_shift_down(&mut self, removed: usize) {
         for bucket in self.strict.values_mut() {
-            let from = bucket.partition_point(|&i| i <= removed);
-            for i in &mut bucket[from..] {
-                *i -= 1;
-            }
+            Self::bucket_shift_down(bucket, removed);
         }
         for bucket in self.prio_buckets.values_mut() {
-            let from = bucket.partition_point(|&i| i <= removed);
-            for i in &mut bucket[from..] {
-                *i -= 1;
+            Self::bucket_shift_down(bucket, removed);
+        }
+        for bucket in self.by_id.values_mut() {
+            Self::bucket_shift_down(bucket, removed);
+        }
+        for group in self.cover.values_mut() {
+            for bucket in group.values_mut() {
+                Self::bucket_shift_down(bucket, removed);
             }
         }
     }
 
-    /// Remaps both indexes through `new_of_old` (old position →
-    /// `usize::MAX` if removed, else new position) after a compaction.
-    /// The mapping is monotone on surviving positions, so every bucket
-    /// stays sorted; emptied buckets are dropped.
+    /// Remaps every positional index through `new_of_old` after a
+    /// compaction; emptied buckets are dropped.
     fn index_remap(&mut self, new_of_old: &[usize]) {
-        self.strict.retain(|_, bucket| {
-            let mut w = 0;
-            for r in 0..bucket.len() {
-                let mapped = new_of_old[bucket[r]];
-                if mapped != usize::MAX {
-                    bucket[w] = mapped;
-                    w += 1;
-                }
-            }
-            bucket.truncate(w);
-            !bucket.is_empty()
-        });
-        self.prio_buckets.retain(|_, bucket| {
-            let mut w = 0;
-            for r in 0..bucket.len() {
-                let mapped = new_of_old[bucket[r]];
-                if mapped != usize::MAX {
-                    bucket[w] = mapped;
-                    w += 1;
-                }
-            }
-            bucket.truncate(w);
-            !bucket.is_empty()
+        self.strict
+            .retain(|_, bucket| Self::bucket_remap(bucket, new_of_old));
+        self.prio_buckets
+            .retain(|_, bucket| Self::bucket_remap(bucket, new_of_old));
+        self.by_id
+            .retain(|_, bucket| Self::bucket_remap(bucket, new_of_old));
+        self.cover.retain(|_, group| {
+            group.retain(|_, bucket| Self::bucket_remap(bucket, new_of_old));
+            !group.is_empty()
         });
     }
 
     /// Installs an entry.
     pub fn insert(&mut self, entry: FlowEntry) {
         let key = Self::strict_key(&entry);
+        let id = entry.id;
+        if has_timeout(&entry) {
+            self.timeout_entries += 1;
+        }
         let index = self.entries.len();
         self.entries.push(entry);
-        self.index_insert(key, index);
+        self.index_insert(key, id, index);
     }
 
     /// Removes and returns the entry at `index`.
     pub fn remove_at(&mut self, index: usize) -> FlowEntry {
         let e = self.entries.remove(index);
-        self.index_remove(Self::strict_key(&e), index);
+        self.index_remove(&e, index);
         self.index_shift_down(index);
         e
     }
@@ -202,29 +279,38 @@ impl FlowTable {
     /// Index of the matching entry for `key`: maximal priority, then
     /// earliest entry id.
     ///
-    /// Scans priority buckets from the highest priority down and stops
-    /// at the first bucket containing a cover — every lower priority is
-    /// dominated and never inspected.
+    /// Tuple-space search: projects the key once per resident match
+    /// shape (wildcard word) and hash-probes that shape's canonical-match
+    /// map, so cost scales with the number of *distinct shapes* rather
+    /// than the number of entries sharing a priority. Cover-bucket
+    /// collisions (identical canonical match at different priorities or
+    /// ids) are resolved by the same (priority, id) order the old
+    /// bucket scan applied.
     #[must_use]
     pub fn lookup(&self, key: &FlowKey) -> Option<usize> {
-        for bucket in self.prio_buckets.values().rev() {
-            let mut best: Option<usize> = None;
+        let mut best: Option<usize> = None;
+        for (&shape, group) in &self.cover {
+            let probe = FlowMatch::project(key, shape);
+            let Some(bucket) = group.get(&probe) else {
+                continue;
+            };
             for &i in bucket {
                 let e = &self.entries[i];
-                if !e.flow_match.covers(key) {
-                    continue;
-                }
+                debug_assert!(e.flow_match.covers(key), "stale cover index {i}");
                 match best {
                     None => best = Some(i),
-                    Some(b) if e.id < self.entries[b].id => best = Some(i),
-                    Some(_) => {}
+                    Some(b) => {
+                        let cur = &self.entries[b];
+                        if e.priority > cur.priority
+                            || (e.priority == cur.priority && e.id < cur.id)
+                        {
+                            best = Some(i);
+                        }
+                    }
                 }
             }
-            if best.is_some() {
-                return best;
-            }
         }
-        None
+        best
     }
 
     /// Mutable access by index. Key fields (`flow_match`, `priority`)
@@ -304,6 +390,12 @@ impl FlowTable {
         // descending index order.
         removed.reverse();
         self.index_remap(&new_of_old);
+        for e in &removed {
+            self.prio_counts.remove(e.priority);
+            if has_timeout(e) {
+                self.timeout_entries -= 1;
+            }
+        }
         removed
     }
 
@@ -311,13 +403,38 @@ impl FlowTable {
     pub fn drain_all(&mut self) -> Vec<FlowEntry> {
         self.strict.clear();
         self.prio_buckets.clear();
+        self.by_id.clear();
+        self.cover.clear();
+        self.prio_counts.clear();
+        self.timeout_entries = 0;
         std::mem::take(&mut self.entries)
     }
 
-    /// Finds an entry by id.
+    /// Finds an entry by id. O(1) via the id index; under (contractually
+    /// absent) duplicate ids, returns the earliest position like the old
+    /// linear scan.
     #[must_use]
     pub fn position_of(&self, id: EntryId) -> Option<usize> {
-        self.entries.iter().position(|e| e.id == id)
+        self.by_id
+            .get(&id)
+            .and_then(|bucket| bucket.first().copied())
+    }
+
+    /// How many installed entries have priority strictly above
+    /// `priority` — the TCAM shift cost of inserting at that priority.
+    /// O(log 65536) via the Fenwick index; [`crate::tcam::shift_count`]
+    /// is the linear oracle.
+    #[must_use]
+    pub fn count_above(&self, priority: u16) -> usize {
+        self.prio_counts.count_above(priority)
+    }
+
+    /// How many installed entries carry a nonzero idle or hard timeout.
+    /// Zero means no expiry sweep can ever remove anything here, so
+    /// per-op sweeps skip the table entirely.
+    #[must_use]
+    pub fn timeout_count(&self) -> usize {
+        self.timeout_entries
     }
 
     /// Reference oracle: the pre-index linear scan `lookup`. Kept under
@@ -352,6 +469,13 @@ impl FlowTable {
             .position(|e| e.priority == priority && e.flow_match == *flow_match)
     }
 
+    /// Reference oracle: the pre-index linear scan `position_of`.
+    #[cfg(test)]
+    #[must_use]
+    pub fn position_of_linear(&self, id: EntryId) -> Option<usize> {
+        self.entries.iter().position(|e| e.id == id)
+    }
+
     /// Test hook: verifies both indexes describe exactly the entries.
     #[cfg(test)]
     pub fn assert_index_consistent(&self) {
@@ -382,6 +506,53 @@ impl FlowTable {
             prio_count += bucket.len();
         }
         assert_eq!(prio_count, self.entries.len());
+        let mut id_count = 0;
+        for (&id, bucket) in &self.by_id {
+            assert!(!bucket.is_empty(), "empty id bucket for {id:?}");
+            assert!(
+                bucket.windows(2).all(|w| w[0] < w[1]),
+                "id bucket not sorted: {bucket:?}"
+            );
+            for &i in bucket {
+                assert_eq!(self.entries[i].id, id, "stale id index {i}");
+            }
+            id_count += bucket.len();
+        }
+        assert_eq!(id_count, self.entries.len());
+        let mut cover_count = 0;
+        for (&shape, group) in &self.cover {
+            assert!(!group.is_empty(), "empty cover group for {shape:#x}");
+            for (canon, bucket) in group {
+                assert!(!bucket.is_empty(), "empty cover bucket for {canon:?}");
+                assert!(
+                    bucket.windows(2).all(|w| w[0] < w[1]),
+                    "cover bucket not sorted: {bucket:?}"
+                );
+                for &i in bucket {
+                    let m = self.entries[i].flow_match;
+                    assert_eq!(m.wildcards(), shape, "stale cover shape {i}");
+                    assert_eq!(m.canonical(), *canon, "stale cover key {i}");
+                }
+                cover_count += bucket.len();
+            }
+        }
+        assert_eq!(cover_count, self.entries.len());
+        // Fenwick priority counts and the timeout counter must match a
+        // recompute from scratch.
+        assert_eq!(self.prio_counts.len(), self.entries.len());
+        for probe in self.entries.iter().map(|e| e.priority).take(64) {
+            for p in [probe.saturating_sub(1), probe, probe.saturating_add(1)] {
+                assert_eq!(
+                    self.count_above(p),
+                    crate::tcam::shift_count(self.entries.iter().map(|e| &e.priority), p),
+                    "fenwick disagrees at priority {p}"
+                );
+            }
+        }
+        assert_eq!(
+            self.timeout_entries,
+            self.entries.iter().filter(|e| has_timeout(e)).count()
+        );
     }
 }
 

@@ -102,12 +102,116 @@ impl TcamGeometry {
 /// `new_priority` forces to shift: every entry strictly above it in the
 /// priority sort. Matches the observed behaviour that ascending-priority
 /// insertion never shifts and descending always does (§3, Fig 3c).
+///
+/// This linear scan is the reference oracle; tables keep a
+/// [`PriorityIndex`] incrementally so the hot path answers the same
+/// question in O(log 65536).
 #[must_use]
 pub fn shift_count<'a>(
     existing_priorities: impl Iterator<Item = &'a u16>,
     new_priority: u16,
 ) -> usize {
     existing_priorities.filter(|&&p| p > new_priority).count()
+}
+
+/// Fenwick (binary indexed) tree over the 16-bit priority space.
+///
+/// Maintains the multiset of installed priorities so "how many entries
+/// sit strictly above priority `p`" — the per-insert shift cost of a
+/// priority-sorted TCAM — is O(log 65536) instead of a table scan.
+/// Updated on every insert/remove/evict; the array is allocated lazily on
+/// first insert so empty tables stay a few machine words.
+#[derive(Clone, Default)]
+pub struct PriorityIndex {
+    /// 1-based Fenwick array over priorities 0..=65535 (empty until the
+    /// first insert). `tree[i]` covers a power-of-two span ending at
+    /// priority `i - 1`.
+    tree: Vec<u32>,
+    /// Total number of recorded priorities.
+    total: usize,
+}
+
+/// Fenwick positions run 1..=SPAN where position `p + 1` is priority `p`.
+const PRIORITY_SPAN: usize = 1 << 16;
+
+impl PriorityIndex {
+    /// An empty index.
+    #[must_use]
+    pub fn new() -> PriorityIndex {
+        PriorityIndex::default()
+    }
+
+    /// Number of recorded priorities (with multiplicity).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// True if nothing is recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Records one entry at `priority`.
+    pub fn add(&mut self, priority: u16) {
+        if self.tree.is_empty() {
+            self.tree = vec![0; PRIORITY_SPAN + 1];
+        }
+        let mut i = usize::from(priority) + 1;
+        while i <= PRIORITY_SPAN {
+            self.tree[i] += 1;
+            i += i & i.wrapping_neg();
+        }
+        self.total += 1;
+    }
+
+    /// Removes one previously recorded entry at `priority`.
+    pub fn remove(&mut self, priority: u16) {
+        debug_assert!(self.total > 0, "remove from empty priority index");
+        let mut i = usize::from(priority) + 1;
+        while i <= PRIORITY_SPAN {
+            debug_assert!(self.tree[i] > 0, "priority {priority} not recorded");
+            self.tree[i] -= 1;
+            i += i & i.wrapping_neg();
+        }
+        self.total -= 1;
+    }
+
+    /// Forgets everything (the backing array is kept for reuse).
+    pub fn clear(&mut self) {
+        self.tree.fill(0);
+        self.total = 0;
+    }
+
+    /// How many recorded priorities are `<= priority` (prefix count).
+    #[must_use]
+    fn count_at_most(&self, priority: u16) -> usize {
+        let mut i = usize::from(priority) + 1;
+        let mut sum = 0usize;
+        while i > 0 {
+            sum += self.tree.get(i).copied().unwrap_or(0) as usize;
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+
+    /// How many recorded priorities are strictly above `priority` — the
+    /// indexed equivalent of [`shift_count`].
+    #[must_use]
+    pub fn count_above(&self, priority: u16) -> usize {
+        self.total - self.count_at_most(priority)
+    }
+}
+
+impl std::fmt::Debug for PriorityIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The 64 Ki-slot Fenwick array is noise in debug output; report
+        // only the population.
+        f.debug_struct("PriorityIndex")
+            .field("total", &self.total)
+            .finish()
+    }
 }
 
 #[cfg(test)]
@@ -183,5 +287,44 @@ mod tests {
         }
         // i-th insert shifts i existing entries: 0+1+..+99.
         assert_eq!(total, 99 * 100 / 2);
+    }
+
+    #[test]
+    fn priority_index_agrees_with_linear_oracle() {
+        let mut idx = PriorityIndex::new();
+        let mut prios: Vec<u16> = Vec::new();
+        // Deterministic pseudo-random add/remove churn.
+        let mut state = 0x9e37u32;
+        for step in 0..500 {
+            state = state.wrapping_mul(1_103_515_245).wrapping_add(12_345);
+            let p = (state >> 7) as u16;
+            if step % 3 == 2 && !prios.is_empty() {
+                let victim = prios.swap_remove((state as usize >> 3) % prios.len());
+                idx.remove(victim);
+            } else {
+                idx.add(p);
+                prios.push(p);
+            }
+            let probe = (state >> 13) as u16;
+            assert_eq!(idx.count_above(probe), shift_count(prios.iter(), probe));
+            assert_eq!(idx.len(), prios.len());
+        }
+    }
+
+    #[test]
+    fn priority_index_boundaries() {
+        let mut idx = PriorityIndex::new();
+        assert!(idx.is_empty());
+        assert_eq!(idx.count_above(0), 0);
+        idx.add(0);
+        idx.add(u16::MAX);
+        assert_eq!(idx.count_above(0), 1);
+        assert_eq!(idx.count_above(u16::MAX), 0);
+        assert_eq!(idx.count_above(u16::MAX - 1), 1);
+        idx.remove(u16::MAX);
+        assert_eq!(idx.count_above(0), 0);
+        idx.clear();
+        assert!(idx.is_empty());
+        assert_eq!(idx.count_above(0), 0);
     }
 }
