@@ -33,7 +33,7 @@ impl Scale {
     }
 }
 
-fn run_one(name: &str, scale: &Scale) -> bool {
+fn run_one(name: &str, scale: &Scale, extra_timings: &mut Vec<(String, f64)>) -> bool {
     let q = scale;
     match name {
         "table1" => {
@@ -188,6 +188,20 @@ fn run_one(name: &str, scale: &Scale) -> bool {
             println!("{text}");
             write_text("ablations", &text);
         }
+        "sched_sweep" => {
+            // The 100k-op scheduler-portfolio sweep. Makespans (the
+            // ordering-quality signal) land in `results/sched_sweep.txt`
+            // — deterministic, thread-count independent — while each
+            // scheduler's host wall-clock rides along into
+            // `BENCH_experiments.json` via `extra_timings`.
+            let rows = sched_sweep::run(q.n(100_000));
+            let text = sched_sweep::render(&rows);
+            println!("== Scheduler sweep ==\n{text}");
+            write_text("sched_sweep", &text);
+            for r in &rows {
+                extra_timings.push((format!("sched_sweep/{}", r.scheduler), r.wall_secs));
+            }
+        }
         other => {
             eprintln!("unknown experiment: {other}");
             return false;
@@ -215,6 +229,7 @@ const ALL: &[&str] = &[
     "infer_policy",
     "fleet",
     "ablations",
+    "sched_sweep",
 ];
 
 /// Writes per-experiment wall-clock timings as machine-readable JSON.
@@ -288,12 +303,14 @@ fn main() {
     for name in list {
         let t0 = std::time::Instant::now();
         println!("\n──── running {name} ────");
-        if !run_one(name, &scale) {
+        let mut extra_timings = Vec::new();
+        if !run_one(name, &scale, &mut extra_timings) {
             failed = true;
         }
         let secs = t0.elapsed().as_secs_f64();
         println!("({name} took {secs:.1}s)");
         timings.push((name.to_string(), secs));
+        timings.append(&mut extra_timings);
     }
     write_bench_json(
         &timings,

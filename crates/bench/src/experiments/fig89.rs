@@ -73,8 +73,8 @@ pub fn run(target: Target, file: &str, cfg: &ClassBenchConfig, reps: usize) -> F
     let rules = generate(cfg);
     let matches: Vec<_> = rules.iter().map(|r| r.flow_match).collect();
     let deps = rule_dependencies(&matches);
-    let topo = topological_priorities(matches.len(), &deps);
-    let r = r_priorities(matches.len(), &deps);
+    let topo = topological_priorities(matches.len(), &deps).expect("ClassBench ACLs are acyclic");
+    let r = r_priorities(matches.len(), &deps).expect("ClassBench ACLs are acyclic");
 
     let order_label = match target {
         // The paper labels the probed-optimal order "Desc" for OVS

@@ -16,5 +16,6 @@ pub mod fleet;
 pub mod infer_geometry;
 pub mod infer_policy;
 pub mod infer_size;
+pub mod sched_sweep;
 pub mod table1;
 pub mod table2;

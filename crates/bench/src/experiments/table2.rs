@@ -35,8 +35,9 @@ pub fn run() -> Vec<Table2Row> {
             let rules = generate(&cfg);
             let matches: Vec<_> = rules.iter().map(|r| r.flow_match).collect();
             let deps = rule_dependencies(&matches);
-            let topo = topological_priorities(matches.len(), &deps);
-            let r = r_priorities(matches.len(), &deps);
+            let topo =
+                topological_priorities(matches.len(), &deps).expect("ClassBench ACLs are acyclic");
+            let r = r_priorities(matches.len(), &deps).expect("ClassBench ACLs are acyclic");
             assert!(satisfies(&topo.priorities, &deps));
             assert!(satisfies(&r.priorities, &deps));
 

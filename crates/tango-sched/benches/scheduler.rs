@@ -1,0 +1,83 @@
+//! Criterion benches for the scheduler portfolio: full dispatch of
+//! 1k/10k/100k-op update DAGs per registered scheduler.
+//!
+//! This is the regression guard for the incremental critical-path /
+//! per-switch-queue claim: dispatch must scale sub-quadratically, so
+//! 100k ops should cost roughly 10× the 10k run, not 100×.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ofwire::flow_match::FlowMatch;
+use ofwire::types::Dpid;
+use simnet::rng::DetRng;
+use switchsim::harness::Testbed;
+use switchsim::profiles::SwitchProfile;
+use tango::db::TangoDb;
+use tango_sched::dag::RequestDag;
+use tango_sched::executor::execute_with;
+use tango_sched::request::ReqElem;
+use tango_sched::schedulers::registry;
+
+const SWITCHES: u64 = 8;
+
+/// An add-only update DAG shaped like the sweep workload: depth-6
+/// chains over 8 switches with occasional cross-chain joins.
+fn build_dag(ops: usize) -> RequestDag {
+    let mut rng = DetRng::new(0xBE7C);
+    let mut dag = RequestDag::new();
+    let mut ids = Vec::with_capacity(ops);
+    for i in 0..ops {
+        let dpid = Dpid(rng.index(SWITCHES as usize) as u64 + 1);
+        let prio = 1000 + rng.index(2000) as u16;
+        let id = dag.add_node(ReqElem::add(dpid, FlowMatch::l3_for_id(i as u32), prio, 1));
+        if i % 6 != 0 {
+            dag.add_dep(ids[i - 1], id);
+        }
+        if i > 0 && rng.chance(0.03) {
+            let from = rng.index(i);
+            if from != i - 1 {
+                dag.add_dep(ids[from], id);
+            }
+        }
+        ids.push(id);
+    }
+    dag
+}
+
+fn testbed() -> Testbed {
+    let mut tb = Testbed::new(0x5EED);
+    for d in 1..=SWITCHES {
+        tb.attach_default(Dpid(d), SwitchProfile::ovs());
+    }
+    tb
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler_dispatch");
+    g.sample_size(3);
+    for ops in [1_000usize, 10_000, 100_000] {
+        let dag = build_dag(ops);
+        for entry in registry() {
+            g.bench_function(format!("{}_{ops}", entry.name), |b| {
+                b.iter(|| {
+                    let mut tb = testbed();
+                    let mut d = dag.clone();
+                    let mut sched = entry.build();
+                    let report = execute_with(
+                        &mut tb,
+                        &mut d,
+                        &TangoDb::new(),
+                        sched.as_mut(),
+                        entry.release,
+                    )
+                    .expect("bench DAGs are acyclic");
+                    assert_eq!(report.failed, 0);
+                    black_box(report.makespan)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

@@ -12,9 +12,10 @@
 //!   where the paper's batch-oriented description applies directly).
 
 use crate::dag::{NodeId, RequestDag};
-use crate::executor::{execute_batched, execute_online, Discipline, ExecReport, Release};
+use crate::executor::{execute_batched, execute_with, ExecReport, Release};
 use crate::patterns::{ordering_tango_oracle, AddOrder, SchedPattern};
 use crate::request::ReqOp;
+use crate::schedulers::{resolve, TangoScheduler};
 use simnet::time::SimDuration;
 use switchsim::harness::Testbed;
 use tango::db::TangoDb;
@@ -69,35 +70,37 @@ pub fn run_basic_tango(
     report.expect("evaluation workloads are acyclic")
 }
 
+/// Runs one registered scheduler by name with its registry release rule.
+fn run_registered(tb: &mut Testbed, dag: &mut RequestDag, name: &str) -> ExecReport {
+    let entry = resolve(name).expect("registered scheduler");
+    let mut sched = entry.build();
+    execute_with(tb, dag, &TangoDb::new(), sched.as_mut(), entry.release)
+        .expect("evaluation workloads are acyclic")
+}
+
 /// Runs Tango's online dispatcher with the guard-time extension — the
 /// configuration used for the network-wide comparisons.
 pub fn run_tango_online(tb: &mut Testbed, dag: &mut RequestDag, mode: TangoMode) -> ExecReport {
-    let discipline = match mode {
-        TangoMode::TypeOnly => Discipline::TangoTypeOnly,
-        TangoMode::TypeAndPriority => Discipline::TangoTypePriority,
+    let name = match mode {
+        TangoMode::TypeOnly => "tango-type",
+        TangoMode::TypeAndPriority => "tango",
     };
-    execute_online(tb, dag, discipline, Release::Guard(default_guard()))
-        .expect("evaluation workloads are acyclic")
+    run_registered(tb, dag, name)
 }
 
 /// Runs the Dionysus baseline: online critical-path dispatch with
 /// ack-released dependencies, no awareness of op-type or priority-order
 /// costs.
 pub fn run_dionysus(tb: &mut Testbed, dag: &mut RequestDag) -> ExecReport {
-    execute_online(tb, dag, Discipline::CriticalPath, Release::Ack)
-        .expect("evaluation workloads are acyclic")
+    run_registered(tb, dag, "dionysus")
 }
 
 /// Runs Tango's full online configuration with an explicit guard (used
 /// by the guard-time ablation).
 pub fn run_tango_guarded(tb: &mut Testbed, dag: &mut RequestDag, guard: SimDuration) -> ExecReport {
-    execute_online(
-        tb,
-        dag,
-        Discipline::TangoTypePriority,
-        Release::Guard(guard),
-    )
-    .expect("evaluation workloads are acyclic")
+    let mut sched = TangoScheduler::type_and_priority();
+    execute_with(tb, dag, &TangoDb::new(), &mut sched, Release::Guard(guard))
+        .expect("evaluation workloads are acyclic")
 }
 
 #[cfg(test)]

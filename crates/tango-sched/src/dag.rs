@@ -5,9 +5,26 @@
 //! priority-barrier ordering, etc.). The scheduler repeatedly extracts
 //! the *independent set* — requests with no unfinished predecessors —
 //! and uses longest-path lengths for critical-path decisions.
+//!
+//! Both of those operations are served from incrementally maintained
+//! state so dispatch over a 100k-op DAG stays sub-quadratic:
+//!
+//! * the **ready frontier** (`ready`) is updated in `O(out-degree)` by
+//!   [`RequestDag::mark_done`], so [`RequestDag::independent_set`] costs
+//!   `O(|frontier|)` instead of a full node scan;
+//! * **longest-path ranks** are memoized and invalidated only by
+//!   structural mutation ([`RequestDag::add_node`] /
+//!   [`RequestDag::add_dep`]), never by completion: ranks are computed
+//!   over the whole DAG ignoring completion state, and the done set is
+//!   always predecessor-closed (`mark_done` rejects blocked nodes), so
+//!   no completion can change the rank of any still-unfinished node.
+//!   [`RequestDag::longest_path_lengths`] remains the
+//!   recompute-from-scratch oracle the cache is checked against in
+//!   tests.
 
 use crate::request::{ReqElem, ReqOp};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 
 /// Index of a request within its DAG.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -19,10 +36,21 @@ pub struct RequestDag {
     nodes: Vec<ReqElem>,
     /// Adjacency: successors of each node.
     succs: Vec<Vec<NodeId>>,
+    /// Adjacency: predecessors of each node.
+    preds: Vec<Vec<NodeId>>,
     /// Number of unfinished predecessors per node.
     pending_preds: Vec<usize>,
     /// Completion flags.
     done: Vec<bool>,
+    /// Count of completed requests (`all_done` in O(1)).
+    n_done: usize,
+    /// The ready frontier: unfinished nodes with no unfinished
+    /// predecessors, kept in ascending index order.
+    ready: BTreeSet<usize>,
+    /// Memoized longest-path ranks; valid while `ranks_valid`.
+    ranks: Vec<usize>,
+    /// Whether `ranks` reflects the current edge set.
+    ranks_valid: bool,
 }
 
 impl RequestDag {
@@ -37,8 +65,11 @@ impl RequestDag {
         let id = NodeId(self.nodes.len());
         self.nodes.push(req);
         self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
         self.pending_preds.push(0);
         self.done.push(false);
+        self.ready.insert(id.0);
+        self.ranks_valid = false;
         id
     }
 
@@ -47,7 +78,10 @@ impl RequestDag {
     pub fn add_dep(&mut self, before: NodeId, after: NodeId) {
         assert_ne!(before, after, "self-dependency");
         self.succs[before.0].push(after);
+        self.preds[after.0].push(before);
         self.pending_preds[after.0] += 1;
+        self.ready.remove(&after.0);
+        self.ranks_valid = false;
     }
 
     /// Number of requests.
@@ -84,20 +118,44 @@ impl RequestDag {
         &self.succs[id.0]
     }
 
+    /// Predecessors of a node.
+    #[must_use]
+    pub fn predecessors(&self, id: NodeId) -> &[NodeId] {
+        &self.preds[id.0]
+    }
+
+    /// Every dependency edge `(before, after)`, in `before` index order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.succs
+            .iter()
+            .enumerate()
+            .flat_map(|(i, ss)| ss.iter().map(move |&s| (NodeId(i), s)))
+    }
+
+    /// True once this request has completed.
+    #[must_use]
+    pub fn is_done(&self, id: NodeId) -> bool {
+        self.done[id.0]
+    }
+
+    /// Number of unfinished predecessors of a node.
+    #[must_use]
+    pub fn pending_pred_count(&self, id: NodeId) -> usize {
+        self.pending_preds[id.0]
+    }
+
     /// True once every request has completed.
     #[must_use]
     pub fn all_done(&self) -> bool {
-        self.done.iter().all(|&d| d)
+        self.n_done == self.nodes.len()
     }
 
     /// The current independent set: unfinished requests with no
-    /// unfinished predecessors.
+    /// unfinished predecessors, in ascending index order. Served from
+    /// the incrementally maintained frontier in `O(|frontier|)`.
     #[must_use]
     pub fn independent_set(&self) -> Vec<NodeId> {
-        (0..self.nodes.len())
-            .filter(|&i| !self.done[i] && self.pending_preds[i] == 0)
-            .map(NodeId)
-            .collect()
+        self.ready.iter().map(|&i| NodeId(i)).collect()
     }
 
     /// Marks a request complete, unblocking its successors. Panics if
@@ -109,14 +167,20 @@ impl RequestDag {
             "request completed while still blocked"
         );
         self.done[id.0] = true;
+        self.n_done += 1;
+        self.ready.remove(&id.0);
         for s in self.succs[id.0].clone() {
             self.pending_preds[s.0] -= 1;
+            if self.pending_preds[s.0] == 0 && !self.done[s.0] {
+                self.ready.insert(s.0);
+            }
         }
     }
 
     /// Longest path (in edges) from each node to any sink, over the
     /// whole DAG (ignores completion state). This is the critical-path
-    /// metric both schedulers use.
+    /// metric both schedulers use — and the recompute-from-scratch
+    /// oracle for the memoized [`RequestDag::ranks`].
     #[must_use]
     pub fn longest_path_lengths(&self) -> Vec<usize> {
         let order = self.topo_order().expect("DAG must be acyclic");
@@ -127,6 +191,20 @@ impl RequestDag {
             }
         }
         lp
+    }
+
+    /// Longest-path ranks, memoized: recomputed lazily after structural
+    /// mutation (`add_node`/`add_dep`) and *never* invalidated by
+    /// completion. That is sound because ranks ignore completion state
+    /// and the done set is predecessor-closed, so completions cannot
+    /// change the rank of any node a scheduler may still dispatch. The
+    /// invariant `ranks() == longest_path_lengths()` is pinned by tests.
+    pub fn ranks(&mut self) -> &[usize] {
+        if !self.ranks_valid {
+            self.ranks = self.longest_path_lengths();
+            self.ranks_valid = true;
+        }
+        &self.ranks
     }
 
     /// A topological order, or `None` if the graph has a cycle.
@@ -312,6 +390,55 @@ mod tests {
             }
         }
         assert_eq!(order, fig7().0.topo_order().unwrap());
+    }
+
+    #[test]
+    fn rank_cache_matches_recompute_oracle() {
+        // Interleave structural mutation, rank queries, and completions:
+        // the memoized ranks must always equal the from-scratch oracle.
+        let mut dag = RequestDag::new();
+        let a = dag.add_node(req(ReqOp::Add, 0));
+        let b = dag.add_node(req(ReqOp::Add, 1));
+        assert_eq!(dag.ranks().to_vec(), dag.longest_path_lengths());
+        dag.add_dep(a, b);
+        assert_eq!(dag.ranks().to_vec(), dag.longest_path_lengths());
+        let c = dag.add_node(req(ReqOp::Add, 2));
+        dag.add_dep(b, c);
+        assert_eq!(dag.ranks(), &[2, 1, 0]);
+        // Completions never invalidate the cache.
+        dag.mark_done(a);
+        assert_eq!(dag.ranks().to_vec(), dag.longest_path_lengths());
+        dag.add_dep(a, c); // structural change re-dirties it
+        assert_eq!(dag.ranks().to_vec(), dag.longest_path_lengths());
+    }
+
+    #[test]
+    fn frontier_matches_scan_oracle_while_draining() {
+        let (mut dag, _) = fig7();
+        let mut rng = simnet::rng::DetRng::new(0x0f20);
+        while !dag.all_done() {
+            let frontier = dag.independent_set();
+            let scan: Vec<NodeId> = dag
+                .node_ids()
+                .filter(|&id| !dag.is_done(id) && dag.pending_pred_count(id) == 0)
+                .collect();
+            assert_eq!(frontier, scan);
+            assert!(!frontier.is_empty());
+            dag.mark_done(frontier[rng.index(frontier.len())]);
+        }
+        assert!(dag.independent_set().is_empty());
+    }
+
+    #[test]
+    fn predecessors_mirror_successors() {
+        let (dag, _) = fig7();
+        for id in dag.node_ids() {
+            for &s in dag.successors(id) {
+                assert!(dag.predecessors(s).contains(&id));
+            }
+            assert_eq!(dag.predecessors(id).len(), dag.pending_pred_count(id));
+        }
+        assert_eq!(dag.edges().count(), 7);
     }
 
     #[test]

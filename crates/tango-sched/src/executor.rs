@@ -11,22 +11,31 @@
 //! * [`ReleasePolicy::PerEdge`] — online dispatch: each switch runs its
 //!   own queue; whenever a switch comes free, the dispatcher picks its
 //!   next request among the *currently released* ones according to a
-//!   [`Discipline`] — Dionysus' critical-path rule, or Tango's pattern
-//!   ordering (deletes before mods before adds, optionally
-//!   ascending-priority adds). Successors are released either when the
-//!   predecessor's ack arrives, or — Tango's concurrent-dispatch
-//!   extension (§6) — at the predecessor's predicted completion plus a
-//!   guard interval.
+//!   pluggable [`Scheduler`] resolved from the portfolio registry
+//!   ([`crate::schedulers`]) — Dionysus' critical-path rule, Tango's
+//!   pattern ordering (deletes before mods before adds, optionally
+//!   ascending-priority adds), or any classical DAG scheduler.
+//!   Successors are released either when the predecessor's ack arrives,
+//!   or — Tango's concurrent-dispatch extension (§6) — at the
+//!   predecessor's predicted completion plus a guard interval.
+//!
+//! The online core ([`execute_with`]) is sub-quadratic in DAG size: each
+//! switch keeps its released requests in an ordered set keyed by the
+//! scheduler's [`SchedKey`] (computed once, when the request joins the
+//! ready frontier) plus a release-time-ordered set of not-yet-released
+//! ones, so every dispatch decision is a `first()`/`pop_first()` rather
+//! than a scan-and-sort of the whole frontier.
 //!
 //! [`execute_batched`] and [`execute_online`] are thin wrappers that
 //! build the corresponding policy. All entry points report malformed
 //! inputs as typed [`ExecError`]s instead of panicking.
 
 use crate::dag::{NodeId, RequestDag};
-use crate::request::{Deadline, ReqOp};
+use crate::request::Deadline;
+use crate::schedulers::{CriticalPathScheduler, SchedKey, Scheduler, TangoScheduler};
 use ofwire::types::Dpid;
 use simnet::time::{SimDuration, SimTime};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use switchsim::control::{Completion, ControlOp, ControlPath, OpResult, OpToken};
 use switchsim::harness::Testbed;
@@ -46,6 +55,27 @@ pub struct ExecReport {
     pub deadline_misses: usize,
     /// For round-barrier execution: (pattern name, batch size) per round.
     pub rounds: Vec<(String, usize)>,
+    /// Every request in dispatch (issue) order — the order the proptest
+    /// oracle checks against the DAG's dependency edges.
+    pub issued: Vec<NodeId>,
+    /// Total flowtime: the sum over all requests of (completion −
+    /// execution start). Discriminates dispatch orders even when the
+    /// switches are saturated and every order yields the same makespan.
+    pub flowtime: SimDuration,
+}
+
+impl ExecReport {
+    /// Mean per-request completion latency in seconds — the sweep's
+    /// ordering-quality measure.
+    #[must_use]
+    pub fn mean_completion_s(&self) -> f64 {
+        let n = self.completed + self.failed;
+        if n == 0 {
+            0.0
+        } else {
+            self.flowtime.as_secs_f64() / n as f64
+        }
+    }
 }
 
 /// A malformed execution input, detected while dispatching.
@@ -92,7 +122,10 @@ fn missed_deadline(deadline: Deadline, elapsed: SimDuration) -> bool {
 /// Orders one independent set; returns the issue order plus a label.
 pub type OrderingFn<'a> = dyn FnMut(&TangoDb, &RequestDag, &[NodeId]) -> (Vec<NodeId>, String) + 'a;
 
-/// How the online dispatcher picks among released requests.
+/// How the online dispatcher picks among released requests. Each
+/// discipline is now a named entry in the scheduler portfolio
+/// ([`crate::schedulers::registry`]); this enum survives as the stable
+/// shorthand for the three original policies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Discipline {
     /// Dionysus: longest critical path first, oblivious to op types and
@@ -104,6 +137,18 @@ pub enum Discipline {
     /// Tango rule-type + priority pattern: adds additionally sorted in
     /// ascending priority.
     TangoTypePriority,
+}
+
+impl Discipline {
+    /// The portfolio scheduler implementing this discipline.
+    #[must_use]
+    pub fn scheduler(self) -> Box<dyn Scheduler> {
+        match self {
+            Discipline::CriticalPath => Box::new(CriticalPathScheduler::new()),
+            Discipline::TangoTypeOnly => Box::new(TangoScheduler::type_only()),
+            Discipline::TangoTypePriority => Box::new(TangoScheduler::type_and_priority()),
+        }
+    }
 }
 
 /// When a successor is released after its predecessor.
@@ -143,20 +188,13 @@ pub enum ReleasePolicy<'o, 'a> {
     },
 }
 
-fn class_rank(op: ReqOp) -> u8 {
-    match op {
-        ReqOp::Del => 0,
-        ReqOp::Mod => 1,
-        ReqOp::Add => 2,
-    }
-}
-
 /// Running tallies shared by both release policies.
 #[derive(Default)]
 struct Stats {
     completed: usize,
     failed: usize,
     deadline_misses: usize,
+    flowtime: SimDuration,
 }
 
 impl Stats {
@@ -168,6 +206,7 @@ impl Stats {
         if missed_deadline(deadline, c.done_at.since(start)) {
             self.deadline_misses += 1;
         }
+        self.flowtime += c.done_at.since(start);
     }
 }
 
@@ -184,8 +223,25 @@ pub fn execute(
         ReleasePolicy::PerEdge {
             discipline,
             release,
-        } => run_per_edge(tb, dag, discipline, release),
+        } => {
+            // The disciplines ignore the property database, so the
+            // wrapper can hand the core an empty one.
+            let mut sched = discipline.scheduler();
+            run_scheduled(tb, dag, &TangoDb::new(), sched.as_mut(), release)
+        }
     }
+}
+
+/// Runs the online dispatcher under an explicit portfolio [`Scheduler`]
+/// — the entry point the scheduler sweep and registry users call.
+pub fn execute_with(
+    tb: &mut Testbed,
+    dag: &mut RequestDag,
+    db: &TangoDb,
+    sched: &mut dyn Scheduler,
+    release: Release,
+) -> Result<ExecReport, ExecError> {
+    run_scheduled(tb, dag, db, sched, release)
 }
 
 /// Round-barrier dispatch (Algorithm 3, optionally with prefix rounds).
@@ -200,6 +256,7 @@ fn run_round_barrier(
     let mut frontier: SimTime = start;
     let mut stats = Stats::default();
     let mut rounds = Vec::new();
+    let mut issued = Vec::with_capacity(dag.len());
     while !dag.all_done() {
         let set = dag.independent_set();
         if set.is_empty() {
@@ -236,6 +293,7 @@ fn run_round_barrier(
         }
         for id in ordered {
             dag.mark_done(id);
+            issued.push(id);
         }
         frontier = batch_end;
     }
@@ -246,99 +304,126 @@ fn run_round_barrier(
         failed: stats.failed,
         deadline_misses: stats.deadline_misses,
         rounds,
+        issued,
+        flowtime: stats.flowtime,
     })
 }
 
 /// A request issued onto the control path whose completion has not been
 /// processed yet.
 struct InFlight {
+    /// The node behind the op (reported back to the scheduler).
+    node: NodeId,
     deadline: Deadline,
     /// Successor nodes captured at issue time (`mark_done` forgets
     /// edges).
     succs: Vec<NodeId>,
 }
 
-/// Per-edge (online) dispatch.
-fn run_per_edge(
+/// One switch's dispatch queue: requests whose keys are final, split by
+/// whether their release instant has passed.
+#[derive(Default)]
+struct SwitchQueue {
+    /// Released requests, best key first.
+    released: BTreeSet<(SchedKey, NodeId)>,
+    /// Not-yet-released requests, earliest release first.
+    future: BTreeSet<(SimTime, SchedKey, NodeId)>,
+}
+
+impl SwitchQueue {
+    /// Moves every request released by `t` into the released set.
+    fn release_due(&mut self, t: SimTime) {
+        while let Some(&(rel, key, id)) = self.future.first() {
+            if rel > t {
+                break;
+            }
+            self.future.remove(&(rel, key, id));
+            self.released.insert((key, id));
+        }
+    }
+}
+
+/// Scheduler-driven online dispatch — the per-edge core.
+///
+/// A node's key is computed exactly once, when its last predecessor's
+/// completion is processed (so its release time is final), and the node
+/// drops into its switch's queue. Dispatch then never rescans the
+/// frontier: each decision pops the best key of the chosen switch.
+fn run_scheduled(
     tb: &mut Testbed,
     dag: &mut RequestDag,
-    discipline: Discipline,
+    db: &TangoDb,
+    sched: &mut dyn Scheduler,
     release: Release,
 ) -> Result<ExecReport, ExecError> {
     let start = tb.now();
-    let lp = dag.longest_path_lengths();
+    sched.prepare(dag, db);
     let n = dag.len();
     // Release time per node: the max of its predecessors' release
     // instants (ack arrival or guarded completion). A node is issuable
-    // once every predecessor has been issued (the DAG's independent set)
-    // *and* every predecessor's completion has been observed, so its
+    // once every predecessor's completion has been observed, so its
     // release time is final.
     let mut released_at: Vec<SimTime> = vec![start; n];
-    let mut preds_pending: Vec<usize> = vec![0; n];
-    for u in 0..n {
-        for &s in dag.successors(NodeId(u)) {
-            preds_pending[s.0] += 1;
+    let mut preds_pending: Vec<usize> = (0..n).map(|u| dag.predecessors(NodeId(u)).len()).collect();
+    let mut queues: BTreeMap<Dpid, SwitchQueue> = BTreeMap::new();
+    for (u, &pending) in preds_pending.iter().enumerate() {
+        let id = NodeId(u);
+        if pending == 0 && !dag.is_done(id) {
+            let key = sched.key(dag, id, start);
+            queues
+                .entry(dag.node(id).location)
+                .or_default()
+                .released
+                .insert((key, id));
         }
     }
     let mut inflight: BTreeMap<OpToken, InFlight> = BTreeMap::new();
     let mut busy: BTreeMap<Dpid, bool> = BTreeMap::new();
     let mut stats = Stats::default();
     let mut last_done = start;
+    let mut issued: Vec<NodeId> = Vec::with_capacity(n);
 
-    // Issues the best issuable request for every idle switch; returns
-    // how many were issued. `now` is the dispatcher's decision instant.
+    // Issues the best issuable request for every idle switch. `now` is
+    // the dispatcher's decision instant.
     let issue_idle = |tb: &mut Testbed,
                       dag: &mut RequestDag,
+                      queues: &mut BTreeMap<Dpid, SwitchQueue>,
                       inflight: &mut BTreeMap<OpToken, InFlight>,
                       busy: &mut BTreeMap<Dpid, bool>,
-                      released_at: &[SimTime],
-                      preds_pending: &[usize]|
-     -> usize {
+                      issued: &mut Vec<NodeId>| {
         let now = ControlPath::now(tb);
-        let mut issued = 0;
+        for q in queues.values_mut() {
+            q.release_due(now);
+        }
         loop {
-            let indep = dag.independent_set();
-            let issuable: Vec<NodeId> = indep
-                .into_iter()
-                .filter(|&id| preds_pending[id.0] == 0)
-                .collect();
-            // Pick the idle switch that can start work earliest.
-            let candidate = issuable
-                .iter()
-                .filter(|&&id| !busy.get(&dag.node(id).location).copied().unwrap_or(false))
-                .map(|&id| (now.max(released_at[id.0]), dag.node(id).location))
-                .min();
-            let Some((start_time, dpid)) = candidate else {
+            // Pick the idle switch that can start work earliest: `now`
+            // if it has a released request, else its earliest future
+            // release. Ties break by dpid, then key within the switch.
+            let mut best: Option<(SimTime, Dpid)> = None;
+            for (&dpid, q) in queues.iter() {
+                if busy.get(&dpid).copied().unwrap_or(false) {
+                    continue;
+                }
+                let cand = if q.released.is_empty() {
+                    q.future.first().map(|&(t, _, _)| t)
+                } else {
+                    Some(now)
+                };
+                if let Some(t) = cand {
+                    if best.is_none_or(|b| (t, dpid) < b) {
+                        best = Some((t, dpid));
+                    }
+                }
+            }
+            let Some((start_time, dpid)) = best else {
                 break;
             };
-            // Eligible: this switch's requests already released by then.
-            let mut eligible: Vec<NodeId> = issuable
-                .into_iter()
-                .filter(|&id| dag.node(id).location == dpid && released_at[id.0] <= start_time)
-                .collect();
-            debug_assert!(!eligible.is_empty());
-            // Both schedulers put the longest critical path first (§6:
-            // the basic algorithm "schedules the independent request
-            // that belongs to the longest path first"); they differ in
-            // how ties are broken — and a flat independent set is all
-            // ties, which is exactly where the Tango patterns apply.
-            eligible.sort_by(|&a, &b| {
-                let (ra, rb) = (dag.node(a), dag.node(b));
-                let cp = lp[b.0].cmp(&lp[a.0]);
-                match discipline {
-                    Discipline::CriticalPath => cp
-                        .then(released_at[a.0].cmp(&released_at[b.0]))
-                        .then(a.0.cmp(&b.0)),
-                    Discipline::TangoTypeOnly => cp
-                        .then(class_rank(ra.op).cmp(&class_rank(rb.op)))
-                        .then(a.0.cmp(&b.0)),
-                    Discipline::TangoTypePriority => cp
-                        .then(class_rank(ra.op).cmp(&class_rank(rb.op)))
-                        .then(ra.effective_priority().cmp(&rb.effective_priority()))
-                        .then(a.0.cmp(&b.0)),
-                }
-            });
-            let id = eligible[0];
+            let q = queues.get_mut(&dpid).expect("candidate switch queued");
+            // Everything released by the start instant competes (when
+            // the switch idles until a future release, requests due by
+            // then are eligible too).
+            q.release_due(start_time);
+            let (_, id) = q.released.pop_first().expect("candidate has a request");
             let req = dag.node(id);
             let token = tb.submit(
                 req.location,
@@ -348,26 +433,19 @@ fn run_per_edge(
             inflight.insert(
                 token,
                 InFlight {
+                    node: id,
                     deadline: req.install_by,
                     succs: dag.successors(id).to_vec(),
                 },
             );
             busy.insert(dpid, true);
             dag.mark_done(id);
-            issued += 1;
+            issued.push(id);
         }
-        issued
     };
 
     while !dag.all_done() || !inflight.is_empty() {
-        issue_idle(
-            tb,
-            dag,
-            &mut inflight,
-            &mut busy,
-            &released_at,
-            &preds_pending,
-        );
+        issue_idle(tb, dag, &mut queues, &mut inflight, &mut busy, &mut issued);
         let Some(c) = tb.next_completion() else {
             // Nothing in flight and nothing issuable, yet the DAG has
             // unfinished requests: a dependency cycle.
@@ -383,9 +461,20 @@ fn run_per_edge(
             Release::Ack => c.acked_at,
             Release::Guard(g) => c.done_at + g,
         };
+        // The scheduler observes the completion before the nodes it
+        // releases are keyed (dynamic schedulers update state here).
+        sched.on_completion(dag, fl.node);
         for s in fl.succs {
             preds_pending[s.0] -= 1;
             released_at[s.0] = released_at[s.0].max(rel);
+            if preds_pending[s.0] == 0 {
+                let key = sched.key(dag, s, released_at[s.0]);
+                queues
+                    .entry(dag.node(s).location)
+                    .or_default()
+                    .future
+                    .insert((released_at[s.0], key, s));
+            }
         }
     }
     tb.warp_to(last_done.max(tb.now()));
@@ -395,6 +484,8 @@ fn run_per_edge(
         failed: stats.failed,
         deadline_misses: stats.deadline_misses,
         rounds: Vec::new(),
+        issued,
+        flowtime: stats.flowtime,
     })
 }
 

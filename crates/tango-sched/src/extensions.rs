@@ -11,6 +11,7 @@
 use crate::dag::{NodeId, RequestDag};
 use crate::executor::{execute, execute_batched, ExecError, ExecReport, ReleasePolicy};
 use crate::patterns::{ordering_tango_oracle, pattern_score, SchedPattern};
+use std::collections::BTreeMap;
 use switchsim::harness::Testbed;
 use tango::db::TangoDb;
 
@@ -25,14 +26,31 @@ fn predicted_batch_ms(db: &TangoDb, dag: &RequestDag, set: &[NodeId]) -> f64 {
 
 /// The exact set of issuable nodes once `prefix` completes: the current
 /// independent set minus the prefix, plus everything the prefix
-/// unblocks. Computed on a scratch copy of the DAG so the real one is
-/// untouched.
-fn unlocked_by(dag: &RequestDag, _current: &[NodeId], prefix: &[NodeId]) -> Vec<NodeId> {
-    let mut scratch = dag.clone();
+/// unblocks. Computed from pending-predecessor deltas — a successor
+/// becomes ready exactly when the prefix accounts for *all* of its
+/// outstanding predecessors — so planning never clones the DAG (the old
+/// scratch-copy approach was quadratic over a whole run).
+fn unlocked_by(dag: &RequestDag, current: &[NodeId], prefix: &[NodeId]) -> Vec<NodeId> {
+    let mut delta: BTreeMap<usize, usize> = BTreeMap::new();
     for &p in prefix {
-        scratch.mark_done(p);
+        for &s in dag.successors(p) {
+            *delta.entry(s.0).or_insert(0) += 1;
+        }
     }
-    scratch.independent_set()
+    let mut out: Vec<NodeId> = current
+        .iter()
+        .copied()
+        .filter(|n| !prefix.contains(n))
+        .collect();
+    for (&s, &d) in &delta {
+        let id = NodeId(s);
+        if !dag.is_done(id) && dag.pending_pred_count(id) == d {
+            out.push(id);
+        }
+    }
+    // Ascending ids, matching the frontier's native iteration order.
+    out.sort_unstable_by_key(|n| n.0);
+    out
 }
 
 /// Batched execution with depth-1 prefix lookahead.

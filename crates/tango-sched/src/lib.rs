@@ -5,11 +5,14 @@
 //! ([`patterns`]), the Basic Tango Scheduler and its Fig-10 arms
 //! ([`basic`]), the non-greedy batching and guard-time extensions
 //! ([`extensions`]), priority assignment per Maple ([`priority`]),
-//! consistent-update ordering ([`consistency`]), and the execution
-//! harness measuring makespans over simulated testbeds ([`executor`]).
+//! consistent-update ordering ([`consistency`]), the pluggable
+//! scheduler portfolio and its by-name registry ([`schedulers`]), and
+//! the execution harness measuring makespans over simulated testbeds
+//! ([`executor`]).
 //!
 //! The Dionysus baseline (critical-path scheduling, oblivious to switch
-//! diversity) lives in [`basic::run_dionysus`].
+//! diversity) lives in [`basic::run_dionysus`]; the same policy is the
+//! `"dionysus"` entry of [`schedulers::registry`].
 
 pub mod basic;
 pub mod consistency;
@@ -20,6 +23,7 @@ pub mod extensions;
 pub mod patterns;
 pub mod priority;
 pub mod request;
+pub mod schedulers;
 
 /// Glob-import of the commonly used types.
 pub mod prelude {
@@ -31,14 +35,15 @@ pub mod prelude {
     pub use crate::controller::{TangoController, UnderstandOptions};
     pub use crate::dag::{NodeId, RequestDag};
     pub use crate::executor::{
-        execute, execute_batched, execute_online, Discipline, ExecError, ExecReport, Release,
-        ReleasePolicy,
+        execute, execute_batched, execute_online, execute_with, Discipline, ExecError, ExecReport,
+        Release, ReleasePolicy,
     };
     pub use crate::extensions::{execute_batched_greedy, execute_batched_lookahead};
     pub use crate::patterns::{ordering_tango_oracle, pattern_score, AddOrder, SchedPattern};
     pub use crate::priority::{
-        ascending_install_order, r_priorities, satisfies, topological_priorities,
+        ascending_install_order, r_priorities, satisfies, topological_priorities, CyclicDag,
         PriorityAssignment,
     };
     pub use crate::request::{Deadline, ReqElem, ReqOp};
+    pub use crate::schedulers::{registry, resolve, SchedKey, Scheduler, SchedulerEntry};
 }

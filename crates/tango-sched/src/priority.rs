@@ -13,6 +13,7 @@
 //!   priority) that still satisfies every constraint.
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// A priority assignment for `n` rules.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -23,6 +24,23 @@ pub struct PriorityAssignment {
     pub distinct: usize,
 }
 
+/// The rule-dependency constraints form a cycle: no priority assignment
+/// can satisfy them ("the upper layer must break the loop"). Mirrors the
+/// executor's typed [`crate::executor::ExecError`] discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CyclicDag;
+
+impl fmt::Display for CyclicDag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dependency cycle in rule set: no priority assignment can satisfy the constraints"
+        )
+    }
+}
+
+impl std::error::Error for CyclicDag {}
+
 /// Computes the minimal-level (topological) assignment.
 ///
 /// `deps` edges `(hi, lo)` require `priorities[hi] > priorities[lo]`.
@@ -31,10 +49,13 @@ pub struct PriorityAssignment {
 /// priorities needed to install the rules while satisfying the
 /// dependency constraints".
 ///
-/// Panics if the constraint graph has a cycle (an ill-formed ACL).
-#[must_use]
-pub fn topological_priorities(n: usize, deps: &[(usize, usize)]) -> PriorityAssignment {
-    let order = topo_order(n, deps).expect("dependency cycle in rule set");
+/// Errors with [`CyclicDag`] if the constraint graph has a cycle (an
+/// ill-formed ACL).
+pub fn topological_priorities(
+    n: usize,
+    deps: &[(usize, usize)],
+) -> Result<PriorityAssignment, CyclicDag> {
+    let order = topo_order(n, deps).ok_or(CyclicDag)?;
     let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
     for &(hi, lo) in deps {
         succs[hi].push(lo);
@@ -47,27 +68,27 @@ pub fn topological_priorities(n: usize, deps: &[(usize, usize)]) -> PriorityAssi
     }
     let max_level = level.iter().copied().max().unwrap_or(0);
     let priorities: Vec<u16> = level.iter().map(|&l| 1 + l as u16).collect();
-    PriorityAssignment {
+    Ok(PriorityAssignment {
         priorities,
         distinct: (max_level + 1) as usize,
-    }
+    })
 }
 
 /// Computes a 1-to-1 ("R") assignment: unique priorities consistent with
 /// every constraint, assigned by reverse topological order so the lowest
-/// value goes to a constraint sink.
-#[must_use]
-pub fn r_priorities(n: usize, deps: &[(usize, usize)]) -> PriorityAssignment {
-    let order = topo_order(n, deps).expect("dependency cycle in rule set");
+/// value goes to a constraint sink. Errors with [`CyclicDag`] on cyclic
+/// constraints.
+pub fn r_priorities(n: usize, deps: &[(usize, usize)]) -> Result<PriorityAssignment, CyclicDag> {
+    let order = topo_order(n, deps).ok_or(CyclicDag)?;
     let mut priorities = vec![0u16; n];
     // First in topological order = most constrained from above = highest.
     for (rank, &node) in order.iter().enumerate() {
         priorities[node] = (n - rank) as u16;
     }
-    PriorityAssignment {
+    Ok(PriorityAssignment {
         priorities,
         distinct: n,
-    }
+    })
 }
 
 /// Kahn topological order over `(hi, lo)` edges, `None` on cycles.
@@ -125,7 +146,7 @@ mod tests {
     #[test]
     fn topological_minimizes_levels() {
         let (n, deps) = diamond();
-        let t = topological_priorities(n, &deps);
+        let t = topological_priorities(n, &deps).unwrap();
         assert!(satisfies(&t.priorities, &deps));
         assert_eq!(t.distinct, 3); // three levels: {0}, {1,2}, {3}
         assert_eq!(t.priorities[1], t.priorities[2]);
@@ -134,7 +155,7 @@ mod tests {
     #[test]
     fn r_assignment_is_unique_and_valid() {
         let (n, deps) = diamond();
-        let r = r_priorities(n, &deps);
+        let r = r_priorities(n, &deps).unwrap();
         assert!(satisfies(&r.priorities, &deps));
         assert_eq!(r.distinct, 4);
         let mut sorted = r.priorities.clone();
@@ -145,17 +166,20 @@ mod tests {
 
     #[test]
     fn no_deps_single_level() {
-        let t = topological_priorities(5, &[]);
+        let t = topological_priorities(5, &[]).unwrap();
         assert_eq!(t.distinct, 1);
         assert!(t.priorities.iter().all(|&p| p == 1));
-        let r = r_priorities(5, &[]);
+        let r = r_priorities(5, &[]).unwrap();
         assert_eq!(r.distinct, 5);
     }
 
     #[test]
-    #[should_panic(expected = "dependency cycle")]
-    fn cycle_panics() {
-        let _ = topological_priorities(2, &[(0, 1), (1, 0)]);
+    fn cycle_is_a_typed_error() {
+        let cycle = [(0, 1), (1, 0)];
+        assert_eq!(topological_priorities(2, &cycle).unwrap_err(), CyclicDag);
+        assert_eq!(r_priorities(2, &cycle).unwrap_err(), CyclicDag);
+        let msg = CyclicDag.to_string();
+        assert!(msg.contains("dependency cycle"), "{msg}");
     }
 
     #[test]
@@ -172,8 +196,8 @@ mod tests {
                     }
                 }
             }
-            let t = topological_priorities(n, &deps);
-            let r = r_priorities(n, &deps);
+            let t = topological_priorities(n, &deps).unwrap();
+            let r = r_priorities(n, &deps).unwrap();
             assert!(satisfies(&t.priorities, &deps), "topo trial {trial}");
             assert!(satisfies(&r.priorities, &deps), "r trial {trial}");
             assert!(t.distinct <= r.distinct);

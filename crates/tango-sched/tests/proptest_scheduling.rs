@@ -2,6 +2,8 @@
 //!
 //! * Any random acyclic request DAG drains completely under every
 //!   scheduler, with every request issued exactly once.
+//! * Every registry scheduler's dispatch order respects the DAG's
+//!   dependency edges, with [`satisfies`] as the oracle.
 //! * Batched and online execution reach identical final switch states.
 //! * Pattern application is always a permutation of the independent
 //!   set.
@@ -14,11 +16,12 @@ use switchsim::harness::Testbed;
 use switchsim::profiles::SwitchProfile;
 use tango::db::TangoDb;
 use tango_sched::dag::{NodeId, RequestDag};
-use tango_sched::executor::{execute_online, Discipline, Release};
+use tango_sched::executor::{execute_online, execute_with, Discipline, Release};
 use tango_sched::extensions::execute_batched_greedy;
 use tango_sched::patterns::{ordering_tango_oracle, SchedPattern};
 use tango_sched::priority::{r_priorities, satisfies, topological_priorities};
 use tango_sched::request::{ReqElem, ReqOp};
+use tango_sched::schedulers::registry;
 
 /// A random DAG: `n` requests over up to 3 switches; forward edges only
 /// (guaranteed acyclic). Mods/deletes are avoided so any execution
@@ -86,6 +89,37 @@ proptest! {
     }
 
     #[test]
+    fn registered_schedulers_respect_dependencies(dag in arb_dag()) {
+        // Every portfolio entry must emit a dependency-respecting
+        // dispatch order. Reuse the priority checker as the oracle: give
+        // earlier-issued requests higher "priority" and demand every DAG
+        // edge (pred, succ) is satisfied — i.e. pred issued first.
+        let deps: Vec<(usize, usize)> = dag.edges().map(|(a, b)| (a.0, b.0)).collect();
+        for entry in registry() {
+            let mut tb = testbed(4);
+            let mut d = dag.clone();
+            let n = d.len();
+            let mut sched = entry.build();
+            let report =
+                execute_with(&mut tb, &mut d, &TangoDb::new(), sched.as_mut(), entry.release)
+                    .unwrap();
+            prop_assert!(d.all_done(), "{}", entry.name);
+            prop_assert_eq!(report.issued.len(), n, "{}", entry.name);
+            let mut prio = vec![0u16; n];
+            for (pos, id) in report.issued.iter().enumerate() {
+                prop_assert!(prio[id.0] == 0, "{} issued {:?} twice", entry.name, id);
+                prio[id.0] = (n - pos) as u16;
+            }
+            prop_assert!(
+                satisfies(&prio, &deps),
+                "{} violated a dependency edge in {:?}",
+                entry.name,
+                report.issued
+            );
+        }
+    }
+
+    #[test]
     fn batched_and_online_agree_on_final_state(dag in arb_dag()) {
         let count_after = |mut run: RunFn| {
             let mut tb = testbed(2);
@@ -134,8 +168,8 @@ proptest! {
             .filter(|&(a, b)| a != b)
             .map(|(a, b)| (a.min(b), a.max(b)))
             .collect();
-        let topo = topological_priorities(n, &deps);
-        let r = r_priorities(n, &deps);
+        let topo = topological_priorities(n, &deps).unwrap();
+        let r = r_priorities(n, &deps).unwrap();
         prop_assert!(satisfies(&topo.priorities, &deps));
         prop_assert!(satisfies(&r.priorities, &deps));
         prop_assert!(topo.distinct <= r.distinct);

@@ -12,6 +12,8 @@
 //! * [`maxmin`] — B4's max-min fair allocation (progressive filling).
 //! * [`scenarios`] — link-failure and traffic-engineering request
 //!   generators (the Fig 10–12 workloads).
+//! * [`update_dag`] — ClassBench-style scaled update DAGs (100k+ ops)
+//!   for the scheduler-portfolio sweep.
 
 pub mod classbench;
 pub mod dependency;
@@ -19,6 +21,7 @@ pub mod maxmin;
 pub mod routing;
 pub mod scenarios;
 pub mod topology;
+pub mod update_dag;
 
 /// Glob-import of the commonly used types.
 pub mod prelude {
@@ -31,4 +34,5 @@ pub mod prelude {
         ScenarioRequest,
     };
     pub use crate::topology::{NodeIdx, Topology};
+    pub use crate::update_dag::{scaled_update_dag, UpdateDagConfig};
 }

@@ -1,0 +1,160 @@
+//! ClassBench-style scaled update DAGs: synthetic network-update
+//! workloads that grow to 100k+ operations while keeping the structural
+//! signature of the paper's scenarios — per-flow dependency chains,
+//! occasional cross-flow joins, and a mixed add/del/mod op population
+//! with preinstalled targets.
+//!
+//! The generators here are scheduler-neutral [`Scenario`]s, like
+//! [`crate::scenarios`]; the bench layer lowers them onto switches and
+//! sweeps the whole `tango_sched::schedulers` portfolio over them
+//! (the fig11-style `sched_sweep` experiment arm). All dependency edges
+//! point forward in request-index order, so every generated DAG is
+//! acyclic by construction.
+
+use crate::scenarios::{ScenOp, Scenario, ScenarioRequest};
+use simnet::rng::DetRng;
+
+/// Shape of a scaled update DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateDagConfig {
+    /// Total operation count.
+    pub ops: usize,
+    /// Number of switches the operations spread over.
+    pub switches: usize,
+    /// Length of each per-flow dependency chain ("cluster"); 1 = flat.
+    pub cluster_depth: usize,
+    /// `(add, del, mod)` op-mix weights, as in
+    /// [`crate::scenarios::traffic_engineering`].
+    pub weights: (u32, u32, u32),
+    /// Per-request chance (‰) of an extra cross-cluster dependency edge
+    /// from an earlier request, creating joins between chains.
+    pub cross_dep_permille: u32,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl UpdateDagConfig {
+    /// The scheduler-sweep preset at a given op count: 8 switches,
+    /// depth-6 chains, the add-heavy 6:1:1 mix, 3% cross edges.
+    #[must_use]
+    pub fn sweep(ops: usize) -> UpdateDagConfig {
+        UpdateDagConfig {
+            ops,
+            switches: 8,
+            cluster_depth: 6,
+            weights: (6, 1, 1),
+            cross_dep_permille: 30,
+            seed: 0xDA6,
+        }
+    }
+}
+
+/// Generates a scaled update DAG.
+///
+/// Requests are grouped into clusters of `cluster_depth` consecutive
+/// indices chained head-to-tail (one "flow" being updated hop by hop);
+/// cross-cluster edges occasionally join a request to a random earlier
+/// one. Every delete/modify targets a preinstalled rule; flow ids are
+/// unique per request so concurrent adds never collide.
+#[must_use]
+pub fn scaled_update_dag(cfg: &UpdateDagConfig) -> Scenario {
+    assert!(cfg.switches >= 1);
+    assert!(cfg.cluster_depth >= 1);
+    let (wa, wd, wm) = cfg.weights;
+    let total_w = wa + wd + wm;
+    assert!(total_w > 0);
+    let mut rng = DetRng::new(cfg.seed);
+    let mut requests = Vec::with_capacity(cfg.ops);
+    let mut deps = Vec::new();
+    let mut preinstall = Vec::new();
+    for i in 0..cfg.ops {
+        let node = rng.index(cfg.switches);
+        let roll = rng.range_u64(0, u64::from(total_w)) as u32;
+        let op = if roll < wa {
+            ScenOp::Add
+        } else if roll < wa + wd {
+            ScenOp::Del
+        } else {
+            ScenOp::Mod
+        };
+        let priority = 1000 + rng.index(2000) as u16;
+        if matches!(op, ScenOp::Del | ScenOp::Mod) {
+            preinstall.push((node, i as u32, priority));
+        }
+        requests.push(ScenarioRequest {
+            node,
+            op,
+            flow_id: i as u32,
+            priority: Some(priority),
+        });
+        // Chain within the cluster.
+        if i % cfg.cluster_depth != 0 {
+            deps.push((i - 1, i));
+        }
+        // Occasional cross-cluster join from an earlier request.
+        if i > 0 && rng.chance(f64::from(cfg.cross_dep_permille) / 1000.0) {
+            let from = rng.index(i);
+            if from != i - 1 {
+                deps.push((from, i));
+            }
+        }
+    }
+    Scenario {
+        name: format!("UpdateDAG {}", cfg.ops),
+        requests,
+        deps,
+        preinstall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = UpdateDagConfig::sweep(5_000);
+        assert_eq!(scaled_update_dag(&cfg), scaled_update_dag(&cfg));
+    }
+
+    #[test]
+    fn edges_point_forward_so_the_dag_is_acyclic() {
+        let s = scaled_update_dag(&UpdateDagConfig::sweep(10_000));
+        assert!(s.deps.iter().all(|&(b, a)| b < a));
+    }
+
+    #[test]
+    fn sweep_preset_scales_to_requested_ops() {
+        for ops in [1_000, 10_000, 100_000] {
+            let s = scaled_update_dag(&UpdateDagConfig::sweep(ops));
+            assert_eq!(s.requests.len(), ops);
+            // Chains exist: at least (depth-1)/depth of ops are chained.
+            assert!(s.deps.len() >= ops * 4 / 6, "deps {}", s.deps.len());
+        }
+    }
+
+    #[test]
+    fn mix_follows_weights_and_preinstall_covers_targets() {
+        let s = scaled_update_dag(&UpdateDagConfig::sweep(8_000));
+        let (adds, mods, dels) = s.op_counts();
+        assert_eq!(adds + mods + dels, 8_000);
+        assert!((adds as f64 - 6_000.0).abs() < 300.0, "adds {adds}");
+        assert!((dels as f64 - 1_000.0).abs() < 200.0, "dels {dels}");
+        assert!((mods as f64 - 1_000.0).abs() < 200.0, "mods {mods}");
+        assert_eq!(s.preinstall.len(), mods + dels);
+        // Unique flow ids: adds can never collide.
+        assert!(s
+            .requests
+            .iter()
+            .enumerate()
+            .all(|(i, r)| r.flow_id == i as u32));
+    }
+
+    #[test]
+    fn cross_cluster_edges_join_chains() {
+        let s = scaled_update_dag(&UpdateDagConfig::sweep(10_000));
+        let chained = s.deps.iter().filter(|&&(b, a)| a - b == 1).count();
+        let joins = s.deps.len() - chained;
+        assert!(joins > 100, "expected cross-cluster joins, got {joins}");
+    }
+}

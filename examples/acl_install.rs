@@ -48,8 +48,9 @@ fn main() {
         );
 
         // Tango's two assignments.
-        let topo = topological_priorities(matches.len(), &deps);
-        let r = r_priorities(matches.len(), &deps);
+        let topo =
+            topological_priorities(matches.len(), &deps).expect("ClassBench ACLs are acyclic");
+        let r = r_priorities(matches.len(), &deps).expect("ClassBench ACLs are acyclic");
         assert!(satisfies(&topo.priorities, &deps));
         assert!(satisfies(&r.priorities, &deps));
         println!(
