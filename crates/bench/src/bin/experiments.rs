@@ -19,6 +19,17 @@ use bench::experiments::*;
 use bench::report::{results_dir, write_figure, write_text};
 use tango::json::Value;
 
+/// One timing record destined for `BENCH_experiments.json`: wall-clock
+/// always, simulator event counts when attributable (top-level
+/// experiments run serially in this loop, so the process-wide
+/// [`simnet::sim::events_processed`] delta is theirs; per-scheduler
+/// sub-timings of a parallel sweep carry no event split).
+struct Timing {
+    name: String,
+    secs: f64,
+    events: Option<u64>,
+}
+
 struct Scale {
     quick: bool,
 }
@@ -232,19 +243,31 @@ const ALL: &[&str] = &[
     "sched_sweep",
 ];
 
-/// Writes per-experiment wall-clock timings as machine-readable JSON.
+/// Writes per-experiment wall-clock timings — and, where attributable,
+/// simulator event counts with derived events/sec — as machine-readable
+/// JSON.
 ///
 /// The file lands *next to* `results/`, not inside it: timings vary run
 /// to run, while everything under `results/` must diff byte-identical
 /// across thread counts.
-fn write_bench_json(timings: &[(String, f64)], threads: usize, quick: bool, total_s: f64) {
+fn write_bench_json(timings: &[Timing], threads: usize, quick: bool, total_s: f64) {
     let experiments: Vec<Value> = timings
         .iter()
-        .map(|(name, secs)| {
-            Value::Obj(vec![
-                ("name".into(), Value::Str(name.clone())),
-                ("secs".into(), Value::num(*secs)),
-            ])
+        .map(|t| {
+            let mut fields = vec![
+                ("name".into(), Value::Str(t.name.clone())),
+                ("secs".into(), Value::num(t.secs)),
+            ];
+            if let Some(events) = t.events {
+                fields.push(("events".into(), Value::num(events as f64)));
+                let rate = if t.secs > 0.0 {
+                    events as f64 / t.secs
+                } else {
+                    0.0
+                };
+                fields.push(("events_per_sec".into(), Value::num(rate)));
+            }
+            Value::Obj(fields)
         })
         .collect();
     let doc = Value::Obj(vec![
@@ -298,27 +321,75 @@ fn main() {
     };
     println!("worker threads: {}", bench::par::threads());
     let suite_t0 = std::time::Instant::now();
-    let mut timings: Vec<(String, f64)> = Vec::new();
+    let suite_ev0 = simnet::sim::events_processed();
+    let mut timings: Vec<Timing> = Vec::new();
     let mut failed = false;
     for name in list {
         let t0 = std::time::Instant::now();
+        let ev0 = simnet::sim::events_processed();
         println!("\n──── running {name} ────");
         let mut extra_timings = Vec::new();
         if !run_one(name, &scale, &mut extra_timings) {
             failed = true;
         }
         let secs = t0.elapsed().as_secs_f64();
-        println!("({name} took {secs:.1}s)");
-        timings.push((name.to_string(), secs));
-        timings.append(&mut extra_timings);
+        let events = simnet::sim::events_processed() - ev0;
+        println!("({name} took {secs:.1}s, {events} events)");
+        timings.push(Timing {
+            name: name.to_string(),
+            secs,
+            events: Some(events),
+        });
+        timings.extend(extra_timings.into_iter().map(|(name, secs)| Timing {
+            name,
+            secs,
+            events: None,
+        }));
     }
-    write_bench_json(
+    let total_s = suite_t0.elapsed().as_secs_f64();
+    print_summary(
         &timings,
-        bench::par::threads(),
-        quick,
-        suite_t0.elapsed().as_secs_f64(),
+        simnet::sim::events_processed() - suite_ev0,
+        total_s,
     );
+    write_bench_json(&timings, bench::par::threads(), quick, total_s);
     if failed {
         std::process::exit(1);
     }
+}
+
+/// The trio whose wall-clock gates perf regressions in CI — its event
+/// rate is the suite's headline DES-throughput number.
+const TRIO: &[&str] = &["fig11", "fig12", "infer_size"];
+
+/// Prints the end-of-suite summary (captured into `full_run.log`):
+/// event totals and events/sec for the whole suite and for the
+/// fig11/fig12/infer_size trio.
+fn print_summary(timings: &[Timing], suite_events: u64, total_s: f64) {
+    let (mut trio_secs, mut trio_events) = (0.0f64, 0u64);
+    for t in timings {
+        if TRIO.contains(&t.name.as_str()) {
+            trio_secs += t.secs;
+            trio_events += t.events.unwrap_or(0);
+        }
+    }
+    let rate = |events: u64, secs: f64| {
+        if secs > 0.0 {
+            events as f64 / secs
+        } else {
+            0.0
+        }
+    };
+    println!("\n──── suite summary ────");
+    if trio_events > 0 {
+        println!(
+            "trio (fig11+fig12+infer_size): {trio_events} events in {trio_secs:.3}s \
+             ({:.0} events/sec)",
+            rate(trio_events, trio_secs)
+        );
+    }
+    println!(
+        "suite: {suite_events} events in {total_s:.1}s ({:.0} events/sec)",
+        rate(suite_events, total_s)
+    );
 }

@@ -15,7 +15,7 @@ use std::collections::HashMap;
 /// registered here with a token describing the batch; when the
 /// `barrier_reply` arrives, [`BarrierTracker::complete`] returns the
 /// token so the caller can attribute the elapsed time.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct BarrierTracker<T> {
     pending: HashMap<Xid, T>,
 }

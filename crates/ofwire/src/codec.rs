@@ -72,7 +72,7 @@ pub(crate) fn pad(buf: &mut BytesMut, n: usize) {
 /// `(Header, Message)` pairs with [`Framer::next_message`]. Malformed
 /// input surfaces as an error from `next_message` and poisons the framer
 /// (stream framing cannot be resynchronized once lengths are wrong).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Framer {
     buf: BytesMut,
     poisoned: bool,

@@ -11,8 +11,25 @@
 
 use crate::event::{EventKey, EventQueue};
 use crate::time::{SimDuration, SimTime};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of events delivered by [`Simulator::next_event`]
+/// across every simulator instance. Relaxed increments: the counter is
+/// a throughput meter (events/sec reporting in the bench layer), never
+/// a synchronization point, and experiment runners snapshot deltas
+/// around each experiment.
+static EVENTS_PROCESSED: AtomicU64 = AtomicU64::new(0);
+
+/// Total events delivered by all simulators in this process so far.
+/// Benchmarks subtract a snapshot taken before an experiment to get its
+/// event count and derive events/sec from wall-clock.
+#[must_use]
+pub fn events_processed() -> u64 {
+    EVENTS_PROCESSED.load(Ordering::Relaxed)
+}
 
 /// A deterministic virtual-time simulator over events of type `E`.
+#[derive(Clone)]
 pub struct Simulator<E = ()> {
     now: SimTime,
     queue: EventQueue<E>,
@@ -73,6 +90,7 @@ impl<E> Simulator<E> {
         let (at, event) = self.queue.pop()?;
         debug_assert!(at >= self.now);
         self.now = at;
+        EVENTS_PROCESSED.fetch_add(1, Ordering::Relaxed);
         Some((at, event))
     }
 

@@ -51,7 +51,7 @@ fn expired_to_msg(exp: &Expired, now: SimTime) -> FlowRemoved {
 }
 
 /// The switch-side protocol agent.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Agent {
     switch: Switch,
     framer: Framer,

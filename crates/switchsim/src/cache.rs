@@ -393,7 +393,7 @@ impl EvictionIndex {
     }
 
     /// Position of the worst resident of `table` (the eviction victim),
-    /// equal to `policy.worst_index(table.as_slice())`.
+    /// equal to `policy.worst_index(&table.snapshot())`.
     pub fn worst(&mut self, policy: &CachePolicy, table: &FlowTable) -> Option<usize> {
         while let Some(&Reverse((key, id))) = self.worst.peek() {
             match Self::validate(policy, table, key, id) {
@@ -407,7 +407,7 @@ impl EvictionIndex {
     }
 
     /// Position of the best resident of `table` (the backfill/promotion
-    /// candidate), equal to `policy.best_index(table.as_slice())`.
+    /// candidate), equal to `policy.best_index(&table.snapshot())`.
     pub fn best(&mut self, policy: &CachePolicy, table: &FlowTable) -> Option<usize> {
         while let Some(&(key, id)) = self.best.peek() {
             match Self::validate(policy, table, key, id) {

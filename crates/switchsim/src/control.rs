@@ -25,8 +25,22 @@ use simnet::time::SimTime;
 
 /// Identifies one submitted operation. Tokens are unique per control
 /// path for its lifetime and compare/hash cheaply.
+///
+/// Tokens are minted from one per-path counter: each `submit` returns a
+/// sequence number exactly one greater than the previous submit's, with
+/// the first at zero. Consumers may rely on this density — the driver
+/// runner files in-flight bookkeeping in a flat ring indexed by
+/// `seq() - base` instead of a hash map.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct OpToken(pub(crate) u64);
+
+impl OpToken {
+    /// The token's position in the control path's global submit order.
+    #[must_use]
+    pub fn seq(self) -> u64 {
+        self.0
+    }
+}
 
 /// The outcome of a completed flow-mod.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

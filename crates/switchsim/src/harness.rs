@@ -14,6 +14,19 @@
 //! Because the core is one event loop over one simulator, many switches
 //! make progress in interleaved virtual time — the property the
 //! network-wide schedulers and concurrent inference both rely on.
+//!
+//! # Hot-path wiring
+//!
+//! Switches live in a dense `Vec<Attached>` and every simulator event
+//! carries the switch's `u32` index, so the per-event dispatch is an
+//! array access — the `Dpid → switch` map is consulted only at the
+//! public API boundary (attach/submit), never inside the event loop.
+//! Completions land in a [`CompletionRing`] addressed by the globally
+//! monotonic token number (`token - base` is the slot), so `wait_for`
+//! is O(1) instead of a scan, while a delivery-order queue preserves
+//! the time-ordered stream `next_completion` hands out. Encoded wire
+//! buffers recycle through a spare pool: steady state allocates
+//! nothing per op.
 
 use crate::agent::{Agent, AgentOutput};
 use crate::control::{Completion, ControlOp, ControlPath, OpOutcome, OpToken};
@@ -37,10 +50,12 @@ pub use crate::control::OpResult;
 /// An operation travelling the control path: encoded at submit time
 /// (frames built, xids assigned, link latencies drawn) so the wire
 /// behaviour is fixed the moment the controller lets go of it.
+#[derive(Clone)]
 struct PendingOp {
     token: OpToken,
     kind: OpKind,
-    /// Encoded wire bytes for the whole operation.
+    /// Encoded wire bytes for the whole operation (pooled: returned to
+    /// the testbed's spare-buffer stack once the agent has consumed it).
     bytes: Vec<u8>,
     /// Forward (controller → switch) link latency.
     up: SimDuration,
@@ -49,6 +64,7 @@ struct PendingOp {
     down: SimDuration,
 }
 
+#[derive(Clone)]
 enum OpKind {
     FlowMod,
     Batch { size: usize },
@@ -58,6 +74,7 @@ enum OpKind {
 
 /// An operation occupying the switch's control CPU, with its completion
 /// already computed (the agent ran when processing started).
+#[derive(Clone)]
 struct InFlight {
     token: OpToken,
     done_at: SimTime,
@@ -66,7 +83,9 @@ struct InFlight {
 }
 
 /// One switch attached to the testbed.
+#[derive(Clone)]
 struct Attached {
+    dpid: Dpid,
     agent: Agent,
     ctrl_link: Link,
     /// Per-switch latency stream, forked once at attach so a switch's
@@ -91,25 +110,111 @@ struct Attached {
     quiet_at: SimTime,
 }
 
-/// Events the testbed's simulator carries.
+/// Events the testbed's simulator carries. The payload is the dense
+/// switch index, so handling an event never touches the dpid map.
+#[derive(Clone, Copy)]
 enum CtrlEvent {
     /// The front of `incoming` reaches the switch.
-    Arrive(Dpid),
+    Arrive(u32),
     /// The current op finishes processing.
-    Done(Dpid),
+    Done(u32),
+}
+
+/// One completion slot in the ring.
+#[derive(Clone)]
+enum RingSlot {
+    /// No completion delivered for this token yet.
+    Pending,
+    /// Delivered, awaiting pickup.
+    Ready(Completion),
+    /// Picked up out of delivery order by `wait_for`.
+    Taken,
+}
+
+/// Flat completion storage addressed by token number.
+///
+/// Tokens are minted by one global counter, so `token - base` indexes a
+/// ring of slots; `wait_for(token)` is a bounds check plus an array
+/// read. A separate queue records tokens in the order their completions
+/// were delivered (virtual-time order), so `next_completion` preserves
+/// the stream semantics of the old FIFO; entries taken early by
+/// `wait_for` leave a `Taken` tombstone the queue skips. The front of
+/// the ring compacts as prefixes drain, keeping its footprint at the
+/// outstanding-op span.
+#[derive(Clone, Default)]
+struct CompletionRing {
+    /// Token number of `slots[0]`.
+    base: u64,
+    slots: VecDeque<RingSlot>,
+    /// Tokens in completion-delivery order.
+    delivered: VecDeque<OpToken>,
+}
+
+impl CompletionRing {
+    /// Records a delivered completion.
+    fn push(&mut self, c: Completion) {
+        let token = c.token;
+        let idx = (token.0 - self.base) as usize;
+        while self.slots.len() <= idx {
+            self.slots.push_back(RingSlot::Pending);
+        }
+        self.slots[idx] = RingSlot::Ready(c);
+        self.delivered.push_back(token);
+    }
+
+    /// Takes the completion for `token` if it has been delivered and
+    /// not yet picked up.
+    fn take(&mut self, token: OpToken) -> Option<Completion> {
+        let idx = usize::try_from(token.0.checked_sub(self.base)?).expect("token offset");
+        let slot = self.slots.get_mut(idx)?;
+        if !matches!(slot, RingSlot::Ready(_)) {
+            return None;
+        }
+        let RingSlot::Ready(c) = std::mem::replace(slot, RingSlot::Taken) else {
+            unreachable!("matched Ready above");
+        };
+        while matches!(self.slots.front(), Some(RingSlot::Taken)) {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+        Some(c)
+    }
+
+    /// Next completion in delivery order, skipping tombstones.
+    fn pop_delivered(&mut self) -> Option<Completion> {
+        while let Some(token) = self.delivered.pop_front() {
+            if let Some(c) = self.take(token) {
+                return Some(c);
+            }
+        }
+        None
+    }
 }
 
 /// A multi-switch testbed with a shared virtual clock.
+///
+/// `Clone` produces an independent testbed with identical state and
+/// RNG positions: driving the clone through an op sequence yields
+/// byte-identical behaviour to driving a freshly built original — what
+/// lets experiment sweeps build one lowered world and fan clones out
+/// per scheduler.
+#[derive(Clone)]
 pub struct Testbed {
     sim: Simulator<CtrlEvent>,
-    switches: BTreeMap<Dpid, Attached>,
+    /// Dense switch storage; event payloads index into this.
+    switches: Vec<Attached>,
+    /// Public-API boundary map: dpid → dense index (also fixes the
+    /// sorted order `dpids()` reports).
+    index: BTreeMap<Dpid, u32>,
     rng: DetRng,
     next_token: u64,
     /// Completions delivered by the event core, awaiting pickup.
-    completed: VecDeque<Completion>,
+    ring: CompletionRing,
     /// Scratch for agent outputs, reused across every `begin` so the
     /// control channel does not allocate a vector per op.
     agent_outs: Vec<AgentOutput>,
+    /// Retired wire buffers awaiting reuse by `encode`.
+    spare_bufs: Vec<Vec<u8>>,
 }
 
 impl Testbed {
@@ -118,11 +223,13 @@ impl Testbed {
     pub fn new(seed: u64) -> Testbed {
         Testbed {
             sim: Simulator::new(),
-            switches: BTreeMap::new(),
+            switches: Vec::new(),
+            index: BTreeMap::new(),
             rng: DetRng::new(seed),
             next_token: 0,
-            completed: VecDeque::new(),
+            ring: CompletionRing::default(),
             agent_outs: Vec::new(),
+            spare_bufs: Vec::new(),
         }
     }
 
@@ -132,21 +239,22 @@ impl Testbed {
         let link_rng = self.rng.fork(dpid.0 ^ 0xc417);
         let switch = Switch::new(profile, dpid, seed);
         let now = self.sim.now();
-        self.switches.insert(
+        let idx = u32::try_from(self.switches.len()).expect("switch count fits u32");
+        let prev = self.index.insert(dpid, idx);
+        assert!(prev.is_none(), "dpid {dpid:?} attached twice");
+        self.switches.push(Attached {
             dpid,
-            Attached {
-                agent: Agent::new(switch),
-                ctrl_link,
-                rng: link_rng,
-                next_xid: Xid(1),
-                barriers: BarrierTracker::new(),
-                incoming: VecDeque::new(),
-                waiting: VecDeque::new(),
-                current: None,
-                last_arrival: now,
-                quiet_at: now,
-            },
-        );
+            agent: Agent::new(switch),
+            ctrl_link,
+            rng: link_rng,
+            next_xid: Xid(1),
+            barriers: BarrierTracker::new(),
+            incoming: VecDeque::new(),
+            waiting: VecDeque::new(),
+            current: None,
+            last_arrival: now,
+            quiet_at: now,
+        });
     }
 
     /// Attaches with the default low-latency control channel (0.1 ms one
@@ -169,30 +277,34 @@ impl Testbed {
     /// Datapath ids attached, in order.
     #[must_use]
     pub fn dpids(&self) -> Vec<Dpid> {
-        self.switches.keys().copied().collect()
+        self.index.keys().copied().collect()
+    }
+
+    /// Dense index for `dpid`.
+    fn idx(&self, dpid: Dpid) -> u32 {
+        *self.index.get(&dpid).expect("unknown dpid")
     }
 
     /// Read access to a switch.
     #[must_use]
     pub fn switch(&self, dpid: Dpid) -> &Switch {
-        self.switches
-            .get(&dpid)
-            .expect("unknown dpid")
-            .agent
-            .switch()
+        self.switches[self.idx(dpid) as usize].agent.switch()
     }
 
-    /// Encodes `op` into wire bytes on `dpid`'s channel, assigning xids
-    /// and drawing both link latencies from the switch's own stream.
-    fn encode(&mut self, dpid: Dpid, op: ControlOp) -> PendingOp {
+    /// Encodes `op` into wire bytes on the channel of the switch at
+    /// `idx`, assigning xids and drawing both link latencies from the
+    /// switch's own stream.
+    fn encode(&mut self, idx: u32, op: ControlOp) -> PendingOp {
         let token = OpToken(self.next_token);
         self.next_token += 1;
-        let att = self.switches.get_mut(&dpid).expect("unknown dpid");
+        let mut bytes = self.spare_bufs.pop().unwrap_or_default();
+        bytes.clear();
+        let att = &mut self.switches[idx as usize];
+        let dpid = att.dpid;
         match op {
             ControlOp::FlowMod(fm) => {
                 let xid = att.next_xid;
                 att.next_xid = xid.next();
-                let mut bytes = Vec::new();
                 Message::FlowMod(fm).encode_frame_into(xid, &mut bytes);
                 let mut up_rng = att.rng.fork(dpid.0 ^ 0xa11ce);
                 let up = att.ctrl_link.delivery_latency(bytes.len(), &mut up_rng);
@@ -210,7 +322,6 @@ impl Testbed {
                 let mut link_rng = att.rng.fork(dpid.0 ^ 0xba7c4);
                 // All frames build into one reused buffer: no
                 // per-message intermediate allocation on the batch path.
-                let mut bytes = Vec::new();
                 for fm in fms {
                     let xid = att.next_xid;
                     att.next_xid = xid.next();
@@ -236,7 +347,6 @@ impl Testbed {
                 att.next_xid = xid.next();
                 let frame = RawFrame::build(&key, 46);
                 let po = PacketOut::send(frame, PortNo(1));
-                let mut bytes = Vec::new();
                 Message::PacketOut(po).encode_frame_into(xid, &mut bytes);
                 let mut up_rng = att.rng.fork(dpid.0 ^ 0xa11ce);
                 let up = att.ctrl_link.delivery_latency(bytes.len(), &mut up_rng);
@@ -251,7 +361,6 @@ impl Testbed {
             ControlOp::Echo(payload) => {
                 let xid = att.next_xid;
                 att.next_xid = xid.next();
-                let mut bytes = Vec::new();
                 Message::EchoRequest(vec![0xec; payload]).encode_frame_into(xid, &mut bytes);
                 let mut up_rng = att.rng.fork(dpid.0 ^ 0xa11ce);
                 let up = att.ctrl_link.delivery_latency(bytes.len(), &mut up_rng);
@@ -268,13 +377,14 @@ impl Testbed {
         }
     }
 
-    /// Begins processing `op` on `dpid` at time `start`: runs the agent,
-    /// derives the completion, and schedules its `Done` event.
-    fn begin(&mut self, dpid: Dpid, op: PendingOp, start: SimTime) {
+    /// Begins processing `op` on the switch at `idx` at time `start`:
+    /// runs the agent, derives the completion, and schedules its `Done`
+    /// event. The op's wire buffer retires to the spare pool.
+    fn begin(&mut self, idx: u32, op: PendingOp, start: SimTime) {
         // Reuse one scratch vector for agent outputs across all ops.
         let mut outs = std::mem::take(&mut self.agent_outs);
         outs.clear();
-        let att = self.switches.get_mut(&dpid).expect("unknown dpid");
+        let att = &mut self.switches[idx as usize];
         att.agent
             .feed_into(&op.bytes, start, &mut outs)
             .expect("well-formed frame");
@@ -331,14 +441,15 @@ impl Testbed {
             outcome,
         });
         self.agent_outs = outs;
-        self.sim.schedule_at(done_at, CtrlEvent::Done(dpid));
+        self.spare_bufs.push(op.bytes);
+        self.sim.schedule_at(done_at, CtrlEvent::Done(idx));
     }
 
     /// Processes one simulator event.
     fn handle(&mut self, at: SimTime, ev: CtrlEvent) {
         match ev {
-            CtrlEvent::Arrive(dpid) => {
-                let att = self.switches.get_mut(&dpid).expect("unknown dpid");
+            CtrlEvent::Arrive(idx) => {
+                let att = &mut self.switches[idx as usize];
                 let op = att
                     .incoming
                     .pop_front()
@@ -346,23 +457,23 @@ impl Testbed {
                 if att.current.is_some() {
                     att.waiting.push_back(op);
                 } else {
-                    self.begin(dpid, op, at);
+                    self.begin(idx, op, at);
                 }
             }
-            CtrlEvent::Done(dpid) => {
-                let att = self.switches.get_mut(&dpid).expect("unknown dpid");
+            CtrlEvent::Done(idx) => {
+                let att = &mut self.switches[idx as usize];
                 let inflight = att.current.take().expect("done event without an op");
                 att.quiet_at = att.quiet_at.max(inflight.done_at);
                 let next = att.waiting.pop_front();
-                self.completed.push_back(Completion {
+                self.ring.push(Completion {
                     token: inflight.token,
-                    dpid,
+                    dpid: att.dpid,
                     done_at: inflight.done_at,
                     acked_at: inflight.acked_at,
                     outcome: inflight.outcome,
                 });
                 if let Some(op) = next {
-                    self.begin(dpid, op, at);
+                    self.begin(idx, op, at);
                 }
             }
         }
@@ -436,7 +547,7 @@ impl Testbed {
             self.handle(at, ev);
         }
         self.switches
-            .values()
+            .iter()
             .map(|a| a.quiet_at)
             .max()
             .unwrap_or_else(|| self.sim.now())
@@ -462,22 +573,23 @@ impl ControlPath for Testbed {
             "op submitted at {ready_at} before now {}",
             self.sim.now()
         );
-        let pending = self.encode(dpid, op);
+        let idx = self.idx(dpid);
+        let pending = self.encode(idx, op);
         let token = pending.token;
-        let att = self.switches.get_mut(&dpid).expect("unknown dpid");
+        let att = &mut self.switches[idx as usize];
         // In-order delivery: a frame cannot overtake an earlier one on
         // the same channel. The clamp is timing-neutral for processing
         // (the CPU queue already serializes) but keeps arrivals FIFO.
         let arrive = (ready_at + pending.up).max(att.last_arrival);
         att.last_arrival = arrive;
         att.incoming.push_back(pending);
-        self.sim.schedule_at(arrive, CtrlEvent::Arrive(dpid));
+        self.sim.schedule_at(arrive, CtrlEvent::Arrive(idx));
         token
     }
 
     fn next_completion(&mut self) -> Option<Completion> {
         loop {
-            if let Some(c) = self.completed.pop_front() {
+            if let Some(c) = self.ring.pop_delivered() {
                 return Some(c);
             }
             let (at, ev) = self.sim.next_event()?;
@@ -486,8 +598,8 @@ impl ControlPath for Testbed {
     }
 
     fn wait_for(&mut self, token: OpToken) -> Completion {
-        if let Some(pos) = self.completed.iter().position(|c| c.token == token) {
-            return self.completed.remove(pos).expect("position is in range");
+        if let Some(c) = self.ring.take(token) {
+            return c;
         }
         loop {
             let (at, ev) = self
@@ -495,8 +607,8 @@ impl ControlPath for Testbed {
                 .next_event()
                 .expect("token must identify an in-flight op");
             self.handle(at, ev);
-            if let Some(pos) = self.completed.iter().position(|c| c.token == token) {
-                return self.completed.remove(pos).expect("position is in range");
+            if let Some(c) = self.ring.take(token) {
+                return c;
             }
         }
     }
@@ -680,5 +792,51 @@ mod tests {
             (tb.switch(dpid).rule_count(), tb.now())
         };
         assert_eq!(state(false), state(true));
+    }
+
+    #[test]
+    fn cloned_testbed_replays_identically() {
+        // A clone taken mid-history must behave byte-identically to the
+        // original from that point on (the sweep-reuse contract).
+        let (mut tb, dpid) = testbed_with(SwitchProfile::vendor2());
+        for i in 0..10u32 {
+            tb.flow_mod(dpid, FlowMod::add(FlowMatch::l3_for_id(i), 10));
+        }
+        let mut tb2 = tb.clone();
+        let drive = |tb: &mut Testbed| {
+            let mut trace = Vec::new();
+            for i in 10..25u32 {
+                let (res, d) = tb.flow_mod(dpid, FlowMod::add(FlowMatch::l3_for_id(i), 10));
+                trace.push((res, d));
+            }
+            trace.push((OpResult::Ok, tb.echo(dpid, 64)));
+            (trace, tb.now())
+        };
+        assert_eq!(drive(&mut tb), drive(&mut tb2));
+    }
+
+    #[test]
+    fn wait_for_out_of_delivery_order() {
+        // Picking up a later token first must not lose or reorder the
+        // remaining completions (ring tombstone path).
+        let mut tb = Testbed::new(5);
+        tb.attach_default(Dpid(1), SwitchProfile::vendor1());
+        tb.attach_default(Dpid(2), SwitchProfile::vendor2());
+        let t0 = tb.now();
+        let a = tb.submit(
+            Dpid(1),
+            ControlOp::FlowMod(FlowMod::add(FlowMatch::l3_for_id(1), 10)),
+            t0,
+        );
+        let b = tb.submit(
+            Dpid(2),
+            ControlOp::FlowMod(FlowMod::add(FlowMatch::l3_for_id(2), 10)),
+            t0,
+        );
+        let cb = tb.wait_for(b);
+        let ca = tb.wait_for(a);
+        assert_eq!(ca.token, a);
+        assert_eq!(cb.token, b);
+        assert!(tb.next_completion().is_none(), "no duplicates in stream");
     }
 }

@@ -146,7 +146,7 @@ impl CacheLevel {
         let pos = self.evict.worst(policy, &self.table);
         debug_assert_eq!(
             pos,
-            policy.worst_index(self.table.as_slice()),
+            policy.worst_index(&self.table.snapshot()),
             "eviction index diverged from the linear worst-victim oracle"
         );
         pos
@@ -158,7 +158,7 @@ impl CacheLevel {
         let pos = self.evict.best(policy, &self.table);
         debug_assert_eq!(
             pos,
-            policy.best_index(self.table.as_slice()),
+            policy.best_index(&self.table.snapshot()),
             "eviction index diverged from the linear best-candidate oracle"
         );
         pos
@@ -213,6 +213,10 @@ pub enum ModOutcome {
 pub struct TableFull;
 
 /// A switch's flow-table organization.
+// One `Pipeline` exists per modelled switch, never per event, so the
+// inline size of the SoA-widened `FlowTable` costs nothing; boxing it
+// would only add a pointer chase to every packet lookup.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum Pipeline {
     /// Policy-managed multilevel cache.

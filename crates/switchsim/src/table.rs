@@ -8,7 +8,7 @@ use ofwire::action::Action;
 use ofwire::flow_match::{FlowKey, FlowMatch};
 use ofwire::types::PortNo;
 use simnet::time::SimTime;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
 /// FNV-1a. The strict index hashes a `(FlowMatch, u16)` on every
@@ -42,45 +42,78 @@ type FnvMap<K, V> = HashMap<K, V, BuildHasherDefault<FnvHasher>>;
 /// priorities the earliest-installed entry wins (deterministic, and the
 /// common hardware behaviour).
 ///
-/// Side indexes keep the control-path hot spots off the linear scan:
-/// a strict-match map `(match, priority) → indices` makes
-/// [`FlowTable::find_strict`] O(1); a tuple-space cover index (wildcard
-/// shape → canonical match → indices) lets [`FlowTable::lookup`]
-/// hash-probe one projected key per resident match shape instead of
-/// running `covers` per entry; an id map makes [`FlowTable::position_of`] O(1);
-/// and a Fenwick tree over the priority space answers
-/// [`FlowTable::count_above`] (the TCAM shift cost of an insert) in
-/// O(log 65536). All positional indexes hold positions into the entry
-/// vector and are repaired on every structural change.
+/// # Storage layout
 ///
-/// Invariant: `flow_match` and `priority` of an installed entry are
-/// immutable. [`FlowTable::get_mut`]/[`FlowTable::iter_mut`] exist for
+/// Entries live in a **slot-stable slab**: once installed, an entry never
+/// moves until it is removed, so every side index can record the entry's
+/// slot id and stay valid across arbitrary churn elsewhere in the table.
+/// The public API still speaks *positions* (insertion order among current
+/// residents — what `remove_at`, `get`, and the policy oracles index by);
+/// a dense `order` vector maps position → slot and a reverse `pos` array
+/// maps slot → position, so a structural change only rewrites those two
+/// integer arrays instead of repairing every bucket of every index (the
+/// old layout's `index_shift_down` walked all of them per removal, which
+/// put an O(n·buckets) tax on each cache promotion/demotion).
+///
+/// The per-event hot fields are split out of `FlowEntry` into parallel
+/// **SoA arrays** indexed by slot — `prio`, `id`, `seq` (install order),
+/// and the timeout-participation flag — so the packet-lookup and expiry
+/// paths touch a few packed words per candidate instead of dragging whole
+/// `FlowEntry` cache lines through the comparisons. These fields are
+/// immutable for the lifetime of a slot (see the invariant below), so the
+/// copies can never go stale.
+///
+/// Side indexes keep the control-path hot spots off the linear scan:
+/// a strict-match map `(match, priority) → slots` makes
+/// [`FlowTable::find_strict`] O(1); a tuple-space cover index (wildcard
+/// shape → canonical match → slots) lets [`FlowTable::lookup`]
+/// hash-probe one projected key per resident match shape instead of
+/// running `covers` per entry; an id map makes [`FlowTable::position_of`]
+/// O(1); and a Fenwick tree over the priority space answers
+/// [`FlowTable::count_above`] (the TCAM shift cost of an insert) in
+/// O(log 65536).
+///
+/// Invariant: `flow_match`, `priority`, and the timeout fields of an
+/// installed entry are immutable. [`FlowTable::get_mut`] exists for
 /// attribute updates (counters, timestamps, actions) only — mutating a
-/// key field through them desynchronizes the indexes. OpenFlow has no
-/// "change the match in place" operation, so no caller needs to. The
-/// timeout fields are likewise fixed at insert: [`FlowTable::timeout_count`]
-/// counts them once, so flipping a zero timeout to nonzero in place
-/// would make the expiry sweep skip the entry.
+/// key field through it desynchronizes the indexes and the SoA arrays.
+/// OpenFlow has no "change the match in place" operation, so no caller
+/// needs to.
 #[derive(Debug, Clone, Default)]
 pub struct FlowTable {
-    entries: Vec<FlowEntry>,
-    /// `(match, priority)` → entry indices holding exactly that pair,
-    /// ascending (so `first()` is the earliest-installed position,
-    /// matching the old linear `position` semantics).
-    strict: FnvMap<(FlowMatch, u16), Vec<usize>>,
-    /// priority → entry indices at that priority, ascending.
-    prio_buckets: BTreeMap<u16, Vec<usize>>,
-    /// entry id → entry indices, ascending (ids are unique per switch, so
-    /// buckets are singletons in practice; the vector form mirrors
-    /// `strict` and keeps first-position semantics under duplicates).
-    by_id: FnvMap<EntryId, Vec<usize>>,
+    /// Slot-stable entry storage; `None` marks a free slot.
+    slots: Vec<Option<FlowEntry>>,
+    /// Free slot ids available for reuse.
+    free: Vec<u32>,
+    /// Position → slot, in installation order among residents.
+    order: Vec<u32>,
+    /// Slot → current position (undefined for free slots).
+    pos: Vec<u32>,
+    /// Slot → per-table install sequence (monotonic; orders buckets).
+    seq: Vec<u64>,
+    /// Slot → entry priority (SoA hot field for lookup comparisons).
+    prio: Vec<u16>,
+    /// Slot → entry id (SoA hot field for lookup tie-breaks).
+    id: Vec<u64>,
+    /// Slot → whether the entry participates in expiry.
+    timeout: Vec<bool>,
+    next_seq: u64,
+    /// `(match, priority)` → slots holding exactly that pair, in
+    /// install-seq order (so `first()` is the earliest-installed
+    /// resident, matching the old linear `position` semantics).
+    strict: FnvMap<(FlowMatch, u16), Vec<u32>>,
+    /// entry id → slots, in install-seq order (ids are unique per
+    /// switch, so buckets are singletons in practice; the vector form
+    /// mirrors `strict` and keeps first-position semantics under
+    /// duplicates).
+    by_id: FnvMap<EntryId, Vec<u32>>,
     /// Tuple-space cover index: wildcard word (the match *shape*: which
     /// fields are constrained, at which prefix lengths) → canonical
-    /// match → entry indices, ascending. A lookup projects the packet
-    /// key once per resident shape and hash-probes, instead of running
-    /// `covers` against every entry of a priority bucket; real tables
-    /// hold a handful of shapes, so a lookup is a handful of hashes.
-    cover: FnvMap<u32, FnvMap<FlowMatch, Vec<usize>>>,
+    /// match → slots. A lookup projects the packet key once per
+    /// resident shape and hash-probes, instead of running `covers`
+    /// against every entry of a priority bucket; real tables hold a
+    /// handful of shapes, so a lookup is a handful of hashes.
+    cover: FnvMap<u32, FnvMap<FlowMatch, Vec<u32>>>,
     /// Multiset of installed priorities for O(log) shift counting.
     prio_counts: PriorityIndex,
     /// How many installed entries carry a nonzero idle or hard timeout —
@@ -103,104 +136,86 @@ impl FlowTable {
     /// Number of entries.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.order.len()
     }
 
     /// True if no entries are installed.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.order.is_empty()
     }
 
     /// Iterates entries in installation order.
     pub fn iter(&self) -> impl Iterator<Item = &FlowEntry> {
-        self.entries.iter()
+        self.order
+            .iter()
+            .map(|&s| self.slots[s as usize].as_ref().expect("resident slot"))
     }
 
-    /// Iterates entries mutably. Key fields (`flow_match`, `priority`)
-    /// must not be changed through this — see the type-level invariant.
-    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut FlowEntry> {
-        self.entries.iter_mut()
-    }
-
-    /// Read access to the backing slice (for policy scans).
+    /// Clones the resident entries in installation order — the
+    /// test/debug bridge for oracles written against a contiguous
+    /// slice (the slab itself has no contiguous view).
     #[must_use]
-    pub fn as_slice(&self) -> &[FlowEntry] {
-        &self.entries
+    pub fn snapshot(&self) -> Vec<FlowEntry> {
+        self.iter().cloned().collect()
     }
 
     fn strict_key(e: &FlowEntry) -> (FlowMatch, u16) {
         (e.flow_match, e.priority)
     }
 
-    /// Drops `index` from one bucket, deleting the bucket when emptied.
-    /// Returns whether the bucket survives (for map `retain`-style use).
-    fn bucket_drop(bucket: &mut Vec<usize>, index: usize) -> bool {
-        if let Ok(pos) = bucket.binary_search(&index) {
-            bucket.remove(pos);
+    /// Drops `slot` from one bucket (sorted by install seq), deleting
+    /// the bucket when emptied. Returns whether the bucket survives.
+    fn bucket_drop(bucket: &mut Vec<u32>, slot: u32, seq: &[u64]) -> bool {
+        if let Ok(p) = bucket.binary_search_by_key(&seq[slot as usize], |&s| seq[s as usize]) {
+            bucket.remove(p);
         }
         !bucket.is_empty()
     }
 
-    /// Decrements every position in `bucket` strictly above `removed` —
-    /// pure integer work, no re-hashing. The removed position itself is
-    /// already gone from its buckets, so the strictly-greater suffix
-    /// stays sorted and duplicate-free.
-    fn bucket_shift_down(bucket: &mut [usize], removed: usize) {
-        let from = bucket.partition_point(|&i| i <= removed);
-        for i in &mut bucket[from..] {
-            *i -= 1;
-        }
-    }
-
-    /// Rewrites `bucket` through `new_of_old` (old position →
-    /// `usize::MAX` if removed, else new position) after a compaction.
-    /// The mapping is monotone on surviving positions, so the bucket
-    /// stays sorted. Returns whether the bucket survives.
-    fn bucket_remap(bucket: &mut Vec<usize>, new_of_old: &[usize]) -> bool {
-        let mut w = 0;
-        for r in 0..bucket.len() {
-            let mapped = new_of_old[bucket[r]];
-            if mapped != usize::MAX {
-                bucket[w] = mapped;
-                w += 1;
+    /// Allocates a slot for `entry` and records its SoA hot fields.
+    fn alloc_slot(&mut self, entry: FlowEntry) -> u32 {
+        let prio = entry.priority;
+        let id = entry.id.0;
+        let to = has_timeout(&entry);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        match self.free.pop() {
+            Some(s) => {
+                let i = s as usize;
+                self.slots[i] = Some(entry);
+                self.seq[i] = seq;
+                self.prio[i] = prio;
+                self.id[i] = id;
+                self.timeout[i] = to;
+                s
+            }
+            None => {
+                let s = u32::try_from(self.slots.len()).expect("slab overflow");
+                self.slots.push(Some(entry));
+                self.pos.push(0);
+                self.seq.push(seq);
+                self.prio.push(prio);
+                self.id.push(id);
+                self.timeout.push(to);
+                s
             }
         }
-        bucket.truncate(w);
-        !bucket.is_empty()
     }
 
-    /// Adds `index` (the current maximum) to every positional index for
-    /// `e`, and records its priority/timeout in the counters.
-    fn index_insert(&mut self, e_key: (FlowMatch, u16), id: EntryId, index: usize) {
-        self.strict.entry(e_key).or_default().push(index);
-        self.prio_buckets.entry(e_key.1).or_default().push(index);
-        self.by_id.entry(id).or_default().push(index);
-        self.cover
-            .entry(e_key.0.wildcards())
-            .or_default()
-            .entry(e_key.0.canonical())
-            .or_default()
-            .push(index);
-        self.prio_counts.add(e_key.1);
-    }
-
-    /// Drops `index` from every positional index for the removed entry
-    /// `e`, and forgets its priority/timeout from the counters.
-    fn index_remove(&mut self, e: &FlowEntry, index: usize) {
-        let e_key = Self::strict_key(e);
+    /// Unhooks `slot` from every index and counter and frees it,
+    /// returning the entry. The caller has already dropped the slot
+    /// from `order`/`pos`.
+    fn detach_slot(&mut self, slot: u32) -> FlowEntry {
+        let e = self.slots[slot as usize].take().expect("resident slot");
+        let e_key = Self::strict_key(&e);
         if let Some(bucket) = self.strict.get_mut(&e_key) {
-            if !Self::bucket_drop(bucket, index) {
+            if !Self::bucket_drop(bucket, slot, &self.seq) {
                 self.strict.remove(&e_key);
             }
         }
-        if let Some(bucket) = self.prio_buckets.get_mut(&e_key.1) {
-            if !Self::bucket_drop(bucket, index) {
-                self.prio_buckets.remove(&e_key.1);
-            }
-        }
         if let Some(bucket) = self.by_id.get_mut(&e.id) {
-            if !Self::bucket_drop(bucket, index) {
+            if !Self::bucket_drop(bucket, slot, &self.seq) {
                 self.by_id.remove(&e.id);
             }
         }
@@ -208,7 +223,7 @@ impl FlowTable {
         if let Some(group) = self.cover.get_mut(&shape) {
             let canon = e_key.0.canonical();
             if let Some(bucket) = group.get_mut(&canon) {
-                if !Self::bucket_drop(bucket, index) {
+                if !Self::bucket_drop(bucket, slot, &self.seq) {
                     group.remove(&canon);
                 }
             }
@@ -217,43 +232,11 @@ impl FlowTable {
             }
         }
         self.prio_counts.remove(e_key.1);
-        if has_timeout(e) {
+        if self.timeout[slot as usize] {
             self.timeout_entries -= 1;
         }
-    }
-
-    /// After the entry at `removed` was taken out of the vector, every
-    /// stored position above it is off by one.
-    fn index_shift_down(&mut self, removed: usize) {
-        for bucket in self.strict.values_mut() {
-            Self::bucket_shift_down(bucket, removed);
-        }
-        for bucket in self.prio_buckets.values_mut() {
-            Self::bucket_shift_down(bucket, removed);
-        }
-        for bucket in self.by_id.values_mut() {
-            Self::bucket_shift_down(bucket, removed);
-        }
-        for group in self.cover.values_mut() {
-            for bucket in group.values_mut() {
-                Self::bucket_shift_down(bucket, removed);
-            }
-        }
-    }
-
-    /// Remaps every positional index through `new_of_old` after a
-    /// compaction; emptied buckets are dropped.
-    fn index_remap(&mut self, new_of_old: &[usize]) {
-        self.strict
-            .retain(|_, bucket| Self::bucket_remap(bucket, new_of_old));
-        self.prio_buckets
-            .retain(|_, bucket| Self::bucket_remap(bucket, new_of_old));
-        self.by_id
-            .retain(|_, bucket| Self::bucket_remap(bucket, new_of_old));
-        self.cover.retain(|_, group| {
-            group.retain(|_, bucket| Self::bucket_remap(bucket, new_of_old));
-            !group.is_empty()
-        });
+        self.free.push(slot);
+        e
     }
 
     /// Installs an entry.
@@ -263,17 +246,31 @@ impl FlowTable {
         if has_timeout(&entry) {
             self.timeout_entries += 1;
         }
-        let index = self.entries.len();
-        self.entries.push(entry);
-        self.index_insert(key, id, index);
+        let slot = self.alloc_slot(entry);
+        self.pos[slot as usize] = u32::try_from(self.order.len()).expect("position overflow");
+        self.order.push(slot);
+        // Fresh slots carry the table's maximum seq, so appending keeps
+        // every bucket sorted by install order.
+        self.strict.entry(key).or_default().push(slot);
+        self.by_id.entry(id).or_default().push(slot);
+        self.cover
+            .entry(key.0.wildcards())
+            .or_default()
+            .entry(key.0.canonical())
+            .or_default()
+            .push(slot);
+        self.prio_counts.add(key.1);
     }
 
     /// Removes and returns the entry at `index`.
     pub fn remove_at(&mut self, index: usize) -> FlowEntry {
-        let e = self.entries.remove(index);
-        self.index_remove(&e, index);
-        self.index_shift_down(index);
-        e
+        let slot = self.order.remove(index);
+        // Only the order/pos integer arrays shift; every slot-keyed
+        // bucket stays untouched.
+        for &s in &self.order[index..] {
+            self.pos[s as usize] -= 1;
+        }
+        self.detach_slot(slot)
     }
 
     /// Index of the matching entry for `key`: maximal priority, then
@@ -282,47 +279,57 @@ impl FlowTable {
     /// Tuple-space search: projects the key once per resident match
     /// shape (wildcard word) and hash-probes that shape's canonical-match
     /// map, so cost scales with the number of *distinct shapes* rather
-    /// than the number of entries sharing a priority. Cover-bucket
-    /// collisions (identical canonical match at different priorities or
-    /// ids) are resolved by the same (priority, id) order the old
-    /// bucket scan applied.
+    /// than the number of entries sharing a priority. Candidate
+    /// comparisons read the SoA `prio`/`id` arrays, never the entries.
+    /// Cover-bucket collisions (identical canonical match at different
+    /// priorities or ids) are resolved by the same (priority, id) order
+    /// the old bucket scan applied.
     #[must_use]
     pub fn lookup(&self, key: &FlowKey) -> Option<usize> {
-        let mut best: Option<usize> = None;
+        let mut best: Option<u32> = None;
         for (&shape, group) in &self.cover {
             let probe = FlowMatch::project(key, shape);
             let Some(bucket) = group.get(&probe) else {
                 continue;
             };
-            for &i in bucket {
-                let e = &self.entries[i];
-                debug_assert!(e.flow_match.covers(key), "stale cover index {i}");
+            for &s in bucket {
+                debug_assert!(
+                    self.slots[s as usize]
+                        .as_ref()
+                        .expect("resident slot")
+                        .flow_match
+                        .covers(key),
+                    "stale cover index slot {s}"
+                );
                 match best {
-                    None => best = Some(i),
+                    None => best = Some(s),
                     Some(b) => {
-                        let cur = &self.entries[b];
-                        if e.priority > cur.priority
-                            || (e.priority == cur.priority && e.id < cur.id)
-                        {
-                            best = Some(i);
+                        let (sp, bp) = (self.prio[s as usize], self.prio[b as usize]);
+                        if sp > bp || (sp == bp && self.id[s as usize] < self.id[b as usize]) {
+                            best = Some(s);
                         }
                     }
                 }
             }
         }
-        best
+        best.map(|s| self.pos[s as usize] as usize)
     }
 
-    /// Mutable access by index. Key fields (`flow_match`, `priority`)
-    /// must not be changed through this — see the type-level invariant.
+    /// Mutable access by index. Key fields (`flow_match`, `priority`,
+    /// timeouts) must not be changed through this — see the type-level
+    /// invariant.
     pub fn get_mut(&mut self, index: usize) -> &mut FlowEntry {
-        &mut self.entries[index]
+        self.slots[self.order[index] as usize]
+            .as_mut()
+            .expect("resident slot")
     }
 
     /// Read access by index.
     #[must_use]
     pub fn get(&self, index: usize) -> &FlowEntry {
-        &self.entries[index]
+        self.slots[self.order[index] as usize]
+            .as_ref()
+            .expect("resident slot")
     }
 
     /// Finds the entry that *strictly* equals the given match and
@@ -331,7 +338,8 @@ impl FlowTable {
     pub fn find_strict(&self, flow_match: &FlowMatch, priority: u16) -> Option<usize> {
         self.strict
             .get(&(*flow_match, priority))
-            .and_then(|bucket| bucket.first().copied())
+            .and_then(|bucket| bucket.first())
+            .map(|&s| self.pos[s as usize] as usize)
     }
 
     /// Indices of entries selected by a non-strict filter: entries whose
@@ -339,9 +347,10 @@ impl FlowTable {
     /// with an output action to `out_port`.
     #[must_use]
     pub fn select_loose(&self, filter: &FlowMatch, out_port: PortNo) -> Vec<usize> {
-        self.entries
+        self.order
             .iter()
             .enumerate()
+            .map(|(i, &s)| (i, self.slots[s as usize].as_ref().expect("resident slot")))
             .filter(|(_, e)| filter.subsumes(&e.flow_match))
             .filter(|(_, e)| {
                 out_port == PortNo::NONE
@@ -356,58 +365,58 @@ impl FlowTable {
     /// Removes a set of indices (any order), returning the removed
     /// entries in descending index order.
     ///
-    /// Single mark-and-compact pass: O(n + k log k) instead of the
-    /// k·O(n) of repeated `Vec::remove`.
+    /// One compaction pass over the order vector (the slot-keyed
+    /// buckets never need a global remap): O(n + k·bucket).
     pub fn remove_indices(&mut self, mut indices: Vec<usize>) -> Vec<FlowEntry> {
         indices.sort_unstable_by(|a, b| b.cmp(a));
         indices.dedup();
         if indices.is_empty() {
             return Vec::new();
         }
-        let mut mask = vec![false; self.entries.len()];
+        let mut mask = vec![false; self.order.len()];
         for &i in &indices {
             mask[i] = true;
         }
-        let mut new_of_old = vec![usize::MAX; self.entries.len()];
-        let mut kept_count = 0;
-        for (i, &dead) in mask.iter().enumerate() {
-            if !dead {
-                new_of_old[i] = kept_count;
-                kept_count += 1;
-            }
-        }
-        let mut removed = Vec::with_capacity(indices.len());
-        let mut kept = Vec::with_capacity(kept_count);
-        for (i, e) in self.entries.drain(..).enumerate() {
+        let old_order = std::mem::take(&mut self.order);
+        self.order.reserve(old_order.len() - indices.len());
+        let mut removed_slots = Vec::with_capacity(indices.len());
+        for (i, s) in old_order.into_iter().enumerate() {
             if mask[i] {
-                removed.push(e);
+                removed_slots.push(s);
             } else {
-                kept.push(e);
+                self.pos[s as usize] = u32::try_from(self.order.len()).expect("position overflow");
+                self.order.push(s);
             }
         }
-        self.entries = kept;
-        // Compaction collects ascending; the documented contract returns
-        // descending index order.
-        removed.reverse();
-        self.index_remap(&new_of_old);
-        for e in &removed {
-            self.prio_counts.remove(e.priority);
-            if has_timeout(e) {
-                self.timeout_entries -= 1;
-            }
-        }
-        removed
+        // `indices` is descending; `removed_slots` collected ascending.
+        removed_slots
+            .into_iter()
+            .rev()
+            .map(|s| self.detach_slot(s))
+            .collect()
     }
 
-    /// Removes every entry, returning them.
+    /// Removes every entry, returning them in installation order.
     pub fn drain_all(&mut self) -> Vec<FlowEntry> {
         self.strict.clear();
-        self.prio_buckets.clear();
         self.by_id.clear();
         self.cover.clear();
         self.prio_counts.clear();
         self.timeout_entries = 0;
-        std::mem::take(&mut self.entries)
+        self.free.clear();
+        let slots = &mut self.slots;
+        let out: Vec<FlowEntry> = self
+            .order
+            .drain(..)
+            .map(|s| slots[s as usize].take().expect("resident slot"))
+            .collect();
+        self.slots.clear();
+        self.pos.clear();
+        self.seq.clear();
+        self.prio.clear();
+        self.id.clear();
+        self.timeout.clear();
+        out
     }
 
     /// Finds an entry by id. O(1) via the id index; under (contractually
@@ -417,7 +426,8 @@ impl FlowTable {
     pub fn position_of(&self, id: EntryId) -> Option<usize> {
         self.by_id
             .get(&id)
-            .and_then(|bucket| bucket.first().copied())
+            .and_then(|bucket| bucket.first())
+            .map(|&s| self.pos[s as usize] as usize)
     }
 
     /// How many installed entries have priority strictly above
@@ -443,14 +453,14 @@ impl FlowTable {
     #[must_use]
     pub fn lookup_linear(&self, key: &FlowKey) -> Option<usize> {
         let mut best: Option<usize> = None;
-        for (i, e) in self.entries.iter().enumerate() {
+        for (i, e) in self.iter().enumerate() {
             if !e.flow_match.covers(key) {
                 continue;
             }
             match best {
                 None => best = Some(i),
                 Some(b) => {
-                    let cur = &self.entries[b];
+                    let cur = self.get(b);
                     if e.priority > cur.priority || (e.priority == cur.priority && e.id < cur.id) {
                         best = Some(i);
                     }
@@ -464,94 +474,110 @@ impl FlowTable {
     #[cfg(test)]
     #[must_use]
     pub fn find_strict_linear(&self, flow_match: &FlowMatch, priority: u16) -> Option<usize> {
-        self.entries
-            .iter()
-            .position(|e| e.priority == priority && e.flow_match == *flow_match)
+        (0..self.len()).find(|&i| {
+            let e = self.get(i);
+            e.priority == priority && e.flow_match == *flow_match
+        })
     }
 
     /// Reference oracle: the pre-index linear scan `position_of`.
     #[cfg(test)]
     #[must_use]
     pub fn position_of_linear(&self, id: EntryId) -> Option<usize> {
-        self.entries.iter().position(|e| e.id == id)
+        (0..self.len()).find(|&i| self.get(i).id == id)
     }
 
-    /// Test hook: verifies both indexes describe exactly the entries.
+    /// Test hook: verifies the indexes and SoA arrays describe exactly
+    /// the resident entries.
     #[cfg(test)]
     pub fn assert_index_consistent(&self) {
+        // order/pos are mutual inverses over residents.
+        for (p, &s) in self.order.iter().enumerate() {
+            assert!(self.slots[s as usize].is_some(), "free slot {s} in order");
+            assert_eq!(
+                self.pos[s as usize] as usize, p,
+                "pos/order disagree at {p}"
+            );
+        }
+        // SoA copies match the entries; seq is strictly increasing in
+        // position order.
+        let mut last_seq = None;
+        for &s in &self.order {
+            let e = self.slots[s as usize].as_ref().unwrap();
+            assert_eq!(self.prio[s as usize], e.priority, "stale SoA prio {s}");
+            assert_eq!(self.id[s as usize], e.id.0, "stale SoA id {s}");
+            assert_eq!(
+                self.timeout[s as usize],
+                has_timeout(e),
+                "stale SoA timeout {s}"
+            );
+            assert!(last_seq < Some(self.seq[s as usize]), "seq not increasing");
+            last_seq = Some(self.seq[s as usize]);
+        }
         let mut strict_count = 0;
         for (key, bucket) in &self.strict {
             assert!(!bucket.is_empty(), "empty strict bucket for {key:?}");
             assert!(
-                bucket.windows(2).all(|w| w[0] < w[1]),
-                "strict bucket not sorted: {bucket:?}"
+                bucket
+                    .windows(2)
+                    .all(|w| self.seq[w[0] as usize] < self.seq[w[1] as usize]),
+                "strict bucket not in install order: {bucket:?}"
             );
-            for &i in bucket {
-                let e = &self.entries[i];
-                assert_eq!((e.flow_match, e.priority), *key, "stale strict index {i}");
+            for &s in bucket {
+                let e = self.slots[s as usize].as_ref().expect("free slot indexed");
+                assert_eq!((e.flow_match, e.priority), *key, "stale strict index {s}");
             }
             strict_count += bucket.len();
         }
-        assert_eq!(strict_count, self.entries.len());
-        let mut prio_count = 0;
-        for (&prio, bucket) in &self.prio_buckets {
-            assert!(!bucket.is_empty(), "empty priority bucket for {prio}");
-            assert!(
-                bucket.windows(2).all(|w| w[0] < w[1]),
-                "priority bucket not sorted: {bucket:?}"
-            );
-            for &i in bucket {
-                assert_eq!(self.entries[i].priority, prio, "stale priority index {i}");
-            }
-            prio_count += bucket.len();
-        }
-        assert_eq!(prio_count, self.entries.len());
+        assert_eq!(strict_count, self.len());
         let mut id_count = 0;
         for (&id, bucket) in &self.by_id {
             assert!(!bucket.is_empty(), "empty id bucket for {id:?}");
             assert!(
-                bucket.windows(2).all(|w| w[0] < w[1]),
-                "id bucket not sorted: {bucket:?}"
+                bucket
+                    .windows(2)
+                    .all(|w| self.seq[w[0] as usize] < self.seq[w[1] as usize]),
+                "id bucket not in install order: {bucket:?}"
             );
-            for &i in bucket {
-                assert_eq!(self.entries[i].id, id, "stale id index {i}");
+            for &s in bucket {
+                let e = self.slots[s as usize].as_ref().expect("free slot indexed");
+                assert_eq!(e.id, id, "stale id index {s}");
             }
             id_count += bucket.len();
         }
-        assert_eq!(id_count, self.entries.len());
+        assert_eq!(id_count, self.len());
         let mut cover_count = 0;
         for (&shape, group) in &self.cover {
             assert!(!group.is_empty(), "empty cover group for {shape:#x}");
             for (canon, bucket) in group {
                 assert!(!bucket.is_empty(), "empty cover bucket for {canon:?}");
-                assert!(
-                    bucket.windows(2).all(|w| w[0] < w[1]),
-                    "cover bucket not sorted: {bucket:?}"
-                );
-                for &i in bucket {
-                    let m = self.entries[i].flow_match;
-                    assert_eq!(m.wildcards(), shape, "stale cover shape {i}");
-                    assert_eq!(m.canonical(), *canon, "stale cover key {i}");
+                for &s in bucket {
+                    let m = self.slots[s as usize]
+                        .as_ref()
+                        .expect("free slot indexed")
+                        .flow_match;
+                    assert_eq!(m.wildcards(), shape, "stale cover shape {s}");
+                    assert_eq!(m.canonical(), *canon, "stale cover key {s}");
                 }
                 cover_count += bucket.len();
             }
         }
-        assert_eq!(cover_count, self.entries.len());
+        assert_eq!(cover_count, self.len());
         // Fenwick priority counts and the timeout counter must match a
         // recompute from scratch.
-        assert_eq!(self.prio_counts.len(), self.entries.len());
-        for probe in self.entries.iter().map(|e| e.priority).take(64) {
+        assert_eq!(self.prio_counts.len(), self.len());
+        for probe in self.iter().map(|e| e.priority).take(64) {
             for p in [probe.saturating_sub(1), probe, probe.saturating_add(1)] {
                 assert_eq!(
                     self.count_above(p),
-                    crate::tcam::shift_count(self.entries.iter().map(|e| &e.priority), p),
+                    crate::tcam::shift_count(self.iter().map(|e| &e.priority), p),
                     "fenwick disagrees at priority {p}"
                 );
             }
         }
         assert_eq!(
             self.timeout_entries,
-            self.entries.iter().filter(|e| has_timeout(e)).count()
+            self.iter().filter(|e| has_timeout(e)).count()
         );
     }
 }
@@ -770,6 +796,27 @@ mod tests {
         assert!(t.find_strict(&FlowMatch::l3_for_id(1), 5).is_none());
         t.insert(entry(9, FlowMatch::l3_for_id(1), 5));
         assert_eq!(t.find_strict(&FlowMatch::l3_for_id(1), 5), Some(0));
+    }
+
+    #[test]
+    fn slots_are_stable_across_removals() {
+        // Removing one entry must not invalidate index answers for the
+        // survivors (the property the slab layout exists for).
+        let mut t = FlowTable::new();
+        for i in 0..8 {
+            t.insert(entry(i, FlowMatch::l3_for_id(i as u32), 10 + i as u16));
+        }
+        t.remove_at(0);
+        t.remove_at(3);
+        t.assert_index_consistent();
+        for i in [1u64, 2, 3, 5, 6, 7] {
+            let p = t.position_of(EntryId(i)).expect("survivor indexed");
+            assert_eq!(t.get(p).id, EntryId(i));
+        }
+        // Freed slots get reused without confusing the indexes.
+        t.insert(entry(100, FlowMatch::l3_for_id(100), 7));
+        t.assert_index_consistent();
+        assert_eq!(t.position_of(EntryId(100)), Some(t.len() - 1));
     }
 
     #[test]

@@ -92,7 +92,7 @@ fn arb_op() -> impl Strategy<Value = Op> {
 /// Recomputes every incrementally maintained quantity of `level` from
 /// its entry slice and asserts agreement.
 fn check_level(level: &mut CacheLevel, policy: &CachePolicy) {
-    let entries: Vec<FlowEntry> = level.table.as_slice().to_vec();
+    let entries: Vec<FlowEntry> = level.table.snapshot();
 
     // used_units: recompute as the sum of per-entry geometry costs.
     if let Some(g) = level.geometry {
@@ -120,12 +120,12 @@ fn check_level(level: &mut CacheLevel, policy: &CachePolicy) {
     // Eviction index vs the linear victim/backfill scans.
     prop_assert_eq!(
         level.worst_pos(policy),
-        policy.worst_index(level.table.as_slice()),
+        policy.worst_index(&entries),
         "worst_pos diverged"
     );
     prop_assert_eq!(
         level.best_pos(policy),
-        policy.best_index(level.table.as_slice()),
+        policy.best_index(&entries),
         "best_pos diverged"
     );
 

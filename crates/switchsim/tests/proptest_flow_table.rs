@@ -89,7 +89,7 @@ fn a_match(fid: u32) -> FlowMatch {
 
 /// Compares every observable of the two tables.
 fn assert_agree(indexed: &FlowTable, naive: &NaiveTable) {
-    assert_eq!(indexed.as_slice(), naive.entries.as_slice(), "entry order");
+    assert_eq!(indexed.snapshot(), naive.entries, "entry order");
     for fid in 0..8u32 {
         let key = FlowMatch::key_for_id(fid);
         assert_eq!(indexed.lookup(&key), naive.lookup(&key), "lookup fid={fid}");

@@ -35,7 +35,7 @@ use crate::request::Deadline;
 use crate::schedulers::{CriticalPathScheduler, SchedKey, Scheduler, TangoScheduler};
 use ofwire::types::Dpid;
 use simnet::time::{SimDuration, SimTime};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 use switchsim::control::{Completion, ControlOp, ControlPath, OpResult, OpToken};
 use switchsim::harness::Testbed;
@@ -314,10 +314,53 @@ fn run_round_barrier(
 struct InFlight {
     /// The node behind the op (reported back to the scheduler).
     node: NodeId,
+    /// Dense index of the switch the op occupies.
+    sw: u32,
     deadline: Deadline,
     /// Successor nodes captured at issue time (`mark_done` forgets
     /// edges).
     succs: Vec<NodeId>,
+}
+
+/// In-flight requests filed in a flat ring over token sequence numbers
+/// (dense per control path — see [`OpToken::seq`]): insert and remove
+/// are array accesses, and the drained front compacts away as
+/// completions arrive.
+#[derive(Default)]
+struct InFlightRing {
+    /// Sequence number of `slots[0]`; fixed by the first insert.
+    base: Option<u64>,
+    slots: VecDeque<Option<InFlight>>,
+    live: usize,
+}
+
+impl InFlightRing {
+    fn insert(&mut self, token: OpToken, fl: InFlight) {
+        let base = *self.base.get_or_insert(token.seq());
+        let off = usize::try_from(token.seq() - base).expect("token offset fits usize");
+        while self.slots.len() <= off {
+            self.slots.push_back(None);
+        }
+        debug_assert!(self.slots[off].is_none(), "token filed twice");
+        self.slots[off] = Some(fl);
+        self.live += 1;
+    }
+
+    fn remove(&mut self, token: OpToken) -> Option<InFlight> {
+        let base = self.base?;
+        let off = usize::try_from(token.seq().checked_sub(base)?).ok()?;
+        let fl = self.slots.get_mut(off)?.take()?;
+        self.live -= 1;
+        while matches!(self.slots.front(), Some(None)) {
+            self.slots.pop_front();
+            self.base = Some(self.base.expect("base set while compacting") + 1);
+        }
+        Some(fl)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.live == 0
+    }
 }
 
 /// One switch's dispatch queue: requests whose keys are final, split by
@@ -359,26 +402,39 @@ fn run_scheduled(
     let start = tb.now();
     sched.prepare(dag, db);
     let n = dag.len();
+    // Dense switch wiring: the DAG's distinct dpids in sorted order, and
+    // every node's switch resolved to a `u32` index once — the dispatch
+    // loop below never touches a map. Index order equals dpid order, so
+    // tie-breaks by index reproduce the old tie-breaks by dpid exactly.
+    let dpids: Vec<Dpid> = (0..n)
+        .map(|u| dag.node(NodeId(u)).location)
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let sw_of: BTreeMap<Dpid, u32> = dpids
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| (d, u32::try_from(i).expect("switch count fits u32")))
+        .collect();
+    let node_sw: Vec<u32> = (0..n)
+        .map(|u| sw_of[&dag.node(NodeId(u)).location])
+        .collect();
     // Release time per node: the max of its predecessors' release
     // instants (ack arrival or guarded completion). A node is issuable
     // once every predecessor's completion has been observed, so its
     // release time is final.
     let mut released_at: Vec<SimTime> = vec![start; n];
     let mut preds_pending: Vec<usize> = (0..n).map(|u| dag.predecessors(NodeId(u)).len()).collect();
-    let mut queues: BTreeMap<Dpid, SwitchQueue> = BTreeMap::new();
+    let mut queues: Vec<SwitchQueue> = dpids.iter().map(|_| SwitchQueue::default()).collect();
     for (u, &pending) in preds_pending.iter().enumerate() {
         let id = NodeId(u);
         if pending == 0 && !dag.is_done(id) {
             let key = sched.key(dag, id, start);
-            queues
-                .entry(dag.node(id).location)
-                .or_default()
-                .released
-                .insert((key, id));
+            queues[node_sw[u] as usize].released.insert((key, id));
         }
     }
-    let mut inflight: BTreeMap<OpToken, InFlight> = BTreeMap::new();
-    let mut busy: BTreeMap<Dpid, bool> = BTreeMap::new();
+    let mut inflight = InFlightRing::default();
+    let mut busy: Vec<bool> = vec![false; queues.len()];
     let mut stats = Stats::default();
     let mut last_done = start;
     let mut issued: Vec<NodeId> = Vec::with_capacity(n);
@@ -387,21 +443,22 @@ fn run_scheduled(
     // the dispatcher's decision instant.
     let issue_idle = |tb: &mut Testbed,
                       dag: &mut RequestDag,
-                      queues: &mut BTreeMap<Dpid, SwitchQueue>,
-                      inflight: &mut BTreeMap<OpToken, InFlight>,
-                      busy: &mut BTreeMap<Dpid, bool>,
+                      queues: &mut Vec<SwitchQueue>,
+                      inflight: &mut InFlightRing,
+                      busy: &mut Vec<bool>,
                       issued: &mut Vec<NodeId>| {
         let now = ControlPath::now(tb);
-        for q in queues.values_mut() {
+        for q in queues.iter_mut() {
             q.release_due(now);
         }
         loop {
             // Pick the idle switch that can start work earliest: `now`
             // if it has a released request, else its earliest future
-            // release. Ties break by dpid, then key within the switch.
-            let mut best: Option<(SimTime, Dpid)> = None;
-            for (&dpid, q) in queues.iter() {
-                if busy.get(&dpid).copied().unwrap_or(false) {
+            // release. Ties break by switch index (= dpid order), then
+            // key within the switch.
+            let mut best: Option<(SimTime, usize)> = None;
+            for (i, q) in queues.iter().enumerate() {
+                if busy[i] {
                     continue;
                 }
                 let cand = if q.released.is_empty() {
@@ -410,15 +467,15 @@ fn run_scheduled(
                     Some(now)
                 };
                 if let Some(t) = cand {
-                    if best.is_none_or(|b| (t, dpid) < b) {
-                        best = Some((t, dpid));
+                    if best.is_none_or(|b| (t, i) < b) {
+                        best = Some((t, i));
                     }
                 }
             }
-            let Some((start_time, dpid)) = best else {
+            let Some((start_time, sw)) = best else {
                 break;
             };
-            let q = queues.get_mut(&dpid).expect("candidate switch queued");
+            let q = &mut queues[sw];
             // Everything released by the start instant competes (when
             // the switch idles until a future release, requests due by
             // then are eligible too).
@@ -434,11 +491,12 @@ fn run_scheduled(
                 token,
                 InFlight {
                     node: id,
+                    sw: u32::try_from(sw).expect("switch count fits u32"),
                     deadline: req.install_by,
                     succs: dag.successors(id).to_vec(),
                 },
             );
-            busy.insert(dpid, true);
+            busy[sw] = true;
             dag.mark_done(id);
             issued.push(id);
         }
@@ -452,11 +510,11 @@ fn run_scheduled(
             return Err(ExecError::StuckDag);
         };
         let fl = inflight
-            .remove(&c.token)
+            .remove(c.token)
             .expect("completion for an op this dispatcher issued");
         stats.record(&c, fl.deadline, start);
         last_done = last_done.max(c.done_at);
-        busy.insert(c.dpid, false);
+        busy[fl.sw as usize] = false;
         let rel = match release {
             Release::Ack => c.acked_at,
             Release::Guard(g) => c.done_at + g,
@@ -469,9 +527,7 @@ fn run_scheduled(
             released_at[s.0] = released_at[s.0].max(rel);
             if preds_pending[s.0] == 0 {
                 let key = sched.key(dag, s, released_at[s.0]);
-                queues
-                    .entry(dag.node(s).location)
-                    .or_default()
+                queues[node_sw[s.0] as usize]
                     .future
                     .insert((released_at[s.0], key, s));
             }
