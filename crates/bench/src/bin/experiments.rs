@@ -14,20 +14,45 @@
 //! results are bit-identical for every N. Wall-clock per experiment is
 //! recorded to `BENCH_experiments.json` next to `results/` — outside it,
 //! so timing noise never pollutes the determinism-diffed artifacts.
+//!
+//! `--trace <dir>` enables virtual-time telemetry on the experiments
+//! that support it (fig11, sched_sweep) and writes, per experiment, a
+//! Perfetto-loadable Chrome trace (`TRACE_<name>.json`) and a plain-text
+//! metrics report (`METRICS_<name>.txt`) into `<dir>` — never inside
+//! `results/`, whose artifacts stay byte-identical with and without the
+//! flag. Traces are stamped in virtual time, so they too diff
+//! byte-identical across thread counts; metric counters additionally
+//! land in `BENCH_experiments.json` per experiment.
 
 use bench::experiments::*;
 use bench::report::{results_dir, write_figure, write_text};
+use simnet::telemetry::MetricsSnapshot;
+use std::path::{Path, PathBuf};
 use tango::json::Value;
 
 /// One timing record destined for `BENCH_experiments.json`: wall-clock
 /// always, simulator event counts when attributable (top-level
 /// experiments run serially in this loop, so the process-wide
 /// [`simnet::sim::events_processed`] delta is theirs; per-scheduler
-/// sub-timings of a parallel sweep carry no event split).
+/// sub-timings of a parallel sweep carry no event split), telemetry
+/// metrics when the experiment ran traced.
 struct Timing {
     name: String,
     secs: f64,
     events: Option<u64>,
+    metrics: Option<MetricsSnapshot>,
+}
+
+/// Writes one experiment's trace + metrics pair under the `--trace`
+/// directory and echoes the paths.
+fn write_trace(dir: &Path, name: &str, trace_json: &str, metrics_text: &str) {
+    std::fs::create_dir_all(dir).expect("create trace dir");
+    let trace_path = dir.join(format!("TRACE_{name}.json"));
+    std::fs::write(&trace_path, trace_json).expect("write trace json");
+    let metrics_path = dir.join(format!("METRICS_{name}.txt"));
+    std::fs::write(&metrics_path, metrics_text).expect("write metrics text");
+    println!("trace -> {}", trace_path.display());
+    println!("metrics -> {}", metrics_path.display());
 }
 
 struct Scale {
@@ -44,7 +69,13 @@ impl Scale {
     }
 }
 
-fn run_one(name: &str, scale: &Scale, extra_timings: &mut Vec<(String, f64)>) -> bool {
+fn run_one(
+    name: &str,
+    scale: &Scale,
+    trace_dir: Option<&Path>,
+    extra_timings: &mut Vec<(String, f64)>,
+    metrics_out: &mut Option<MetricsSnapshot>,
+) -> bool {
     let q = scale;
     match name {
         "table1" => {
@@ -132,7 +163,16 @@ fn run_one(name: &str, scale: &Scale, extra_timings: &mut Vec<(String, f64)>) ->
             write_figure("fig10", &fig);
         }
         "fig11" => {
-            let fig = fig11::run(q.n(2400));
+            // Traced or not, the figure bytes are identical — telemetry
+            // observes virtual time, it never advances it.
+            let fig = if let Some(dir) = trace_dir {
+                let (fig, trace_json, metrics) = fig11::run_traced(q.n(2400));
+                write_trace(dir, "fig11", &trace_json, &metrics.render_text());
+                *metrics_out = Some(metrics);
+                fig
+            } else {
+                fig11::run(q.n(2400))
+            };
             println!("== Fig 11 ==");
             for s in &fig.series {
                 let ys: Vec<String> = s.points.iter().map(|p| format!("{:.2}", p.1)).collect();
@@ -205,7 +245,14 @@ fn run_one(name: &str, scale: &Scale, extra_timings: &mut Vec<(String, f64)>) ->
             // — deterministic, thread-count independent — while each
             // scheduler's host wall-clock rides along into
             // `BENCH_experiments.json` via `extra_timings`.
-            let rows = sched_sweep::run(q.n(100_000));
+            let rows = if let Some(dir) = trace_dir {
+                let (rows, trace_json, metrics) = sched_sweep::run_traced(q.n(100_000));
+                write_trace(dir, "sched_sweep", &trace_json, &metrics.render_text());
+                *metrics_out = Some(metrics);
+                rows
+            } else {
+                sched_sweep::run(q.n(100_000))
+            };
             let text = sched_sweep::render(&rows);
             println!("== Scheduler sweep ==\n{text}");
             write_text("sched_sweep", &text);
@@ -267,6 +314,9 @@ fn write_bench_json(timings: &[Timing], threads: usize, quick: bool, total_s: f6
                 };
                 fields.push(("events_per_sec".into(), Value::num(rate)));
             }
+            if let Some(m) = &t.metrics {
+                fields.push(("metrics".into(), metrics_value(m)));
+            }
             Value::Obj(fields)
         })
         .collect();
@@ -285,13 +335,51 @@ fn write_bench_json(timings: &[Timing], threads: usize, quick: bool, total_s: f6
     println!("\nperf baseline -> {}", path.display());
 }
 
+/// The telemetry metrics block of one traced experiment, as JSON:
+/// counters and gauges as name → integer objects, histograms summarized.
+fn metrics_value(m: &MetricsSnapshot) -> Value {
+    let ints = |pairs: &[(String, u64)]| {
+        Value::Obj(
+            pairs
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::num(*v as f64)))
+                .collect(),
+        )
+    };
+    let hists = Value::Obj(
+        m.hists
+            .iter()
+            .map(|(k, s)| {
+                (
+                    k.clone(),
+                    Value::Obj(vec![
+                        ("n".into(), Value::num(s.n as f64)),
+                        ("mean".into(), Value::num(s.mean)),
+                        ("p50".into(), Value::num(s.p50)),
+                        ("p90".into(), Value::num(s.p90)),
+                        ("p99".into(), Value::num(s.p99)),
+                        ("max".into(), Value::num(s.max)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    Value::Obj(vec![
+        ("counters".into(), ints(&m.counters)),
+        ("gauges".into(), ints(&m.gauges)),
+        ("histograms".into(), hists),
+    ])
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let scale = Scale { quick };
-    // `--threads N` (or `--threads=N`) pins the worker pool; the value
-    // token after `--threads` must not be mistaken for an experiment.
+    // `--threads N` (or `--threads=N`) pins the worker pool, and
+    // `--trace DIR` (or `--trace=DIR`) turns on telemetry export; both
+    // value tokens must not be mistaken for an experiment.
     let mut wanted: Vec<&str> = Vec::new();
+    let mut trace_dir: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         let a = args[i].as_str();
@@ -304,11 +392,19 @@ fn main() {
             i += 2;
             continue;
         }
+        if a == "--trace" {
+            let dir = args.get(i + 1).expect("--trace needs a directory");
+            trace_dir = Some(PathBuf::from(dir));
+            i += 2;
+            continue;
+        }
         if let Some(v) = a.strip_prefix("--threads=") {
             let n = v
                 .parse::<usize>()
                 .expect("--threads needs a positive integer");
             bench::par::set_threads(n);
+        } else if let Some(v) = a.strip_prefix("--trace=") {
+            trace_dir = Some(PathBuf::from(v));
         } else if !a.starts_with("--") {
             wanted.push(a);
         }
@@ -329,7 +425,14 @@ fn main() {
         let ev0 = simnet::sim::events_processed();
         println!("\n──── running {name} ────");
         let mut extra_timings = Vec::new();
-        if !run_one(name, &scale, &mut extra_timings) {
+        let mut metrics = None;
+        if !run_one(
+            name,
+            &scale,
+            trace_dir.as_deref(),
+            &mut extra_timings,
+            &mut metrics,
+        ) {
             failed = true;
         }
         let secs = t0.elapsed().as_secs_f64();
@@ -339,11 +442,13 @@ fn main() {
             name: name.to_string(),
             secs,
             events: Some(events),
+            metrics,
         });
         timings.extend(extra_timings.into_iter().map(|(name, secs)| Timing {
             name,
             secs,
             events: None,
+            metrics: None,
         }));
     }
     let total_s = suite_t0.elapsed().as_secs_f64();

@@ -1,0 +1,44 @@
+//! Validates Chrome trace-event JSON files written by the experiments
+//! runner's `--trace` flag. CI's determinism job runs this over every
+//! emitted trace before diffing them across thread counts.
+//!
+//! ```text
+//! cargo run --release -p bench --bin trace_check -- /tmp/trace/TRACE_fig11.json
+//! ```
+//!
+//! Exits 0 when every file passes, 1 on the first class of violation,
+//! 2 on usage errors.
+
+use bench::tracecheck::check;
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: trace_check <trace.json>...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: unreadable: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match check(&text) {
+            Ok(stats) => println!(
+                "{path}: ok — {} events ({} spans) across {} processes / {} span tracks",
+                stats.events, stats.complete_events, stats.processes, stats.span_tracks
+            ),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -10,6 +10,7 @@
 
 use crate::lower::{enforce_dag_priorities, lower_scenario, triangle_testbed};
 use crate::par::par_map;
+use simnet::telemetry::{ChromeTrace, MetricsSnapshot, Recorder};
 use simnet::trace::Figure;
 use tango_sched::basic::{run_dionysus, run_tango_online, TangoMode};
 use workloads::scenarios::{traffic_engineering, Scenario};
@@ -75,12 +76,24 @@ fn build_scenario(
     traffic_engineering(&topo, "fig11", rules, weights, levels, enforce, seed)
 }
 
-/// Makespan (s) of one scenario under one arm.
+/// Makespan (s) of one scenario under one arm, plus — when `traced` —
+/// the cell's telemetry recorder (spans over lowering and dispatch,
+/// per-switch data-path counters).
 #[must_use]
-pub fn makespan_s(add_only: bool, levels: usize, rules: usize, arm: Arm, seed: u64) -> f64 {
+pub fn makespan_cell(
+    add_only: bool,
+    levels: usize,
+    rules: usize,
+    arm: Arm,
+    seed: u64,
+    traced: bool,
+) -> (f64, Option<Box<Recorder>>) {
     let enforce = arm == Arm::PriorityEnforcement;
     let scen = build_scenario(add_only, levels, rules, enforce, seed);
     let (mut tb, dpids) = triangle_testbed(seed ^ 0x11);
+    if traced {
+        tb.enable_telemetry();
+    }
     let mut dag = lower_scenario(&mut tb, &dpids, &scen);
     if enforce {
         enforce_dag_priorities(&mut dag);
@@ -92,13 +105,50 @@ pub fn makespan_s(add_only: bool, levels: usize, rules: usize, arm: Arm, seed: u
         }
     };
     assert_eq!(report.failed, 0);
-    report.makespan.as_secs_f64()
+    (report.makespan.as_secs_f64(), tb.finish_recorder())
+}
+
+/// Makespan (s) of one scenario under one arm.
+#[must_use]
+pub fn makespan_s(add_only: bool, levels: usize, rules: usize, arm: Arm, seed: u64) -> f64 {
+    makespan_cell(add_only, levels, rules, arm, seed, false).0
 }
 
 /// Runs the whole figure at `scale` rules for the 2.4 K scenarios
 /// (paper scale: 2400).
 #[must_use]
 pub fn run(scale: usize) -> Figure {
+    run_cells(scale, false).0
+}
+
+/// Runs the figure with telemetry enabled on every cell: returns the
+/// figure (identical to [`run`]'s — recording never perturbs timing)
+/// plus the merged Chrome trace JSON and metrics snapshot.
+#[must_use]
+pub fn run_traced(scale: usize) -> (Figure, String, MetricsSnapshot) {
+    let (fig, cells) = run_cells(scale, true);
+    let mut ct = ChromeTrace::new();
+    for (label, rec) in &cells {
+        if let Some(rec) = rec {
+            ct.add_cell(label, rec);
+        }
+    }
+    let metrics = Recorder::merge_metrics(cells.iter().filter_map(|(_, r)| r.as_deref()));
+    (fig, ct.render(), metrics)
+}
+
+/// One traced cell: its trace-process label and (when tracing was on)
+/// its recorder.
+type TracedCell = (String, Option<Box<Recorder>>);
+
+/// One cell of the grid: scenario index + label, `(add_only, levels,
+/// rules)`, and the arm.
+type Cell = (usize, &'static str, (bool, usize, usize), Arm);
+
+/// The shared cell grid: 4 scenarios × 3 arms, every cell fully
+/// self-seeded — fan out, collect by input index (so traced cells merge
+/// in a thread-count-independent order).
+fn run_cells(scale: usize, traced: bool) -> (Figure, Vec<TracedCell>) {
     let mut fig = Figure::new(
         "fig11: Hardware Testbed — priority sorting vs enforcement",
         "scenario index",
@@ -107,26 +157,28 @@ pub fn run(scale: usize) -> Figure {
     for arm in Arm::all() {
         fig.series_mut(arm.label());
     }
-    // 4 scenarios × 3 arms, every cell fully self-seeded — fan out.
     let descriptors = scenario_descriptors(scale);
-    let cells: Vec<(usize, (bool, usize, usize), Arm)> = descriptors
+    let cells: Vec<Cell> = descriptors
         .into_iter()
         .enumerate()
-        .flat_map(|(x, (_, add_only, levels, rules))| {
+        .flat_map(|(x, (label, add_only, levels, rules))| {
             Arm::all()
                 .into_iter()
-                .map(move |arm| (x, (add_only, levels, rules), arm))
+                .map(move |arm| (x, label, (add_only, levels, rules), arm))
         })
         .collect();
-    let times = par_map(cells, |(x, (add_only, levels, rules), arm)| {
-        makespan_s(add_only, levels, rules, arm, 0x1100 + x as u64)
+    let outs = par_map(cells, |(x, label, (add_only, levels, rules), arm)| {
+        let (t, rec) = makespan_cell(add_only, levels, rules, arm, 0x1100 + x as u64, traced);
+        (t, format!("fig11 {label}/{}", arm.label()), rec)
     });
     let arms = Arm::all().len();
-    for (cell, t) in times.into_iter().enumerate() {
+    let mut traced_cells = Vec::with_capacity(outs.len());
+    for (cell, (t, label, rec)) in outs.into_iter().enumerate() {
         let (x, si) = (cell / arms, cell % arms);
         fig.series[si].push(x as f64, t);
+        traced_cells.push((label, rec));
     }
-    fig
+    (fig, traced_cells)
 }
 
 #[cfg(test)]

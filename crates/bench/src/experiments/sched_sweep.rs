@@ -13,6 +13,7 @@ use crate::lower::lower_scenario;
 use crate::par::par_map;
 use crate::report::format_table;
 use ofwire::types::Dpid;
+use simnet::telemetry::{ChromeTrace, MetricsSnapshot, Recorder};
 use switchsim::harness::Testbed;
 use switchsim::profiles::SwitchProfile;
 use tango::db::TangoDb;
@@ -57,6 +58,27 @@ fn sweep_testbed(switches: usize, seed: u64) -> (Testbed, Vec<Dpid>) {
 /// Sweeps every registered scheduler over one `ops`-operation DAG.
 #[must_use]
 pub fn run(ops: usize) -> Vec<SweepRow> {
+    run_cells(ops, false).into_iter().map(|(r, _)| r).collect()
+}
+
+/// Runs the sweep with telemetry enabled on every cell: returns the
+/// rows (identical to [`run`]'s — recording never perturbs timing)
+/// plus the merged Chrome trace JSON and metrics snapshot.
+#[must_use]
+pub fn run_traced(ops: usize) -> (Vec<SweepRow>, String, MetricsSnapshot) {
+    let cells = run_cells(ops, true);
+    let mut ct = ChromeTrace::new();
+    for (row, rec) in &cells {
+        if let Some(rec) = rec {
+            ct.add_cell(&format!("sched_sweep {}", row.scheduler), rec);
+        }
+    }
+    let metrics = Recorder::merge_metrics(cells.iter().filter_map(|(_, r)| r.as_deref()));
+    let rows = cells.into_iter().map(|(r, _)| r).collect();
+    (rows, ct.render(), metrics)
+}
+
+fn run_cells(ops: usize, traced: bool) -> Vec<(SweepRow, Option<Box<Recorder>>)> {
     let cfg = UpdateDagConfig::sweep(ops);
     let scen = scaled_update_dag(&cfg);
     // Build the testbed and lower the 100k-op scenario exactly once;
@@ -64,12 +86,16 @@ pub fn run(ops: usize) -> Vec<SweepRow> {
     // byte-identically to a freshly built twin (RNG streams and event
     // arena are part of the state), so per-cell results are unchanged —
     // but the dominant generate-and-preinstall cost is paid once
-    // instead of once per registered scheduler.
+    // instead of once per registered scheduler. Telemetry is enabled on
+    // the clone, after lowering, so a traced cell records dispatch only.
     let (template_tb, dpids) = sweep_testbed(cfg.switches, 0x5EED);
     let mut template_tb = template_tb;
     let template_dag = lower_scenario(&mut template_tb, &dpids, &scen);
     par_map(registry(), move |entry| {
         let mut tb = template_tb.clone();
+        if traced {
+            tb.enable_telemetry();
+        }
         let mut dag = template_dag.clone();
         let mut sched = entry.build();
         let t0 = std::time::Instant::now();
@@ -83,7 +109,7 @@ pub fn run(ops: usize) -> Vec<SweepRow> {
         .expect("sweep DAGs are acyclic");
         let wall_secs = t0.elapsed().as_secs_f64();
         assert_eq!(report.failed, 0, "{}", entry.name);
-        SweepRow {
+        let row = SweepRow {
             scheduler: entry.name,
             ops,
             makespan_s: report.makespan.as_secs_f64(),
@@ -91,7 +117,8 @@ pub fn run(ops: usize) -> Vec<SweepRow> {
             completed: report.completed,
             failed: report.failed,
             wall_secs,
-        }
+        };
+        (row, tb.finish_recorder())
     })
 }
 

@@ -11,6 +11,7 @@ pub mod experiments;
 pub mod lower;
 pub mod par;
 pub mod report;
+pub mod tracecheck;
 
 pub use lower::{
     attach_triangle, b4_testbed, enforce_dag_priorities, lower_scenario, triangle_testbed,

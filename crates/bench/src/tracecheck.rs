@@ -1,0 +1,179 @@
+//! Structural validation of exported Chrome trace-event JSON.
+//!
+//! CI runs the `trace_check` binary over the traces the `--trace` flag
+//! of the experiments runner writes; [`check`] is the library entry the
+//! integration tests share. The rules encode what Perfetto and
+//! `chrome://tracing` require to load a file: a `traceEvents` array of
+//! well-formed `"M"`/`"X"` events, and — because
+//! [`simnet::telemetry::ChromeTrace`] sorts spans by `(track, start)` —
+//! non-decreasing `ts` within every `(pid, tid)` track.
+
+use std::collections::BTreeMap;
+use tango::json::Value;
+
+/// What a valid trace contained — callers assert on these counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total events of any phase.
+    pub events: usize,
+    /// `"X"` (complete) span events.
+    pub complete_events: usize,
+    /// Distinct `pid`s (one per experiment cell).
+    pub processes: usize,
+    /// Distinct `(pid, tid)` pairs carrying at least one span.
+    pub span_tracks: usize,
+}
+
+fn field<'v>(event: &'v Value, key: &str, i: usize) -> Result<&'v Value, String> {
+    event
+        .get(key)
+        .ok_or_else(|| format!("event {i}: missing \"{key}\""))
+}
+
+fn num_field(event: &Value, key: &str, i: usize) -> Result<f64, String> {
+    field(event, key, i)?
+        .as_f64()
+        .ok_or_else(|| format!("event {i}: \"{key}\" is not a number"))
+}
+
+fn str_field<'v>(event: &'v Value, key: &str, i: usize) -> Result<&'v str, String> {
+    match field(event, key, i)? {
+        Value::Str(s) => Ok(s),
+        _ => Err(format!("event {i}: \"{key}\" is not a string")),
+    }
+}
+
+/// Validates `text` as a Perfetto-loadable Chrome trace; returns what it
+/// contained, or the first structural violation.
+///
+/// # Errors
+/// A human-readable description of the first malformed construct: parse
+/// failure, wrong top-level shape, an ill-typed event field, a negative
+/// timestamp/duration, or a `ts` regression within one `(pid, tid)`.
+pub fn check(text: &str) -> Result<TraceStats, String> {
+    let doc = Value::parse(text).map_err(|e| format!("not valid JSON: {e:?}"))?;
+    match doc.get("displayTimeUnit") {
+        Some(Value::Str(_)) => {}
+        Some(_) => return Err("\"displayTimeUnit\" is not a string".into()),
+        None => return Err("missing \"displayTimeUnit\"".into()),
+    }
+    let events = match doc.get("traceEvents") {
+        Some(Value::Arr(events)) => events,
+        Some(_) => return Err("\"traceEvents\" is not an array".into()),
+        None => return Err("missing \"traceEvents\"".into()),
+    };
+    if events.is_empty() {
+        return Err("\"traceEvents\" is empty".into());
+    }
+    let mut stats = TraceStats {
+        events: events.len(),
+        ..TraceStats::default()
+    };
+    let mut pids: Vec<u64> = Vec::new();
+    // Last ts seen per (pid, tid): the exporter sorts spans by
+    // (track, start), so emission order must be time order per track.
+    let mut last_ts: BTreeMap<(u64, u64), f64> = BTreeMap::new();
+    for (i, event) in events.iter().enumerate() {
+        if !matches!(event, Value::Obj(_)) {
+            return Err(format!("event {i}: not an object"));
+        }
+        let ph = str_field(event, "ph", i)?;
+        str_field(event, "name", i)?;
+        let pid = num_field(event, "pid", i)?;
+        if pid < 1.0 || pid.fract() != 0.0 {
+            return Err(format!("event {i}: pid {pid} is not a positive integer"));
+        }
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let pid = pid as u64;
+        if !pids.contains(&pid) {
+            pids.push(pid);
+        }
+        match ph {
+            "M" => {
+                field(event, "args", i)?;
+            }
+            "X" => {
+                stats.complete_events += 1;
+                let ts = num_field(event, "ts", i)?;
+                let dur = num_field(event, "dur", i)?;
+                let tid = num_field(event, "tid", i)?;
+                if ts < 0.0 || dur < 0.0 {
+                    return Err(format!("event {i}: negative ts/dur"));
+                }
+                if tid < 0.0 || tid.fract() != 0.0 {
+                    return Err(format!("event {i}: tid {tid} is not an unsigned integer"));
+                }
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                let track = (pid, tid as u64);
+                if let Some(&prev) = last_ts.get(&track) {
+                    if ts < prev {
+                        return Err(format!(
+                            "event {i}: ts {ts} regresses below {prev} on pid {} tid {}",
+                            track.0, track.1
+                        ));
+                    }
+                }
+                last_ts.insert(track, ts);
+            }
+            other => return Err(format!("event {i}: unknown phase {other:?}")),
+        }
+    }
+    if stats.complete_events == 0 {
+        return Err("trace has no \"X\" span events".into());
+    }
+    stats.processes = pids.len();
+    stats.span_tracks = last_ts.len();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::telemetry::{switch_track, ChromeTrace, Telemetry, TRACK_SCHEDULER};
+    use simnet::time::SimTime;
+
+    fn sample_trace() -> String {
+        let mut tel = Telemetry::recording();
+        let a = tel.span_begin(TRACK_SCHEDULER, "execute", SimTime(0));
+        let b = tel.span_begin(switch_track(0), "flow_mod", SimTime(10));
+        tel.span_end(b, SimTime(20));
+        tel.span_end(a, SimTime(30));
+        let rec = tel.take().unwrap();
+        let mut ct = ChromeTrace::new();
+        ct.add_cell("cell a", &rec);
+        ct.add_cell("cell b", &rec);
+        ct.render()
+    }
+
+    #[test]
+    fn accepts_the_exporters_output() {
+        let stats = check(&sample_trace()).expect("exporter output is valid");
+        assert_eq!(stats.processes, 2);
+        assert_eq!(stats.complete_events, 4);
+        assert_eq!(stats.span_tracks, 4);
+    }
+
+    #[test]
+    fn rejects_structural_violations() {
+        assert!(check("not json").is_err());
+        assert!(check("{}").is_err());
+        assert!(check(r#"{"displayTimeUnit":"ms","traceEvents":[]}"#).is_err());
+        // Metadata-only: no spans.
+        let meta_only = r#"{"displayTimeUnit":"ms","traceEvents":[
+            {"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"x"}}
+        ]}"#;
+        assert!(check(meta_only).unwrap_err().contains("no \"X\""));
+        // A ts regression within one track.
+        let regress = r#"{"displayTimeUnit":"ms","traceEvents":[
+            {"name":"a","ph":"X","ts":5.0,"dur":1.0,"pid":1,"tid":0},
+            {"name":"b","ph":"X","ts":4.0,"dur":1.0,"pid":1,"tid":0}
+        ]}"#;
+        assert!(check(regress).unwrap_err().contains("regresses"));
+        // The same ts on another track is fine.
+        let other_track = r#"{"displayTimeUnit":"ms","traceEvents":[
+            {"name":"a","ph":"X","ts":5.0,"dur":1.0,"pid":1,"tid":0},
+            {"name":"b","ph":"X","ts":4.0,"dur":1.0,"pid":1,"tid":1}
+        ]}"#;
+        assert!(check(other_track).is_ok());
+    }
+}

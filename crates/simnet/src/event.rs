@@ -88,6 +88,26 @@ struct Stub {
     slot: u32,
 }
 
+/// Operational counters a calendar queue accumulates over its lifetime,
+/// plus a snapshot of its current geometry. Read with
+/// [`EventQueue::stats`]; feeds the telemetry metrics registry so
+/// experiment cells can report how hard the calendar worked (overflow
+/// pressure and rebuild churn are the two ways a calendar queue loses
+/// its O(1) claim).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Stubs filed into the sorted overflow tier (far-future or
+    /// pre-window pushes) instead of a calendar bucket.
+    pub overflow_pushes: u64,
+    /// Full geometry rebuilds (growth, shrink, window exhaustion, or
+    /// pre-window push).
+    pub rebuilds: u64,
+    /// Current calendar bucket count.
+    pub buckets: u64,
+    /// Stubs currently waiting in the overflow tier.
+    pub overflow_pending: u64,
+}
+
 /// Smallest bucket count; also the initial window size.
 const MIN_BUCKETS: usize = 16;
 /// Largest bucket count a rebuild will allocate.
@@ -121,6 +141,10 @@ pub struct EventQueue<E> {
     /// Far-future tier: stubs with `day >= base_day + nbuckets`, sorted
     /// by `(at, seq)` (slot rides along; seq is unique).
     overflow: BTreeSet<(u64, u64, u32)>,
+    /// Lifetime overflow pushes; geometry snapshot added by `stats()`.
+    overflow_pushes: u64,
+    /// Lifetime geometry rebuilds.
+    rebuilds: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -145,6 +169,19 @@ impl<E> EventQueue<E> {
             base_day: 0,
             cur_day: 0,
             overflow: BTreeSet::new(),
+            overflow_pushes: 0,
+            rebuilds: 0,
+        }
+    }
+
+    /// Lifetime counters plus current geometry. O(1).
+    #[must_use]
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            overflow_pushes: self.overflow_pushes,
+            rebuilds: self.rebuilds,
+            buckets: self.buckets.len() as u64,
+            overflow_pending: self.overflow.len() as u64,
         }
     }
 
@@ -213,9 +250,11 @@ impl<E> EventQueue<E> {
             // Pre-window push (the queue itself does not require
             // monotone times; the simulator's causality check does).
             // Park it in overflow and rebuild around the new minimum.
+            self.overflow_pushes += 1;
             self.overflow.insert((e.at, e.seq, e.slot));
             self.rebuild();
         } else if day >= self.horizon() {
+            self.overflow_pushes += 1;
             self.overflow.insert((e.at, e.seq, e.slot));
         } else {
             let b = (day as usize) & (self.buckets.len() - 1);
@@ -394,6 +433,7 @@ impl<E> EventQueue<E> {
     /// down to a power of two — both pure functions of pending state,
     /// so identical op histories rebuild identically.
     fn rebuild(&mut self) {
+        self.rebuilds += 1;
         let mut all: Vec<Stub> = Vec::with_capacity(self.live_count);
         for b in 0..self.buckets.len() {
             while let Some(e) = self.buckets[b].pop() {
@@ -793,6 +833,31 @@ mod tests {
         q.push(SimTime(60_000_000), 3);
         assert_eq!(q.pop(), Some((SimTime(10), 2)));
         assert_eq!(q.pop(), Some((SimTime(60_000_000), 3)));
+    }
+
+    #[test]
+    fn stats_count_overflow_and_rebuilds() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.stats(), QueueStats::default().buckets_is(16));
+        // With a near event holding the window in place, a far-future
+        // push must route through overflow.
+        q.push(SimTime(100), ());
+        q.push(SimTime::ZERO + SimDuration::from_secs(3600), ());
+        assert_eq!(q.stats().overflow_pushes, 1);
+        assert_eq!(q.stats().overflow_pending, 1);
+        // Enough pushes to trip a growth rebuild (2× bucket count).
+        for i in 0..40u64 {
+            q.push(SimTime(i * 1_000), ());
+        }
+        assert!(q.stats().rebuilds >= 1);
+        assert!(q.stats().buckets >= 32);
+    }
+
+    impl QueueStats {
+        fn buckets_is(mut self, n: u64) -> QueueStats {
+            self.buckets = n;
+            self
+        }
     }
 
     #[test]

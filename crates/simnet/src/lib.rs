@@ -29,6 +29,7 @@ pub mod event;
 pub mod link;
 pub mod rng;
 pub mod sim;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 
@@ -39,6 +40,7 @@ pub mod prelude {
     pub use crate::link::Link;
     pub use crate::rng::DetRng;
     pub use crate::sim::Simulator;
+    pub use crate::telemetry::Telemetry;
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::trace::{Figure, Series, Summary};
 }

@@ -14,15 +14,21 @@ use crate::time::{SimDuration, SimTime};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Process-wide count of events delivered by [`Simulator::next_event`]
-/// across every simulator instance. Relaxed increments: the counter is
-/// a throughput meter (events/sec reporting in the bench layer), never
-/// a synchronization point, and experiment runners snapshot deltas
-/// around each experiment.
+/// across every simulator instance — a *derived sum*, maintained
+/// incrementally alongside each simulator's own
+/// [`Simulator::events_processed`] count. Relaxed increments: the
+/// counter is a throughput meter (events/sec reporting in the bench
+/// layer), never a synchronization point. Because every live simulator
+/// in the process feeds it, deltas around a region are only attributable
+/// to one experiment when nothing else runs concurrently; per-cell
+/// accounting should read the per-simulator count instead.
 static EVENTS_PROCESSED: AtomicU64 = AtomicU64::new(0);
 
 /// Total events delivered by all simulators in this process so far.
 /// Benchmarks subtract a snapshot taken before an experiment to get its
-/// event count and derive events/sec from wall-clock.
+/// event count and derive events/sec from wall-clock; prefer
+/// [`Simulator::events_processed`] when a single simulator's count is
+/// what you mean.
 #[must_use]
 pub fn events_processed() -> u64 {
     EVENTS_PROCESSED.load(Ordering::Relaxed)
@@ -33,6 +39,7 @@ pub fn events_processed() -> u64 {
 pub struct Simulator<E = ()> {
     now: SimTime,
     queue: EventQueue<E>,
+    events: u64,
 }
 
 impl<E> Default for Simulator<E> {
@@ -48,6 +55,7 @@ impl<E> Simulator<E> {
         Simulator {
             now: SimTime::ZERO,
             queue: EventQueue::new(),
+            events: 0,
         }
     }
 
@@ -55,6 +63,17 @@ impl<E> Simulator<E> {
     #[must_use]
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Events delivered by *this* simulator's [`Simulator::next_event`].
+    /// Unlike the process-wide [`events_processed`] sum, this count is
+    /// unaffected by other simulators running concurrently (e.g. other
+    /// experiment cells under `par_map`), so it is the honest per-cell
+    /// figure for metrics snapshots. Cloning a simulator clones the
+    /// count along with the clock it describes.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.events
     }
 
     /// Advances the clock by `d` (closed-loop style).
@@ -90,6 +109,7 @@ impl<E> Simulator<E> {
         let (at, event) = self.queue.pop()?;
         debug_assert!(at >= self.now);
         self.now = at;
+        self.events += 1;
         EVENTS_PROCESSED.fetch_add(1, Ordering::Relaxed);
         Some((at, event))
     }
@@ -104,6 +124,13 @@ impl<E> Simulator<E> {
     #[must_use]
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Calendar-queue counters and geometry (overflow pressure, rebuild
+    /// churn, bucket count) for metrics snapshots.
+    #[must_use]
+    pub fn queue_stats(&self) -> crate::event::QueueStats {
+        self.queue.stats()
     }
 
     /// Runs the event loop to exhaustion, applying `handler` to each
@@ -160,6 +187,26 @@ mod tests {
         });
         assert_eq!(fired, 6);
         assert_eq!(sim.now(), SimTime(6_000_000));
+    }
+
+    #[test]
+    fn per_simulator_event_count_is_isolated() {
+        let mut a = Simulator::new();
+        let mut b = Simulator::new();
+        for i in 0..5u64 {
+            a.schedule_at(SimTime(i), ());
+        }
+        b.schedule_at(SimTime(0), ());
+        let global_before = events_processed();
+        while a.next_event().is_some() {}
+        while b.next_event().is_some() {}
+        assert_eq!(a.events_processed(), 5);
+        assert_eq!(b.events_processed(), 1);
+        // The process-wide sum is derived: it advanced by at least the
+        // two per-simulator counts (other tests may also be running).
+        assert!(events_processed() - global_before >= 6);
+        // Cloning carries the count with the clock it describes.
+        assert_eq!(a.clone().events_processed(), 5);
     }
 
     #[test]

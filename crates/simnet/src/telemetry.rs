@@ -1,0 +1,674 @@
+//! Virtual-time telemetry: spans, counters/gauges/histograms, and
+//! exporters (Chrome trace-event JSON for Perfetto, plain text).
+//!
+//! Everything above the simulator — the testbed's control-path dispatch,
+//! the inference drivers, the fleet runner, the scheduler executor —
+//! reports *what happened when* through this module, stamped in
+//! [`SimTime`] rather than host time, so a trace is a pure function of
+//! the experiment seed: byte-identical across runs, thread counts, and
+//! machines.
+//!
+//! # The off switch
+//!
+//! Producers hold a [`Telemetry`] handle: a niche-packed
+//! `Option<Box<Recorder>>` (one machine word — `None` is the null
+//! pointer). Every recording method starts with one branch on that
+//! option and returns immediately when disabled, so a telemetry-off run
+//! does no allocation and no bookkeeping — the invariant the perf gate
+//! for the fig11/fig12/infer_size trio relies on.
+//!
+//! # Spans
+//!
+//! A span is a named `[begin, end]` interval on a *track* (one track per
+//! switch plus [`TRACK_CONTROLLER`] and [`TRACK_SCHEDULER`]). Spans on
+//! one track must nest: `span_end`/`span_cancel` operate strictly on the
+//! innermost open span of their track (LIFO), which is exactly the
+//! discipline Chrome's trace viewer uses to infer nesting from `"X"`
+//! events on one thread. Completed spans land in a bounded ring — the
+//! oldest spans fall off first (counted in `spans_dropped`), so a
+//! runaway experiment degrades coverage instead of memory.
+//!
+//! # Metrics
+//!
+//! Counters (monotone sums), gauges (max observed), and histograms (raw
+//! samples, summarized with [`Summary`] including `p50/p90/p99`) live in
+//! registries keyed by `&'static str`. Keys iterate in sorted order, so
+//! every exporter is deterministic.
+
+use crate::time::SimTime;
+use crate::trace::Summary;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+
+/// Export track carrying controller-side activity (fleet jobs, sync
+/// adapters).
+pub const TRACK_CONTROLLER: u32 = 0;
+
+/// Export track carrying scheduler/executor dispatch activity.
+pub const TRACK_SCHEDULER: u32 = 1;
+
+/// The export track of the switch at dense index `idx` (one Perfetto
+/// "thread" per switch, after the controller and scheduler tracks).
+#[must_use]
+pub fn switch_track(idx: u32) -> u32 {
+    2 + idx
+}
+
+/// Handle to one open span. Returned by [`Telemetry::span_begin`]; pass
+/// it back to [`Telemetry::span_end`] (or `span_cancel`). `None` handles
+/// (telemetry off) flow through the same calls as no-ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId {
+    track: u32,
+    seq: u64,
+}
+
+/// One completed span, as stored in the ring and exported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRec {
+    /// Export track (Perfetto thread) the span belongs to.
+    pub track: u32,
+    /// Span name (static so recording never allocates).
+    pub name: &'static str,
+    /// Virtual begin instant.
+    pub start: SimTime,
+    /// Virtual end instant (`>= start`).
+    pub end: SimTime,
+    /// Begin order, unique per recorder — the deterministic tiebreak for
+    /// simultaneous spans.
+    pub seq: u64,
+}
+
+/// An in-progress span on some track's LIFO stack.
+#[derive(Debug, Clone)]
+struct OpenSpan {
+    seq: u64,
+    name: &'static str,
+    start: SimTime,
+}
+
+/// Default span-ring capacity (~1M spans ≈ 40 MB); enough for every
+/// experiment in the suite at `--quick` and the full fig11/fig12 runs.
+pub const DEFAULT_SPAN_CAPACITY: usize = 1 << 20;
+
+/// The arena behind a [`Telemetry`] handle: span ring, open-span stacks,
+/// and the metric registries.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    spans: VecDeque<SpanRec>,
+    capacity: usize,
+    /// Spans evicted from the ring because it was full.
+    dropped: u64,
+    /// Per-track stacks of open spans, indexed by track id.
+    open: Vec<Vec<OpenSpan>>,
+    next_seq: u64,
+    /// Human-readable track labels for export (`thread_name` metadata).
+    track_names: BTreeMap<u32, String>,
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, u64>,
+    hists: BTreeMap<&'static str, Vec<f64>>,
+}
+
+impl Recorder {
+    /// An empty recorder with the default span capacity.
+    #[must_use]
+    pub fn new() -> Recorder {
+        Recorder::with_capacity(DEFAULT_SPAN_CAPACITY)
+    }
+
+    /// An empty recorder whose span ring holds at most `capacity` spans.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Recorder {
+        Recorder {
+            capacity: capacity.max(1),
+            ..Recorder::default()
+        }
+    }
+
+    fn stack(&mut self, track: u32) -> &mut Vec<OpenSpan> {
+        let idx = track as usize;
+        if self.open.len() <= idx {
+            self.open.resize_with(idx + 1, Vec::new);
+        }
+        &mut self.open[idx]
+    }
+
+    fn begin(&mut self, track: u32, name: &'static str, at: SimTime) -> SpanId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.stack(track).push(OpenSpan {
+            seq,
+            name,
+            start: at,
+        });
+        SpanId { track, seq }
+    }
+
+    fn end(&mut self, id: SpanId, at: SimTime) {
+        let top = self
+            .stack(id.track)
+            .pop()
+            .expect("span_end on a track with no open span");
+        assert_eq!(
+            top.seq, id.seq,
+            "span_end out of order: spans on one track must close LIFO"
+        );
+        assert!(at >= top.start, "span cannot end before it begins");
+        self.record(SpanRec {
+            track: id.track,
+            name: top.name,
+            start: top.start,
+            end: at,
+            seq: top.seq,
+        });
+    }
+
+    fn cancel(&mut self, id: SpanId) {
+        let top = self
+            .stack(id.track)
+            .pop()
+            .expect("span_cancel on a track with no open span");
+        assert_eq!(
+            top.seq, id.seq,
+            "span_cancel out of order: spans on one track must close LIFO"
+        );
+    }
+
+    fn record(&mut self, rec: SpanRec) {
+        if self.spans.len() == self.capacity {
+            self.spans.pop_front();
+            self.dropped += 1;
+        }
+        self.spans.push_back(rec);
+    }
+
+    /// Ends every still-open span at `at` (innermost first, so the LIFO
+    /// discipline holds). Called before export so aborted runs still
+    /// produce balanced traces.
+    pub fn close_all(&mut self, at: SimTime) {
+        for track in 0..self.open.len() {
+            while let Some(top) = self.open[track].pop() {
+                let at = at.max(top.start);
+                self.record(SpanRec {
+                    track: u32::try_from(track).expect("track fits u32"),
+                    name: top.name,
+                    start: top.start,
+                    end: at,
+                    seq: top.seq,
+                });
+            }
+        }
+    }
+
+    /// Completed spans in ring order.
+    pub fn spans(&self) -> impl Iterator<Item = &SpanRec> {
+        self.spans.iter()
+    }
+
+    /// Spans still open (unbalanced begin/end), across all tracks.
+    #[must_use]
+    pub fn open_spans(&self) -> usize {
+        self.open.iter().map(Vec::len).sum()
+    }
+
+    /// Spans evicted because the ring was full.
+    #[must_use]
+    pub fn spans_dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Labels `track` for export (Perfetto `thread_name` metadata).
+    pub fn name_track(&mut self, track: u32, name: impl Into<String>) {
+        self.track_names.insert(track, name.into());
+    }
+
+    /// Current value of counter `key` (0 if never incremented).
+    #[must_use]
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Summarizes the metric registries (histograms collapse to
+    /// [`Summary`], including the tail quantiles).
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        Recorder::merge_metrics([self])
+    }
+
+    /// Merges many recorders' registries into one snapshot: counters
+    /// sum, gauges max, histogram samples concatenate (in iteration
+    /// order, so input-index-ordered cells merge deterministically).
+    pub fn merge_metrics<'a>(recs: impl IntoIterator<Item = &'a Recorder>) -> MetricsSnapshot {
+        let mut counters: BTreeMap<&'static str, u64> = BTreeMap::new();
+        let mut gauges: BTreeMap<&'static str, u64> = BTreeMap::new();
+        let mut samples: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
+        let mut dropped = 0;
+        for r in recs {
+            for (&k, &v) in &r.counters {
+                *counters.entry(k).or_insert(0) += v;
+            }
+            for (&k, &v) in &r.gauges {
+                let g = gauges.entry(k).or_insert(0);
+                *g = (*g).max(v);
+            }
+            for (&k, v) in &r.hists {
+                samples.entry(k).or_default().extend_from_slice(v);
+            }
+            dropped += r.dropped;
+        }
+        if dropped > 0 {
+            *counters.entry("telemetry/spans_dropped").or_insert(0) += dropped;
+        }
+        MetricsSnapshot {
+            counters: counters
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            gauges: gauges
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            hists: samples
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), Summary::of(v)))
+                .collect(),
+        }
+    }
+}
+
+/// A deterministic summary of the metric registries: sorted key order,
+/// counters summed, gauges maxed, histograms collapsed to [`Summary`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotone event counts, by key.
+    pub counters: Vec<(String, u64)>,
+    /// Maximum observed values, by key.
+    pub gauges: Vec<(String, u64)>,
+    /// Sample distributions, by key.
+    pub hists: Vec<(String, Summary)>,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as an aligned plain-text report — the
+    /// metrics twin of the Chrome trace, written beside `results/`.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# telemetry metrics");
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "\n[counters]");
+            for (k, v) in &self.counters {
+                let _ = writeln!(out, "{k} = {v}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "\n[gauges (max observed)]");
+            for (k, v) in &self.gauges {
+                let _ = writeln!(out, "{k} = {v}");
+            }
+        }
+        if !self.hists.is_empty() {
+            let _ = writeln!(out, "\n[histograms]");
+            for (k, s) in &self.hists {
+                let _ = writeln!(
+                    out,
+                    "{k}: n={} mean={:.4} p50={:.4} p90={:.4} p99={:.4} max={:.4}",
+                    s.n, s.mean, s.p50, s.p90, s.p99, s.max
+                );
+            }
+        }
+        out
+    }
+}
+
+/// The producer-side handle: a niche-packed `Option<Box<Recorder>>`.
+///
+/// Disabled (`Telemetry::off`, the default) it is a null pointer and
+/// every method is one branch; enabled it owns the recorder. The handle
+/// is `Clone` so a `Testbed` carrying one stays `Clone`.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    rec: Option<Box<Recorder>>,
+}
+
+impl Telemetry {
+    /// The disabled handle (all methods no-ops).
+    #[must_use]
+    pub fn off() -> Telemetry {
+        Telemetry { rec: None }
+    }
+
+    /// A handle recording into a fresh default-capacity [`Recorder`].
+    #[must_use]
+    pub fn recording() -> Telemetry {
+        Telemetry {
+            rec: Some(Box::new(Recorder::new())),
+        }
+    }
+
+    /// Whether a recorder is attached.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.rec.is_some()
+    }
+
+    /// Opens a span; returns `None` when disabled.
+    #[inline]
+    pub fn span_begin(&mut self, track: u32, name: &'static str, at: SimTime) -> Option<SpanId> {
+        self.rec.as_mut().map(|r| r.begin(track, name, at))
+    }
+
+    /// Closes the innermost open span of `id`'s track. A `None` id (from
+    /// a disabled begin) is a no-op.
+    #[inline]
+    pub fn span_end(&mut self, id: Option<SpanId>, at: SimTime) {
+        if let (Some(r), Some(id)) = (self.rec.as_mut(), id) {
+            r.end(id, at);
+        }
+    }
+
+    /// Discards the innermost open span of `id`'s track without
+    /// recording it.
+    #[inline]
+    pub fn span_cancel(&mut self, id: Option<SpanId>) {
+        if let (Some(r), Some(id)) = (self.rec.as_mut(), id) {
+            r.cancel(id);
+        }
+    }
+
+    /// Adds `n` to counter `key`.
+    #[inline]
+    pub fn count(&mut self, key: &'static str, n: u64) {
+        if let Some(r) = self.rec.as_mut() {
+            *r.counters.entry(key).or_insert(0) += n;
+        }
+    }
+
+    /// Raises gauge `key` to at least `v` (gauges export their maximum).
+    #[inline]
+    pub fn gauge_max(&mut self, key: &'static str, v: u64) {
+        if let Some(r) = self.rec.as_mut() {
+            let g = r.gauges.entry(key).or_insert(0);
+            *g = (*g).max(v);
+        }
+    }
+
+    /// Records one histogram sample for `key`.
+    #[inline]
+    pub fn observe(&mut self, key: &'static str, v: f64) {
+        if let Some(r) = self.rec.as_mut() {
+            r.hists.entry(key).or_default().push(v);
+        }
+    }
+
+    /// The attached recorder, if enabled.
+    #[must_use]
+    pub fn recorder(&self) -> Option<&Recorder> {
+        self.rec.as_deref()
+    }
+
+    /// Mutable access to the attached recorder, if enabled.
+    pub fn recorder_mut(&mut self) -> Option<&mut Recorder> {
+        self.rec.as_deref_mut()
+    }
+
+    /// Detaches and returns the recorder, leaving the handle disabled.
+    pub fn take(&mut self) -> Option<Box<Recorder>> {
+        self.rec.take()
+    }
+}
+
+/// Builder for a Chrome trace-event JSON file (the format Perfetto and
+/// `chrome://tracing` load).
+///
+/// Each added cell becomes one *process* (`pid`), its tracks the
+/// process's *threads* (`tid`) — so a multi-cell experiment opens in
+/// Perfetto as one process group per cell with per-switch, controller,
+/// and scheduler tracks. Virtual nanoseconds map to trace microseconds
+/// (`ts`/`dur` carry three decimals, exact to the nanosecond), and all
+/// ordering is deterministic: cells in insertion order, spans sorted by
+/// `(track, start, seq)` — so the rendered bytes are a pure function of
+/// the recorders.
+#[derive(Debug, Clone, Default)]
+pub struct ChromeTrace {
+    events: Vec<String>,
+    next_pid: u32,
+}
+
+/// Formats virtual nanoseconds as trace microseconds with nanosecond
+/// precision, deterministically (integer arithmetic, no float
+/// formatting).
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Minimal JSON string escaping for labels this crate controls.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl ChromeTrace {
+    /// An empty trace.
+    #[must_use]
+    pub fn new() -> ChromeTrace {
+        ChromeTrace::default()
+    }
+
+    /// Adds one recorder as a new process named `label`; returns the
+    /// assigned pid.
+    pub fn add_cell(&mut self, label: &str, rec: &Recorder) -> u32 {
+        self.next_pid += 1;
+        let pid = self.next_pid;
+        self.events.push(format!(
+            r#"{{"name":"process_name","ph":"M","pid":{pid},"tid":0,"args":{{"name":"{}"}}}}"#,
+            esc(label)
+        ));
+        let mut spans: Vec<&SpanRec> = rec.spans.iter().collect();
+        spans.sort_by_key(|s| (s.track, s.start, s.seq));
+        let mut named: Vec<u32> = rec.track_names.keys().copied().collect();
+        for s in &spans {
+            if !rec.track_names.contains_key(&s.track) && !named.contains(&s.track) {
+                named.push(s.track);
+            }
+        }
+        named.sort_unstable();
+        for track in named {
+            let name = rec
+                .track_names
+                .get(&track)
+                .cloned()
+                .unwrap_or_else(|| match track {
+                    TRACK_CONTROLLER => "controller".to_string(),
+                    TRACK_SCHEDULER => "scheduler".to_string(),
+                    t => format!("track {t}"),
+                });
+            self.events.push(format!(
+                r#"{{"name":"thread_name","ph":"M","pid":{pid},"tid":{track},"args":{{"name":"{}"}}}}"#,
+                esc(&name)
+            ));
+            // Sort index pins Perfetto's track order to the track id.
+            self.events.push(format!(
+                r#"{{"name":"thread_sort_index","ph":"M","pid":{pid},"tid":{track},"args":{{"sort_index":{track}}}}}"#,
+            ));
+        }
+        for s in spans {
+            let dur = s.end.since(s.start).0;
+            self.events.push(format!(
+                r#"{{"name":"{}","ph":"X","ts":{},"dur":{},"pid":{pid},"tid":{}}}"#,
+                esc(s.name),
+                us(s.start.0),
+                us(dur),
+                s.track
+            ));
+        }
+        pid
+    }
+
+    /// Renders the trace as Chrome trace-event JSON.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+        for (i, e) in self.events.iter().enumerate() {
+            out.push_str(e);
+            if i + 1 < self.events.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime(ms * 1_000_000)
+    }
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let mut tel = Telemetry::off();
+        assert!(!tel.is_enabled());
+        let id = tel.span_begin(TRACK_CONTROLLER, "noop", t(1));
+        assert!(id.is_none());
+        tel.span_end(id, t(2));
+        tel.count("x", 1);
+        tel.observe("y", 1.0);
+        assert!(tel.take().is_none());
+    }
+
+    #[test]
+    fn spans_nest_per_track() {
+        let mut tel = Telemetry::recording();
+        let outer = tel.span_begin(switch_track(0), "outer", t(0));
+        let inner = tel.span_begin(switch_track(0), "inner", t(1));
+        // A span on another track interleaves freely.
+        let other = tel.span_begin(switch_track(1), "other", t(1));
+        tel.span_end(inner, t(2));
+        tel.span_end(other, t(3));
+        tel.span_end(outer, t(4));
+        let rec = tel.take().unwrap();
+        assert_eq!(rec.spans().count(), 3);
+        assert_eq!(rec.open_spans(), 0);
+        let outer = rec.spans().find(|s| s.name == "outer").unwrap();
+        let inner = rec.spans().find(|s| s.name == "inner").unwrap();
+        assert!(outer.start <= inner.start && inner.end <= outer.end);
+    }
+
+    #[test]
+    #[should_panic(expected = "LIFO")]
+    fn out_of_order_end_panics() {
+        let mut tel = Telemetry::recording();
+        let a = tel.span_begin(0, "a", t(0));
+        let _b = tel.span_begin(0, "b", t(1));
+        tel.span_end(a, t(2));
+    }
+
+    #[test]
+    fn cancel_discards_without_recording() {
+        let mut tel = Telemetry::recording();
+        let a = tel.span_begin(0, "a", t(0));
+        tel.span_cancel(a);
+        let rec = tel.take().unwrap();
+        assert_eq!(rec.spans().count(), 0);
+        assert_eq!(rec.open_spans(), 0);
+    }
+
+    #[test]
+    fn ring_drops_oldest_beyond_capacity() {
+        let mut rec = Recorder::with_capacity(2);
+        for i in 0..4u64 {
+            let id = rec.begin(0, "s", SimTime(i));
+            rec.end(id, SimTime(i));
+        }
+        assert_eq!(rec.spans().count(), 2);
+        assert_eq!(rec.spans_dropped(), 2);
+        assert_eq!(rec.spans().next().unwrap().start, SimTime(2));
+        let m = rec.metrics();
+        assert!(m
+            .counters
+            .iter()
+            .any(|(k, v)| k == "telemetry/spans_dropped" && *v == 2));
+    }
+
+    #[test]
+    fn close_all_balances_open_spans() {
+        let mut tel = Telemetry::recording();
+        tel.span_begin(0, "a", t(1));
+        tel.span_begin(0, "b", t(2));
+        tel.span_begin(3, "c", t(3));
+        let rec = tel.recorder_mut().unwrap();
+        rec.close_all(t(5));
+        assert_eq!(rec.open_spans(), 0);
+        assert_eq!(rec.spans().count(), 3);
+        assert!(rec.spans().all(|s| s.end == t(5)));
+    }
+
+    #[test]
+    fn metrics_merge_sums_and_maxes() {
+        let mut a = Telemetry::recording();
+        a.count("ops", 3);
+        a.gauge_max("depth", 5);
+        a.observe("lat", 1.0);
+        let mut b = Telemetry::recording();
+        b.count("ops", 4);
+        b.gauge_max("depth", 2);
+        b.observe("lat", 3.0);
+        let (ra, rb) = (a.take().unwrap(), b.take().unwrap());
+        let m = Recorder::merge_metrics([ra.as_ref(), rb.as_ref()]);
+        assert_eq!(m.counters, vec![("ops".to_string(), 7)]);
+        assert_eq!(m.gauges, vec![("depth".to_string(), 5)]);
+        assert_eq!(m.hists.len(), 1);
+        assert_eq!(m.hists[0].1.n, 2);
+        assert_eq!(m.hists[0].1.mean, 2.0);
+        let text = m.render_text();
+        assert!(text.contains("ops = 7"));
+        assert!(text.contains("p99"));
+    }
+
+    #[test]
+    fn chrome_trace_is_deterministic_and_shaped() {
+        let build = || {
+            let mut tel = Telemetry::recording();
+            let a = tel.span_begin(switch_track(0), "flow_mod", t(1));
+            tel.span_end(a, t(2));
+            let b = tel.span_begin(TRACK_CONTROLLER, "fleet", t(0));
+            tel.span_end(b, t(9));
+            let mut rec = tel.take().unwrap();
+            rec.name_track(switch_track(0), "switch 0 (dpid 1)");
+            let mut ct = ChromeTrace::new();
+            ct.add_cell("cell", &rec);
+            ct.render()
+        };
+        let one = build();
+        assert_eq!(one, build(), "rendering must be deterministic");
+        assert!(one.contains("\"ph\":\"X\""));
+        assert!(one.contains("\"name\":\"flow_mod\""));
+        assert!(one.contains("switch 0 (dpid 1)"));
+        assert!(one.contains("\"ts\":1000.000"));
+        // Virtual ns map to trace µs: a 1 ms span is 1000 µs.
+        assert!(one.contains("\"dur\":1000.000"));
+        let _ = SimDuration::ZERO;
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_controls() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
+    }
+}

@@ -63,8 +63,13 @@ pub struct Summary {
     pub min: f64,
     /// Median (linear interpolation).
     pub p50: f64,
+    /// 90th percentile (linear interpolation).
+    pub p90: f64,
     /// 95th percentile (linear interpolation).
     pub p95: f64,
+    /// 99th percentile (linear interpolation) — the tail-latency figure
+    /// experiment text artifacts report.
+    pub p99: f64,
     /// Maximum.
     pub max: f64,
 }
@@ -86,7 +91,9 @@ impl Summary {
             std_dev: var.sqrt(),
             min: v[0],
             p50: percentile(&v, 0.50),
+            p90: percentile(&v, 0.90),
             p95: percentile(&v, 0.95),
+            p99: percentile(&v, 0.99),
             max: v[n - 1],
         }
     }
@@ -179,6 +186,18 @@ mod tests {
         assert_eq!(one.n, 1);
         assert_eq!(one.p50, 7.0);
         assert_eq!(one.p95, 7.0);
+        assert_eq!(one.p90, 7.0);
+        assert_eq!(one.p99, 7.0);
+    }
+
+    #[test]
+    fn tail_quantiles_interpolate() {
+        // 1..=100: p90 sits between the 90th and 91st order statistics,
+        // p99 between the 99th and 100th.
+        let s = Summary::of((1..=100).map(f64::from));
+        assert!((s.p90 - 90.1).abs() < 1e-9);
+        assert!((s.p99 - 99.01).abs() < 1e-9);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
     }
 
     #[test]

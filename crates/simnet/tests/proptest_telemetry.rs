@@ -1,0 +1,116 @@
+//! Property test: the span recorder upholds its balance and nesting
+//! invariants under random begin/end/cancel programs.
+//!
+//! The driver mirrors how real producers use [`Telemetry`]: a monotone
+//! virtual clock, a handful of tracks, and per-track LIFO close order
+//! (the recorder panics on anything else — pinned by a unit test; the
+//! property here is that *legal* programs always yield balanced,
+//! properly nested, time-monotone spans, with `close_all` sweeping up
+//! whatever the program left open).
+
+use proptest::prelude::*;
+use simnet::telemetry::{SpanId, Telemetry};
+use simnet::time::SimTime;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Open a span on `track % TRACKS` after advancing the clock.
+    Begin { track: u8, dt: u16 },
+    /// Close the innermost span of `track % TRACKS`, if any is open.
+    End { track: u8, dt: u16 },
+    /// Cancel the innermost span of `track % TRACKS`, if any is open.
+    Cancel { track: u8 },
+}
+
+const TRACKS: u32 = 4;
+const NAMES: [&str; 3] = ["alpha", "beta", "gamma"];
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u16>()).prop_map(|(track, dt)| Op::Begin { track, dt }),
+        (any::<u8>(), any::<u16>()).prop_map(|(track, dt)| Op::Begin { track, dt }),
+        (any::<u8>(), any::<u16>()).prop_map(|(track, dt)| Op::End { track, dt }),
+        (any::<u8>(), any::<u16>()).prop_map(|(track, dt)| Op::End { track, dt }),
+        any::<u8>().prop_map(|track| Op::Cancel { track }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn random_programs_yield_balanced_nested_monotone_spans(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+    ) {
+        let mut tel = Telemetry::recording();
+        let mut clock = SimTime(0);
+        // Model stacks: the ids this program knows are open, per track.
+        let mut open: Vec<Vec<SpanId>> = (0..TRACKS).map(|_| Vec::new()).collect();
+        let mut begun = 0u64;
+        let mut cancelled = 0u64;
+        for op in ops {
+            match op {
+                Op::Begin { track, dt } => {
+                    clock += simnet::time::SimDuration(u64::from(dt));
+                    let track = u32::from(track) % TRACKS;
+                    let name = NAMES[(begun % NAMES.len() as u64) as usize];
+                    let id = tel.span_begin(track, name, clock);
+                    prop_assert!(id.is_some(), "recording handle returns ids");
+                    open[track as usize].push(id.unwrap());
+                    begun += 1;
+                }
+                Op::End { track, dt } => {
+                    clock += simnet::time::SimDuration(u64::from(dt));
+                    let track = u32::from(track) % TRACKS;
+                    if let Some(id) = open[track as usize].pop() {
+                        tel.span_end(Some(id), clock);
+                    }
+                }
+                Op::Cancel { track } => {
+                    let track = u32::from(track) % TRACKS;
+                    if let Some(id) = open[track as usize].pop() {
+                        tel.span_cancel(Some(id));
+                        cancelled += 1;
+                    }
+                }
+            }
+        }
+        let rec = tel.recorder_mut().expect("recording");
+        let left_open: u64 = open.iter().map(|s| s.len() as u64).sum();
+        prop_assert_eq!(rec.open_spans() as u64, left_open);
+        rec.close_all(clock);
+
+        // Balance: everything begun was recorded or cancelled, nothing
+        // stays open, nothing was dropped at these sizes.
+        prop_assert_eq!(rec.open_spans(), 0);
+        prop_assert_eq!(rec.spans_dropped(), 0);
+        prop_assert_eq!(rec.spans().count() as u64 + cancelled, begun);
+
+        // Monotone: every span's end is at or after its start, and
+        // within a track, begin order (seq) is start-time order.
+        for s in rec.spans() {
+            prop_assert!(s.end >= s.start, "span {s:?} ends before it starts");
+            prop_assert!(s.track < TRACKS);
+        }
+        for track in 0..TRACKS {
+            let mut by_seq: Vec<_> = rec.spans().filter(|s| s.track == track).collect();
+            by_seq.sort_by_key(|s| s.seq);
+            for w in by_seq.windows(2) {
+                prop_assert!(w[0].start <= w[1].start,
+                    "later begin {:?} starts before earlier {:?}", w[1], w[0]);
+            }
+            // Nesting: two spans on one track are nested or disjoint —
+            // never partially overlapping (the LIFO discipline's
+            // guarantee, and what Chrome's viewer infers nesting from).
+            for (i, a) in by_seq.iter().enumerate() {
+                for b in by_seq.iter().skip(i + 1) {
+                    let nested = (a.start <= b.start && b.end <= a.end)
+                        || (b.start <= a.start && a.end <= b.end);
+                    let disjoint = a.end <= b.start || b.end <= a.start;
+                    prop_assert!(nested || disjoint,
+                        "partial overlap on track {track}: {a:?} vs {b:?}");
+                }
+            }
+        }
+    }
+}

@@ -21,6 +21,7 @@ use crate::pipeline::Hit;
 use ofwire::flow_match::FlowKey;
 use ofwire::flow_mod::FlowMod;
 use ofwire::types::Dpid;
+use simnet::telemetry::Telemetry;
 use simnet::time::SimTime;
 
 /// Identifies one submitted operation. Tokens are unique per control
@@ -145,4 +146,21 @@ pub trait ControlPath {
     /// leave the clock where a synchronous call-and-wait loop would have
     /// left it — at the last acknowledgement they observed.
     fn warp_to(&mut self, t: SimTime);
+
+    /// The path's telemetry handle, if it carries one. Layers above
+    /// (drivers, fleet, schedulers) emit their spans and metrics through
+    /// this so one recorder per experiment cell collects the whole
+    /// stack; the default (`None`) keeps paths without telemetry — and
+    /// every test double — untouched.
+    fn telemetry_mut(&mut self) -> Option<&mut Telemetry> {
+        None
+    }
+
+    /// The export track spans about switch `dpid` should land on, if
+    /// the path assigns per-switch tracks. Defaults to `None` (callers
+    /// then skip per-switch spans rather than misfile them).
+    fn track_of(&self, dpid: Dpid) -> Option<u32> {
+        let _ = dpid;
+        None
+    }
 }

@@ -32,7 +32,7 @@ use crate::agent::{Agent, AgentOutput};
 use crate::control::{Completion, ControlOp, ControlPath, OpOutcome, OpToken};
 use crate::pipeline::Hit;
 use crate::profiles::SwitchProfile;
-use crate::switch::Switch;
+use crate::switch::{DataPathStats, Switch};
 use ofwire::barrier::BarrierTracker;
 use ofwire::flow_match::FlowKey;
 use ofwire::flow_mod::FlowMod;
@@ -42,6 +42,9 @@ use ofwire::types::{Dpid, PortNo, Xid};
 use simnet::link::Link;
 use simnet::rng::DetRng;
 use simnet::sim::Simulator;
+use simnet::telemetry::{
+    switch_track, Recorder, SpanId, Telemetry, TRACK_CONTROLLER, TRACK_SCHEDULER,
+};
 use simnet::time::{SimDuration, SimTime};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -80,6 +83,9 @@ struct InFlight {
     done_at: SimTime,
     acked_at: SimTime,
     outcome: OpOutcome,
+    /// The op's telemetry span, opened when processing began; `None`
+    /// when telemetry is off.
+    span: Option<SpanId>,
 }
 
 /// One switch attached to the testbed.
@@ -215,6 +221,11 @@ pub struct Testbed {
     agent_outs: Vec<AgentOutput>,
     /// Retired wire buffers awaiting reuse by `encode`.
     spare_bufs: Vec<Vec<u8>>,
+    /// Per-testbed telemetry: disabled (a null option) unless
+    /// [`Testbed::enable_telemetry`] was called, in which case op spans
+    /// and dispatch metrics record here — along with everything the
+    /// layers above emit through [`ControlPath::telemetry_mut`].
+    telemetry: Telemetry,
 }
 
 impl Testbed {
@@ -230,7 +241,76 @@ impl Testbed {
             ring: CompletionRing::default(),
             agent_outs: Vec::new(),
             spare_bufs: Vec::new(),
+            telemetry: Telemetry::off(),
         }
+    }
+
+    /// Switches this testbed's telemetry on: a fresh recorder collects
+    /// op spans, dispatch metrics, and whatever the layers above emit.
+    /// Telemetry observes — it never draws randomness or alters event
+    /// timing — so results are identical with it on or off.
+    pub fn enable_telemetry(&mut self) {
+        self.telemetry = Telemetry::recording();
+    }
+
+    /// The testbed's telemetry handle (disabled by default; every method
+    /// on a disabled handle is a no-op).
+    pub fn telemetry(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
+    }
+
+    /// Closes out telemetry: snapshots per-switch data-path stats and
+    /// simulator/calendar-queue counters into the registry, labels the
+    /// export tracks, closes any still-open spans at the current virtual
+    /// time, and detaches the recorder. Returns `None` when telemetry
+    /// was never enabled.
+    pub fn finish_recorder(&mut self) -> Option<Box<Recorder>> {
+        if !self.telemetry.is_enabled() {
+            return None;
+        }
+        let mut agg = DataPathStats::default();
+        for att in &self.switches {
+            let s = att.agent.switch().stats();
+            agg.adds_hw += s.adds_hw;
+            agg.adds_sw += s.adds_sw;
+            agg.add_rejects += s.add_rejects;
+            agg.tcam_shift_units += s.tcam_shift_units;
+            agg.mods += s.mods;
+            agg.deleted_rules += s.deleted_rules;
+            agg.expired_rules += s.expired_rules;
+            agg.lookups += s.lookups;
+            agg.fast_hits += s.fast_hits;
+            agg.slow_hits += s.slow_hits;
+            agg.misses += s.misses;
+        }
+        let t = &mut self.telemetry;
+        t.count("pipeline/adds_hw", agg.adds_hw);
+        t.count("pipeline/adds_sw", agg.adds_sw);
+        t.count("pipeline/add_rejects", agg.add_rejects);
+        t.count("pipeline/tcam_shift_units", agg.tcam_shift_units);
+        t.count("pipeline/mods", agg.mods);
+        t.count("pipeline/deleted_rules", agg.deleted_rules);
+        t.count("pipeline/expired_rules", agg.expired_rules);
+        t.count("pipeline/lookups", agg.lookups);
+        t.count("pipeline/fast_hits", agg.fast_hits);
+        t.count("pipeline/slow_hits", agg.slow_hits);
+        t.count("pipeline/misses", agg.misses);
+        t.count("sim/events", self.sim.events_processed());
+        let qs = self.sim.queue_stats();
+        t.count("sim/cq_overflow_pushes", qs.overflow_pushes);
+        t.count("sim/cq_rebuilds", qs.rebuilds);
+        t.gauge_max("sim/cq_buckets", qs.buckets);
+        t.gauge_max("sim/cq_overflow_pending", qs.overflow_pending);
+        let now = self.sim.now();
+        let mut rec = self.telemetry.take()?;
+        rec.close_all(now);
+        rec.name_track(TRACK_CONTROLLER, "controller");
+        rec.name_track(TRACK_SCHEDULER, "scheduler");
+        for (i, att) in self.switches.iter().enumerate() {
+            let track = switch_track(u32::try_from(i).expect("switch count fits u32"));
+            rec.name_track(track, format!("switch {i} (dpid {})", att.dpid.0));
+        }
+        Some(rec)
     }
 
     /// Attaches a switch built from `profile` behind `ctrl_link`.
@@ -381,6 +461,15 @@ impl Testbed {
     /// runs the agent, derives the completion, and schedules its `Done`
     /// event. The op's wire buffer retires to the spare pool.
     fn begin(&mut self, idx: u32, op: PendingOp, start: SimTime) {
+        let span_name = match op.kind {
+            OpKind::FlowMod => "flow_mod",
+            OpKind::Batch { .. } => "batch",
+            OpKind::Probe => "probe",
+            OpKind::Echo => "echo",
+        };
+        let span = self
+            .telemetry
+            .span_begin(switch_track(idx), span_name, start);
         // Reuse one scratch vector for agent outputs across all ops.
         let mut outs = std::mem::take(&mut self.agent_outs);
         outs.clear();
@@ -439,6 +528,7 @@ impl Testbed {
             done_at,
             acked_at: done_at + op.down,
             outcome,
+            span,
         });
         self.agent_outs = outs;
         self.spare_bufs.push(op.bytes);
@@ -456,7 +546,11 @@ impl Testbed {
                     .expect("arrival event without a pending op");
                 if att.current.is_some() {
                     att.waiting.push_back(op);
+                    // Depth counts the op on the CPU plus everyone queued.
+                    let depth = att.waiting.len() as f64 + 1.0;
+                    self.telemetry.observe("switch/queue_depth", depth);
                 } else {
+                    self.telemetry.observe("switch/queue_depth", 1.0);
                     self.begin(idx, op, at);
                 }
             }
@@ -465,6 +559,8 @@ impl Testbed {
                 let inflight = att.current.take().expect("done event without an op");
                 att.quiet_at = att.quiet_at.max(inflight.done_at);
                 let next = att.waiting.pop_front();
+                self.telemetry.span_end(inflight.span, inflight.done_at);
+                self.telemetry.count("switch/ops_done", 1);
                 self.ring.push(Completion {
                     token: inflight.token,
                     dpid: att.dpid,
@@ -576,6 +672,15 @@ impl ControlPath for Testbed {
         let idx = self.idx(dpid);
         let pending = self.encode(idx, op);
         let token = pending.token;
+        self.telemetry.count(
+            match pending.kind {
+                OpKind::FlowMod => "op/flow_mod",
+                OpKind::Batch { .. } => "op/batch",
+                OpKind::Probe => "op/probe",
+                OpKind::Echo => "op/echo",
+            },
+            1,
+        );
         let att = &mut self.switches[idx as usize];
         // In-order delivery: a frame cannot overtake an earlier one on
         // the same channel. The clamp is timing-neutral for processing
@@ -615,6 +720,14 @@ impl ControlPath for Testbed {
 
     fn warp_to(&mut self, t: SimTime) {
         Testbed::warp_to(self, t);
+    }
+
+    fn telemetry_mut(&mut self) -> Option<&mut Telemetry> {
+        Some(&mut self.telemetry)
+    }
+
+    fn track_of(&self, dpid: Dpid) -> Option<u32> {
+        self.index.get(&dpid).map(|&i| switch_track(i))
     }
 }
 
@@ -813,6 +926,36 @@ mod tests {
             (trace, tb.now())
         };
         assert_eq!(drive(&mut tb), drive(&mut tb2));
+    }
+
+    #[test]
+    fn telemetry_records_op_spans_without_changing_timing() {
+        let drive = |traced: bool| {
+            let (mut tb, dpid) = testbed_with(SwitchProfile::vendor1());
+            if traced {
+                tb.enable_telemetry();
+            }
+            for i in 0..5u32 {
+                tb.flow_mod(dpid, FlowMod::add(FlowMatch::l3_for_id(i), 10));
+            }
+            tb.probe(dpid, &FlowMatch::key_for_id(1));
+            (tb.now(), tb.finish_recorder())
+        };
+        let (t_off, rec_off) = drive(false);
+        let (t_on, rec_on) = drive(true);
+        assert!(rec_off.is_none());
+        // Telemetry is observation-only: identical virtual end time.
+        assert_eq!(t_off, t_on);
+        let rec = rec_on.expect("enabled telemetry yields a recorder");
+        assert_eq!(rec.open_spans(), 0, "all op spans closed");
+        assert_eq!(rec.spans().filter(|s| s.name == "flow_mod").count(), 5);
+        assert_eq!(rec.spans().filter(|s| s.name == "probe").count(), 1);
+        assert_eq!(rec.counter("op/flow_mod"), 5);
+        assert_eq!(rec.counter("switch/ops_done"), 6);
+        assert!(rec.counter("sim/events") > 0);
+        assert!(rec.counter("pipeline/adds_hw") + rec.counter("pipeline/adds_sw") == 5);
+        let m = rec.metrics();
+        assert!(m.hists.iter().any(|(k, _)| k == "switch/queue_depth"));
     }
 
     #[test]

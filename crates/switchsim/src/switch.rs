@@ -41,6 +41,41 @@ pub enum FlowModEffect {
     Deleted(usize),
 }
 
+/// Plain counters of everything the data path did over a switch's
+/// lifetime — the observable residue of the pipeline's add/evict/delete
+/// cascades and lookup promotions. Maintained unconditionally (a few
+/// u64 increments on paths that already charge microseconds of virtual
+/// latency) and snapshotted into the telemetry metrics registry per
+/// experiment cell.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DataPathStats {
+    /// Rules added into a hardware-backed level.
+    pub adds_hw: u64,
+    /// Rules added into a software level.
+    pub adds_sw: u64,
+    /// Adds rejected with all tables full.
+    pub add_rejects: u64,
+    /// TCAM capacity units shifted by priority-ordered adds (the Fig 3b
+    /// cost driver).
+    pub tcam_shift_units: u64,
+    /// Rules modified in place.
+    pub mods: u64,
+    /// Rules removed by explicit deletes.
+    pub deleted_rules: u64,
+    /// Rules removed by idle/hard timeout (cache evictions included —
+    /// expiry is how cached entries leave policy-cached pipelines).
+    pub expired_rules: u64,
+    /// Data-plane lookups injected.
+    pub lookups: u64,
+    /// Lookups served by the fastest (level-0) table — the flow-table
+    /// index hit count; `fast_hits / lookups` is the hit rate.
+    pub fast_hits: u64,
+    /// Lookups served by a slower level.
+    pub slow_hits: u64,
+    /// Lookups that missed every level (controller punt).
+    pub misses: u64,
+}
+
 /// A simulated OpenFlow switch.
 #[derive(Debug, Clone)]
 pub struct Switch {
@@ -57,6 +92,7 @@ pub struct Switch {
     lookup_count: u64,
     matched_count: u64,
     expired_queue: Vec<Expired>,
+    stats: DataPathStats,
 }
 
 impl Switch {
@@ -88,7 +124,14 @@ impl Switch {
             lookup_count: 0,
             matched_count: 0,
             expired_queue: Vec::new(),
+            stats: DataPathStats::default(),
         }
+    }
+
+    /// Lifetime data-path counters (adds, evictions, shifts, hit rates).
+    #[must_use]
+    pub fn stats(&self) -> DataPathStats {
+        self.stats
     }
 
     /// Removes timed-out entries as of `now`, queueing `flow_removed`
@@ -96,6 +139,7 @@ impl Switch {
     /// control or data operation (and callable explicitly).
     pub fn expire(&mut self, now: SimTime) {
         let expired = self.pipeline.expire(now);
+        self.stats.expired_rules += expired.len() as u64;
         self.expired_queue.extend(expired);
     }
 
@@ -116,6 +160,7 @@ impl Switch {
                 let entry = self.make_entry(fm, now);
                 match self.pipeline.add(entry) {
                     Ok(out) => {
+                        self.note_add(out.hardware, out.shifts);
                         let cost = self
                             .control
                             .add_cost(out.hardware, out.shifts, &mut self.rng);
@@ -130,6 +175,7 @@ impl Switch {
                         )
                     }
                     Err(TableFull) => {
+                        self.stats.add_rejects += 1;
                         // A rejected add still costs the switch a lookup.
                         let cost = self.control.add_cost(false, 0, &mut self.rng);
                         (Err(FlowModError::TableFull), cost)
@@ -148,10 +194,12 @@ impl Switch {
                     fallback,
                 ) {
                     Ok(ModOutcome::Modified(n)) => {
+                        self.stats.mods += n as u64;
                         let cost = self.control.mod_cost(n, resident, &mut self.rng);
                         (Ok(FlowModEffect::Modified(n)), cost)
                     }
                     Ok(ModOutcome::AddedInstead(out)) => {
+                        self.note_add(out.hardware, out.shifts);
                         let cost = self
                             .control
                             .add_cost(out.hardware, out.shifts, &mut self.rng);
@@ -176,10 +224,20 @@ impl Switch {
                 let n = self
                     .pipeline
                     .delete(&fm.flow_match, fm.priority, strict, fm.out_port);
+                self.stats.deleted_rules += n as u64;
                 let cost = self.control.del_cost(n, &mut self.rng);
                 (Ok(FlowModEffect::Deleted(n)), cost)
             }
         }
+    }
+
+    fn note_add(&mut self, hardware: bool, shifts: usize) {
+        if hardware {
+            self.stats.adds_hw += 1;
+        } else {
+            self.stats.adds_sw += 1;
+        }
+        self.stats.tcam_shift_units += shifts as u64;
     }
 
     fn make_entry(&mut self, fm: &FlowMod, now: SimTime) -> FlowEntry {
@@ -197,9 +255,18 @@ impl Switch {
     pub fn inject(&mut self, key: &FlowKey, now: SimTime, bytes: u64) -> (Hit, SimDuration) {
         self.expire(now);
         self.lookup_count += 1;
+        self.stats.lookups += 1;
         let hit = self.pipeline.lookup_touch(key, now, bytes);
-        if matches!(hit, Hit::Table { .. }) {
-            self.matched_count += 1;
+        match hit {
+            Hit::Table { level: 0, .. } => {
+                self.matched_count += 1;
+                self.stats.fast_hits += 1;
+            }
+            Hit::Table { .. } => {
+                self.matched_count += 1;
+                self.stats.slow_hits += 1;
+            }
+            Hit::Miss => self.stats.misses += 1,
         }
         let delay = self.datapath.delay(&hit, &mut self.rng);
         (hit, delay)
@@ -395,6 +462,30 @@ mod tests {
         let tables = s.table_stats();
         assert_eq!(tables.len(), 2);
         assert_eq!(tables[0].lookup_count, 2);
+    }
+
+    #[test]
+    fn datapath_stats_track_cascades_and_hits() {
+        let mut s = switch(SwitchProfile::vendor1());
+        // Descending priorities: each add lands below the resident
+        // rules, shifting TCAM entries (the Fig 3b cost driver).
+        for i in 0..10u32 {
+            let fm = FlowMod::add(FlowMatch::l3_for_id(i), 200 - i as u16);
+            s.apply_flow_mod(&fm, SimTime(u64::from(i))).0.unwrap();
+        }
+        let st = s.stats();
+        assert_eq!(st.adds_hw + st.adds_sw, 10);
+        assert!(st.tcam_shift_units > 0, "descending priorities must shift");
+        s.inject(&FlowMatch::key_for_id(1), SimTime(100), 64);
+        s.inject(&FlowMatch::key_for_id(999), SimTime(101), 64);
+        let st = s.stats();
+        assert_eq!(st.lookups, 2);
+        assert_eq!(st.fast_hits, 1);
+        assert_eq!(st.misses, 1);
+        s.apply_flow_mod(&FlowMod::delete_all(), SimTime(200))
+            .0
+            .unwrap();
+        assert_eq!(s.stats().deleted_rules, 10);
     }
 
     #[test]

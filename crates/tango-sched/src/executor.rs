@@ -34,6 +34,7 @@ use crate::dag::{NodeId, RequestDag};
 use crate::request::Deadline;
 use crate::schedulers::{CriticalPathScheduler, SchedKey, Scheduler, TangoScheduler};
 use ofwire::types::Dpid;
+use simnet::telemetry::TRACK_SCHEDULER;
 use simnet::time::{SimDuration, SimTime};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
@@ -253,6 +254,9 @@ fn run_round_barrier(
     partial: bool,
 ) -> Result<ExecReport, ExecError> {
     let start = tb.now();
+    let exec_span = tb
+        .telemetry()
+        .span_begin(TRACK_SCHEDULER, "execute_rounds", start);
     let mut frontier: SimTime = start;
     let mut stats = Stats::default();
     let mut rounds = Vec::new();
@@ -260,16 +264,23 @@ fn run_round_barrier(
     while !dag.all_done() {
         let set = dag.independent_set();
         if set.is_empty() {
+            tb.telemetry().span_cancel(exec_span);
             return Err(ExecError::StuckDag);
         }
         let (ordered, label) = order(db, dag, &set);
         if !partial && ordered.len() != set.len() {
+            tb.telemetry().span_cancel(exec_span);
             return Err(ExecError::OracleMismatch {
                 expected: set.len(),
                 got: ordered.len(),
             });
         }
         rounds.push((label, ordered.len()));
+        let round_span = tb
+            .telemetry()
+            .span_begin(TRACK_SCHEDULER, "round", frontier);
+        tb.telemetry().count("sched/rounds", 1);
+        tb.telemetry().count("sched/issued", ordered.len() as u64);
         // Issue the whole round at the frontier; every op's wire frames
         // and latencies are fixed at submit time, then the event core
         // interleaves all switches' processing in virtual time.
@@ -296,8 +307,10 @@ fn run_round_barrier(
             issued.push(id);
         }
         frontier = batch_end;
+        tb.telemetry().span_end(round_span, frontier);
     }
     tb.warp_to(frontier.max(tb.now()));
+    tb.telemetry().span_end(exec_span, frontier.max(start));
     Ok(ExecReport {
         makespan: frontier.since(start),
         completed: stats.completed,
@@ -400,6 +413,7 @@ fn run_scheduled(
     release: Release,
 ) -> Result<ExecReport, ExecError> {
     let start = tb.now();
+    let exec_span = tb.telemetry().span_begin(TRACK_SCHEDULER, "execute", start);
     sched.prepare(dag, db);
     let n = dag.len();
     // Dense switch wiring: the DAG's distinct dpids in sorted order, and
@@ -451,6 +465,13 @@ fn run_scheduled(
         for q in queues.iter_mut() {
             q.release_due(now);
         }
+        // Frontier width is an O(switches) sum, so only pay for it when a
+        // recorder is attached.
+        if tb.telemetry().is_enabled() {
+            let frontier: usize = queues.iter().map(|q| q.released.len()).sum();
+            tb.telemetry()
+                .observe("sched/ready_frontier", frontier as f64);
+        }
         loop {
             // Pick the idle switch that can start work earliest: `now`
             // if it has a released request, else its earliest future
@@ -499,6 +520,7 @@ fn run_scheduled(
             busy[sw] = true;
             dag.mark_done(id);
             issued.push(id);
+            tb.telemetry().count("sched/issued", 1);
         }
     };
 
@@ -507,6 +529,7 @@ fn run_scheduled(
         let Some(c) = tb.next_completion() else {
             // Nothing in flight and nothing issuable, yet the DAG has
             // unfinished requests: a dependency cycle.
+            tb.telemetry().span_cancel(exec_span);
             return Err(ExecError::StuckDag);
         };
         let fl = inflight
@@ -516,8 +539,14 @@ fn run_scheduled(
         last_done = last_done.max(c.done_at);
         busy[fl.sw as usize] = false;
         let rel = match release {
-            Release::Ack => c.acked_at,
-            Release::Guard(g) => c.done_at + g,
+            Release::Ack => {
+                tb.telemetry().count("sched/ack_releases", 1);
+                c.acked_at
+            }
+            Release::Guard(g) => {
+                tb.telemetry().count("sched/guard_releases", 1);
+                c.done_at + g
+            }
         };
         // The scheduler observes the completion before the nodes it
         // releases are keyed (dynamic schedulers update state here).
@@ -534,6 +563,7 @@ fn run_scheduled(
         }
     }
     tb.warp_to(last_done.max(tb.now()));
+    tb.telemetry().span_end(exec_span, last_done.max(start));
     Ok(ExecReport {
         makespan: last_done.since(start),
         completed: stats.completed,
@@ -761,6 +791,54 @@ mod tests {
         assert!(
             both.as_millis_f64() < 1.4 * single.as_millis_f64(),
             "two parallel chains ({both}) should cost about one ({single})"
+        );
+    }
+
+    #[test]
+    fn telemetry_records_scheduler_spans_without_changing_timing() {
+        let plain = {
+            let mut tb = testbed();
+            let mut dag = chain_dag(Dpid(1), 5);
+            execute_online(&mut tb, &mut dag, Discipline::CriticalPath, Release::Ack)
+                .unwrap()
+                .makespan
+        };
+        let mut tb = testbed();
+        tb.enable_telemetry();
+        let mut dag = chain_dag(Dpid(1), 5);
+        let report =
+            execute_online(&mut tb, &mut dag, Discipline::CriticalPath, Release::Ack).unwrap();
+        assert_eq!(report.makespan, plain, "telemetry must not perturb timing");
+        let rec = tb.finish_recorder().expect("recorder present");
+        assert_eq!(rec.counter("sched/issued"), 5);
+        assert_eq!(rec.counter("sched/ack_releases"), 5);
+        assert!(rec
+            .spans()
+            .any(|s| s.name == "execute" && s.track == TRACK_SCHEDULER));
+        let m = rec.metrics();
+        assert!(
+            m.hists.iter().any(|(k, _)| k == "sched/ready_frontier"),
+            "frontier histogram missing"
+        );
+    }
+
+    #[test]
+    fn telemetry_records_round_spans() {
+        let mut tb = testbed();
+        tb.enable_telemetry();
+        let mut dag = chain_dag(Dpid(1), 3);
+        let db = TangoDb::new();
+        let mut oracle =
+            |db: &TangoDb, dag: &RequestDag, set: &[NodeId]| ordering_tango_oracle(db, dag, set);
+        execute_batched(&mut tb, &mut dag, &db, &mut oracle).unwrap();
+        let rec = tb.finish_recorder().expect("recorder present");
+        assert_eq!(rec.counter("sched/rounds"), 3);
+        assert_eq!(rec.counter("sched/issued"), 3);
+        assert_eq!(
+            rec.spans()
+                .filter(|s| s.name == "round" && s.track == TRACK_SCHEDULER)
+                .count(),
+            3
         );
     }
 

@@ -34,6 +34,7 @@
 //! integration test and the `driver_equivalence` proptest enforce.
 
 use ofwire::types::Dpid;
+use simnet::telemetry::SpanId;
 use simnet::time::{SimDuration, SimTime};
 use std::collections::{HashSet, VecDeque};
 use switchsim::control::{self, ControlOp, ControlPath, OpToken};
@@ -178,6 +179,10 @@ struct Job<D: InferenceDriver> {
     /// Operations issued by the driver but not yet submitted.
     queue: VecDeque<ControlOp>,
     outcome: Option<D::Outcome>,
+    /// Telemetry span covering the job on its switch's track, from first
+    /// submit to final acknowledgement. `None` when telemetry is off or
+    /// the path assigns no per-switch tracks.
+    span: Option<SpanId>,
 }
 
 impl<D: InferenceDriver> Job<D> {
@@ -193,6 +198,9 @@ impl<D: InferenceDriver> Job<D> {
         let Some(op) = self.queue.pop_front() else {
             return Err(ProbeError::DriverStalled(self.dpid));
         };
+        if let Some(t) = cp.telemetry_mut() {
+            t.count("driver/ops_issued", 1);
+        }
         let token = cp.submit(self.dpid, op, ready_at);
         inflight.insert(token, idx, ready_at);
         Ok(())
@@ -285,6 +293,7 @@ where
             driver,
             queue: VecDeque::new(),
             outcome: None,
+            span: None,
         })
         .collect();
 
@@ -292,12 +301,22 @@ where
     let start = cp.now();
     let mut horizon = start;
     let mut inflight = TokenRing::default();
+    if let Some(t) = cp.telemetry_mut() {
+        t.count("driver/jobs", jobs.len() as u64);
+    }
     for (i, job) in jobs.iter_mut().enumerate() {
         match job.driver.start() {
             Step::Issue(ops) => job.queue.extend(ops),
             Step::Done(o) => job.outcome = Some(o),
         }
         if job.outcome.is_none() {
+            // The job span opens before the first op is submitted, so
+            // the switch's op spans nest inside it on the track.
+            if let Some(track) = cp.track_of(job.dpid) {
+                if let Some(t) = cp.telemetry_mut() {
+                    job.span = t.span_begin(track, "driver", start);
+                }
+            }
             job.submit_next(i, cp, start, &mut inflight)?;
         }
     }
@@ -320,11 +339,20 @@ where
             issued_at,
             inner: c,
         };
+        if let Some(t) = cp.telemetry_mut() {
+            t.count("driver/completions", 1);
+            t.observe("driver/op_ms", completion.elapsed_ms());
+        }
         match jobs[i].driver.on_completion(&completion)? {
             Step::Issue(ops) => jobs[i].queue.extend(ops),
             Step::Done(o) => {
                 jobs[i].outcome = Some(o);
                 jobs[i].queue.clear();
+                // The op span this completion closed was the innermost
+                // on the track, so the job span ends cleanly at the ack.
+                if let Some(t) = cp.telemetry_mut() {
+                    t.span_end(jobs[i].span.take(), c.acked_at);
+                }
             }
         }
         if jobs[i].outcome.is_none() {

@@ -263,7 +263,22 @@ pub fn run_inference<C: ControlPath>(
         .iter()
         .map(|job| (job.dpid, FleetDriver::for_job(job)))
         .collect();
-    run_drivers(cp, drivers)
+    // One controller-track span brackets the whole fleet run; the
+    // per-switch driver/op spans nest on their own tracks.
+    let start = cp.now();
+    let span = cp.telemetry_mut().and_then(|t| {
+        t.count("fleet/jobs", jobs.len() as u64);
+        t.span_begin(simnet::telemetry::TRACK_CONTROLLER, "fleet", start)
+    });
+    let result = run_drivers(cp, drivers);
+    let end = cp.now();
+    if let Some(t) = cp.telemetry_mut() {
+        match &result {
+            Ok(_) => t.span_end(span, end),
+            Err(_) => t.span_cancel(span),
+        }
+    }
+    result
 }
 
 #[cfg(test)]
