@@ -260,6 +260,23 @@ fn run_one(
                 extra_timings.push((format!("sched_sweep/{}", r.scheduler), r.wall_secs));
             }
         }
+        "wire_bench" => {
+            // Real-transport numbers are wall-clock, so this arm writes
+            // nothing under `results/` (not in ALL, not determinism-
+            // diffed); its artifact is `BENCH_wire.json` next to it.
+            let total = if q.quick { 40_000 } else { 400_000 };
+            let results = wire_bench::run(total);
+            let text = wire_bench::render(&results);
+            println!("== Wire bench (loopback TCP) ==\n{text}");
+            let dir = results_dir();
+            let path = dir
+                .parent()
+                .map_or_else(|| dir.clone(), Path::to_path_buf)
+                .join("BENCH_wire.json");
+            std::fs::write(&path, wire_bench::to_json(&results, q.quick).render())
+                .expect("write BENCH_wire.json");
+            println!("wire bench -> {}", path.display());
+        }
         other => {
             eprintln!("unknown experiment: {other}");
             return false;

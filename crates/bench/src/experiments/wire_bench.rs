@@ -1,0 +1,126 @@
+//! `wire_bench`: sustained flow-mod throughput and ack-latency tails of
+//! the real-transport control plane (`tango-net`) on loopback TCP.
+//!
+//! Each cell spawns a fresh realtime [`AgentServer`] hosting one OVS
+//! agent per connection, then drives every connection with a pipelined
+//! flow-mod stream (bounded in-flight window, coalesced barriers) from
+//! one single-threaded client. The sweep crosses connection counts with
+//! pipeline windows; the headline configuration (256 connections, deep
+//! window) is the crate's ≥100k flow_mods/sec target.
+//!
+//! Numbers here are *wall-clock* — they vary run to run and by host —
+//! so this experiment never writes under `results/` (which must stay
+//! byte-identical); its artifact is `BENCH_wire.json` next to it,
+//! alongside the suite's other perf baselines.
+
+use simnet::trace::Summary;
+use switchsim::profiles::SwitchProfile;
+use tango_net::bench::{run_wire_bench, WireBenchConfig, WireBenchResult};
+use tango_net::server::{AgentServer, ServerMode};
+
+/// The sweep grid: (connections, window). Barrier coalescing scales
+/// with the window (one fence per quarter-window).
+const GRID: &[(usize, usize)] = &[
+    (16, 16),
+    (16, 128),
+    (64, 16),
+    (64, 128),
+    (256, 16),
+    (256, 128),
+];
+
+/// Runs the sweep. `total_ops` is the flow-mod budget per cell, split
+/// evenly across its connections.
+pub fn run(total_ops: usize) -> Vec<WireBenchResult> {
+    let mut results = Vec::new();
+    for &(connections, window) in GRID {
+        let roster = (1..=connections as u64)
+            .map(|i| (ofwire::types::Dpid(i), SwitchProfile::ovs()))
+            .collect();
+        let server =
+            AgentServer::spawn(1, roster, ServerMode::Realtime).expect("spawn wire_bench server");
+        let cfg = WireBenchConfig {
+            connections,
+            window,
+            barrier_every: (window / 4).max(1),
+            ops_per_conn: (total_ops / connections).max(window),
+        };
+        let result = run_wire_bench(server.addr(), cfg).expect("wire_bench cell runs");
+        let stats = server.shutdown().expect("wire_bench server exits");
+        assert_eq!(stats.errors, 0, "protocol violations during bench");
+        results.push(result);
+    }
+    results
+}
+
+/// Renders the sweep as the aligned text table the runner prints.
+#[must_use]
+pub fn render(results: &[WireBenchResult]) -> String {
+    let mut out = String::new();
+    out.push_str("conns  window  fence   flow_mods    kfm/s    p50 ms   p90 ms   p99 ms\n");
+    out.push_str("---------------------------------------------------------------------\n");
+    for r in results {
+        let c = &r.config;
+        out.push_str(&format!(
+            "{:>5}  {:>6}  {:>5}  {:>10}  {:>7.1}  {:>7.3}  {:>7.3}  {:>7.3}\n",
+            c.connections,
+            c.window,
+            c.barrier_every,
+            r.total_flow_mods,
+            r.flow_mods_per_sec / 1e3,
+            r.ack_latency_ms.p50,
+            r.ack_latency_ms.p90,
+            r.ack_latency_ms.p99,
+        ));
+    }
+    out
+}
+
+/// The `BENCH_wire.json` document for a finished sweep.
+#[must_use]
+pub fn to_json(results: &[WireBenchResult], quick: bool) -> tango::json::Value {
+    use tango::json::Value;
+    let latency = |s: &Summary| {
+        Value::Obj(vec![
+            ("n".into(), Value::num(s.n as f64)),
+            ("mean".into(), Value::num(s.mean)),
+            ("p50".into(), Value::num(s.p50)),
+            ("p90".into(), Value::num(s.p90)),
+            ("p95".into(), Value::num(s.p95)),
+            ("p99".into(), Value::num(s.p99)),
+            ("max".into(), Value::num(s.max)),
+        ])
+    };
+    let cells: Vec<Value> = results
+        .iter()
+        .map(|r| {
+            Value::Obj(vec![
+                (
+                    "connections".into(),
+                    Value::num(r.config.connections as f64),
+                ),
+                ("window".into(), Value::num(r.config.window as f64)),
+                (
+                    "barrier_every".into(),
+                    Value::num(r.config.barrier_every as f64),
+                ),
+                (
+                    "ops_per_conn".into(),
+                    Value::num(r.config.ops_per_conn as f64),
+                ),
+                (
+                    "total_flow_mods".into(),
+                    Value::num(r.total_flow_mods as f64),
+                ),
+                ("elapsed_secs".into(), Value::num(r.elapsed_secs)),
+                ("flow_mods_per_sec".into(), Value::num(r.flow_mods_per_sec)),
+                ("errors".into(), Value::num(r.errors as f64)),
+                ("ack_latency_ms".into(), latency(&r.ack_latency_ms)),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![
+        ("quick".into(), Value::Bool(quick)),
+        ("cells".into(), Value::Arr(cells)),
+    ])
+}

@@ -131,6 +131,16 @@ impl Framer {
         }
     }
 
+    /// Takes whatever partial-frame bytes are buffered, leaving the
+    /// framer empty. Transports use this to hand a stream over to a
+    /// different consumer (e.g. from a handshake parser to the agent)
+    /// without losing a torn frame at the switchover point.
+    #[must_use]
+    pub fn take_pending(&mut self) -> Vec<u8> {
+        let n = self.buf.len();
+        self.buf.split_to(n).to_vec()
+    }
+
     /// Drains every complete message currently buffered.
     pub fn drain(&mut self) -> Result<Vec<(Header, Message)>> {
         let mut out = Vec::new();

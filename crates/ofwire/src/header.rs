@@ -23,6 +23,8 @@ pub enum MessageType {
     EchoRequest = 2,
     /// Liveness / RTT probe reply.
     EchoReply = 3,
+    /// Vendor/experimenter extension message.
+    Vendor = 4,
     /// Ask the switch for its datapath features.
     FeaturesRequest = 5,
     /// Switch feature report.
@@ -53,6 +55,7 @@ impl MessageType {
             1 => MessageType::Error,
             2 => MessageType::EchoRequest,
             3 => MessageType::EchoReply,
+            4 => MessageType::Vendor,
             5 => MessageType::FeaturesRequest,
             6 => MessageType::FeaturesReply,
             10 => MessageType::PacketIn,
@@ -178,6 +181,7 @@ mod tests {
             MessageType::Error,
             MessageType::EchoRequest,
             MessageType::EchoReply,
+            MessageType::Vendor,
             MessageType::FeaturesRequest,
             MessageType::FeaturesReply,
             MessageType::PacketIn,

@@ -8,7 +8,9 @@
 //! layout, wildcard bit encoding, action TLVs, `flow_mod` semantics) —
 //! close enough that the encoded bytes for the implemented messages are
 //! valid OpenFlow 1.0 — while omitting features the paper never exercises
-//! (queues beyond `Enqueue`, vendor extensions, port modification).
+//! (queues beyond `Enqueue`, port modification). Vendor/experimenter
+//! messages are carried opaquely ([`message::Message::Vendor`]); the
+//! `tango-net` transport uses them for its virtual-time side channel.
 //!
 //! ## Layout
 //!

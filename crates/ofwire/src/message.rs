@@ -26,6 +26,16 @@ pub enum Message {
     EchoRequest(Vec<u8>),
     /// Echo answer, payload mirrored.
     EchoReply(Vec<u8>),
+    /// Vendor/experimenter extension: an opaque payload scoped by a
+    /// 32-bit vendor id. Transports use this for side-band signalling
+    /// (e.g. the virtual-time channel in `tango-net`) without leaving
+    /// the OpenFlow 1.0 framing.
+    Vendor {
+        /// Vendor/experimenter id owning the payload format.
+        vendor: u32,
+        /// Opaque vendor-defined payload.
+        data: Vec<u8>,
+    },
     /// Ask for switch features.
     FeaturesRequest,
     /// Feature report.
@@ -57,6 +67,7 @@ impl Message {
             Message::Error(_) => MessageType::Error,
             Message::EchoRequest(_) => MessageType::EchoRequest,
             Message::EchoReply(_) => MessageType::EchoReply,
+            Message::Vendor { .. } => MessageType::Vendor,
             Message::FeaturesRequest => MessageType::FeaturesRequest,
             Message::FeaturesReply(_) => MessageType::FeaturesReply,
             Message::PacketIn(_) => MessageType::PacketIn,
@@ -102,6 +113,10 @@ impl Message {
             Message::EchoRequest(data) | Message::EchoReply(data) => {
                 buf.extend_from_slice(data);
             }
+            Message::Vendor { vendor, data } => {
+                buf.extend_from_slice(&vendor.to_be_bytes());
+                buf.extend_from_slice(data);
+            }
             Message::FeaturesReply(f) => f.encode(buf),
             Message::PacketIn(p) => p.encode(buf),
             Message::PacketOut(p) => p.encode(buf),
@@ -132,6 +147,19 @@ impl Message {
             MessageType::Error => Message::Error(ErrorMsg::decode(body)?.0),
             MessageType::EchoRequest => Message::EchoRequest(body.to_vec()),
             MessageType::EchoReply => Message::EchoReply(body.to_vec()),
+            MessageType::Vendor => {
+                if body.len() < 4 {
+                    return Err(WireError::Truncated {
+                        what: "vendor id",
+                        needed: 4,
+                        available: body.len(),
+                    });
+                }
+                Message::Vendor {
+                    vendor: u32::from_be_bytes([body[0], body[1], body[2], body[3]]),
+                    data: body[4..].to_vec(),
+                }
+            }
             MessageType::FeaturesRequest => Message::FeaturesRequest,
             MessageType::FeaturesReply => Message::FeaturesReply(FeaturesReply::decode(body)?.0),
             MessageType::PacketIn => Message::PacketIn(PacketIn::decode(body)?.0),
@@ -159,6 +187,10 @@ mod tests {
             Message::Error(ErrorMsg::table_full(vec![0; 64])),
             Message::EchoRequest(vec![1, 2, 3]),
             Message::EchoReply(vec![]),
+            Message::Vendor {
+                vendor: 0x00ca_fe42,
+                data: vec![0xde, 0xad, 0xbe, 0xef],
+            },
             Message::FeaturesRequest,
             Message::FeaturesReply(FeaturesReply {
                 datapath_id: Dpid(7),

@@ -200,8 +200,10 @@ impl Agent {
                 };
                 out.reply = Some(Message::StatsReply(body));
             }
-            // Messages a switch never receives are ignored.
-            Message::Error(_)
+            // Messages a switch never receives — plus vendor extensions
+            // this agent does not implement — are ignored.
+            Message::Vendor { .. }
+            | Message::Error(_)
             | Message::EchoReply(_)
             | Message::FeaturesReply(_)
             | Message::PacketIn(_)

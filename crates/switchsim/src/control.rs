@@ -41,6 +41,15 @@ impl OpToken {
     pub fn seq(self) -> u64 {
         self.0
     }
+
+    /// Mints the token with the given sequence number. Only
+    /// [`ControlPath`] implementations should call this — a transport
+    /// outside this crate needs it to mint its own dense token stream,
+    /// with the same density contract as [`OpToken::seq`] documents.
+    #[must_use]
+    pub fn from_seq(seq: u64) -> OpToken {
+        OpToken(seq)
+    }
 }
 
 /// The outcome of a completed flow-mod.

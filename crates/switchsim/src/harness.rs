@@ -21,7 +21,7 @@
 //! carries the switch's `u32` index, so the per-event dispatch is an
 //! array access — the `Dpid → switch` map is consulted only at the
 //! public API boundary (attach/submit), never inside the event loop.
-//! Completions land in a [`CompletionRing`] addressed by the globally
+//! Completions land in a `CompletionRing` addressed by the globally
 //! monotonic token number (`token - base` is the slot), so `wait_for`
 //! is O(1) instead of a scan, while a delivery-order queue preserves
 //! the time-ordered stream `next_completion` hands out. Encoded wire
@@ -29,16 +29,14 @@
 //! nothing per op.
 
 use crate::agent::{Agent, AgentOutput};
+use crate::chan::{self, ChanCodec, OpKind};
 use crate::control::{Completion, ControlOp, ControlPath, OpOutcome, OpToken};
 use crate::pipeline::Hit;
 use crate::profiles::SwitchProfile;
 use crate::switch::{DataPathStats, Switch};
-use ofwire::barrier::BarrierTracker;
 use ofwire::flow_match::FlowKey;
 use ofwire::flow_mod::FlowMod;
-use ofwire::message::Message;
-use ofwire::packet::{PacketOut, RawFrame};
-use ofwire::types::{Dpid, PortNo, Xid};
+use ofwire::types::Dpid;
 use simnet::link::Link;
 use simnet::rng::DetRng;
 use simnet::sim::Simulator;
@@ -67,14 +65,6 @@ struct PendingOp {
     down: SimDuration,
 }
 
-#[derive(Clone)]
-enum OpKind {
-    FlowMod,
-    Batch { size: usize },
-    Probe,
-    Echo,
-}
-
 /// An operation occupying the switch's control CPU, with its completion
 /// already computed (the agent ran when processing started).
 #[derive(Clone)]
@@ -99,9 +89,9 @@ struct Attached {
     /// that makes concurrent multi-switch runs reproduce sequential
     /// ones.
     rng: DetRng,
-    next_xid: Xid,
-    /// Outstanding barrier xids → the batch size they fence.
-    barriers: BarrierTracker<usize>,
+    /// Xid assignment and barrier bookkeeping, shared wire discipline
+    /// with the real-TCP transport (see [`crate::chan`]).
+    codec: ChanCodec,
     /// Submitted ops whose arrival event has not fired yet (FIFO: the
     /// control channel is an ordered stream).
     incoming: VecDeque<PendingOp>,
@@ -315,8 +305,7 @@ impl Testbed {
 
     /// Attaches a switch built from `profile` behind `ctrl_link`.
     pub fn attach(&mut self, dpid: Dpid, profile: SwitchProfile, ctrl_link: Link) {
-        let seed = self.rng.fork(dpid.0).next_u64_seed();
-        let link_rng = self.rng.fork(dpid.0 ^ 0xc417);
+        let (seed, link_rng) = chan::attach_streams(&mut self.rng, dpid);
         let switch = Switch::new(profile, dpid, seed);
         let now = self.sim.now();
         let idx = u32::try_from(self.switches.len()).expect("switch count fits u32");
@@ -327,8 +316,7 @@ impl Testbed {
             agent: Agent::new(switch),
             ctrl_link,
             rng: link_rng,
-            next_xid: Xid(1),
-            barriers: BarrierTracker::new(),
+            codec: ChanCodec::new(),
             incoming: VecDeque::new(),
             waiting: VecDeque::new(),
             current: None,
@@ -381,79 +369,15 @@ impl Testbed {
         bytes.clear();
         let att = &mut self.switches[idx as usize];
         let dpid = att.dpid;
-        match op {
-            ControlOp::FlowMod(fm) => {
-                let xid = att.next_xid;
-                att.next_xid = xid.next();
-                Message::FlowMod(fm).encode_frame_into(xid, &mut bytes);
-                let mut up_rng = att.rng.fork(dpid.0 ^ 0xa11ce);
-                let up = att.ctrl_link.delivery_latency(bytes.len(), &mut up_rng);
-                let mut down_rng = att.rng.fork(dpid.0 ^ 0xd0_17);
-                let down = att.ctrl_link.delivery_latency(16, &mut down_rng);
-                PendingOp {
-                    token,
-                    kind: OpKind::FlowMod,
-                    bytes,
-                    up,
-                    down,
-                }
-            }
-            ControlOp::Batch(fms) => {
-                let mut link_rng = att.rng.fork(dpid.0 ^ 0xba7c4);
-                // All frames build into one reused buffer: no
-                // per-message intermediate allocation on the batch path.
-                for fm in fms {
-                    let xid = att.next_xid;
-                    att.next_xid = xid.next();
-                    Message::FlowMod(fm).encode_frame_into(xid, &mut bytes);
-                }
-                let barrier_xid = att.next_xid;
-                att.next_xid = barrier_xid.next();
-                let size = bytes.len();
-                att.barriers.register(barrier_xid, size);
-                Message::BarrierRequest.encode_frame_into(barrier_xid, &mut bytes);
-                let up = att.ctrl_link.delivery_latency(bytes.len(), &mut link_rng);
-                let down = att.ctrl_link.delivery_latency(16, &mut link_rng);
-                PendingOp {
-                    token,
-                    kind: OpKind::Batch { size },
-                    bytes,
-                    up,
-                    down,
-                }
-            }
-            ControlOp::Probe(key) => {
-                let xid = att.next_xid;
-                att.next_xid = xid.next();
-                let frame = RawFrame::build(&key, 46);
-                let po = PacketOut::send(frame, PortNo(1));
-                Message::PacketOut(po).encode_frame_into(xid, &mut bytes);
-                let mut up_rng = att.rng.fork(dpid.0 ^ 0xa11ce);
-                let up = att.ctrl_link.delivery_latency(bytes.len(), &mut up_rng);
-                PendingOp {
-                    token,
-                    kind: OpKind::Probe,
-                    bytes,
-                    up,
-                    down: SimDuration::ZERO,
-                }
-            }
-            ControlOp::Echo(payload) => {
-                let xid = att.next_xid;
-                att.next_xid = xid.next();
-                Message::EchoRequest(vec![0xec; payload]).encode_frame_into(xid, &mut bytes);
-                let mut up_rng = att.rng.fork(dpid.0 ^ 0xa11ce);
-                let up = att.ctrl_link.delivery_latency(bytes.len(), &mut up_rng);
-                let mut down_rng = att.rng.fork(dpid.0 ^ 0xec0);
-                let down = att.ctrl_link.delivery_latency(payload + 8, &mut down_rng);
-                PendingOp {
-                    token,
-                    kind: OpKind::Echo,
-                    bytes,
-                    up,
-                    down,
-                }
-            }
+        let kind = att.codec.encode_op(op, &mut bytes);
+        let (up, down) =
+            chan::draw_latencies(&att.ctrl_link, &mut att.rng, dpid, kind, bytes.len());
+        PendingOp {
+            token,
+            kind,
+            bytes,
+            up,
+            down,
         }
     }
 
@@ -465,7 +389,7 @@ impl Testbed {
             OpKind::FlowMod => "flow_mod",
             OpKind::Batch { .. } => "batch",
             OpKind::Probe => "probe",
-            OpKind::Echo => "echo",
+            OpKind::Echo { .. } => "echo",
         };
         let span = self
             .telemetry
@@ -477,51 +401,7 @@ impl Testbed {
         att.agent
             .feed_into(&op.bytes, start, &mut outs)
             .expect("well-formed frame");
-        let (duration, outcome) = match op.kind {
-            OpKind::FlowMod => {
-                let cost = total_cost(&outs);
-                let result = if any_error(&outs) {
-                    OpResult::TableFull
-                } else {
-                    OpResult::Ok
-                };
-                (cost, OpOutcome::FlowMod(result))
-            }
-            OpKind::Batch { size } => {
-                let mut ok = 0;
-                let mut failed = 0;
-                let cost = total_cost(&outs);
-                for o in &outs {
-                    match &o.reply {
-                        Some(Message::Error(_)) => failed += 1,
-                        Some(Message::BarrierReply) => {
-                            // Pair the reply with its request: xid
-                            // mismatches would mean the fence got
-                            // reordered.
-                            let fenced = att.barriers.complete(o.xid);
-                            assert_eq!(fenced, Some(size), "barrier xid mismatch");
-                        }
-                        None => ok += 1,
-                        _ => {}
-                    }
-                }
-                (cost, OpOutcome::Batch { ok, failed })
-            }
-            OpKind::Probe => {
-                let (hit, fwd) = outs
-                    .iter()
-                    .find_map(|o| o.forwarded)
-                    .expect("packet_out produces a forwarding outcome");
-                (fwd, OpOutcome::Probe(hit))
-            }
-            OpKind::Echo => {
-                debug_assert!(matches!(
-                    outs.first().and_then(|o| o.reply.as_ref()),
-                    Some(Message::EchoReply(_))
-                ));
-                (SimDuration::ZERO, OpOutcome::Echo)
-            }
-        };
+        let (duration, outcome) = chan::op_completion(op.kind, &outs, att.codec.barriers_mut());
         let done_at = start + duration;
         att.current = Some(InFlight {
             token: op.token,
@@ -677,7 +557,7 @@ impl ControlPath for Testbed {
                 OpKind::FlowMod => "op/flow_mod",
                 OpKind::Batch { .. } => "op/batch",
                 OpKind::Probe => "op/probe",
-                OpKind::Echo => "op/echo",
+                OpKind::Echo { .. } => "op/echo",
             },
             1,
         );
@@ -728,27 +608,6 @@ impl ControlPath for Testbed {
 
     fn track_of(&self, dpid: Dpid) -> Option<u32> {
         self.index.get(&dpid).map(|&i| switch_track(i))
-    }
-}
-
-fn total_cost(outs: &[AgentOutput]) -> SimDuration {
-    outs.iter().fold(SimDuration::ZERO, |acc, o| acc + o.cost)
-}
-
-fn any_error(outs: &[AgentOutput]) -> bool {
-    outs.iter()
-        .any(|o| matches!(o.reply, Some(Message::Error(_))))
-}
-
-/// Extension trait to pull a fresh seed out of a forked RNG.
-trait SeedExt {
-    fn next_u64_seed(self) -> u64;
-}
-
-impl SeedExt for DetRng {
-    fn next_u64_seed(mut self) -> u64 {
-        use rand::RngCore;
-        self.next_u64()
     }
 }
 

@@ -38,6 +38,7 @@
 
 pub mod agent;
 pub mod cache;
+pub mod chan;
 pub mod control;
 pub mod entry;
 pub mod expiry;

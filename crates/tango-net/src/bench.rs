@@ -1,0 +1,226 @@
+//! The pipelined flow-mod load generator behind the `wire_bench`
+//! experiment arm.
+//!
+//! One single-threaded client drives N connections against a realtime
+//! [`AgentServer`](crate::server::AgentServer), keeping a bounded
+//! window of unacknowledged flow-mods in flight per connection and
+//! fencing them with coalesced barriers (one `barrier_request` per
+//! `barrier_every` flow-mods, never one per op). Ack latency for a
+//! flow-mod is measured to the *covering barrier's* reply — OpenFlow
+//! switches do not acknowledge successful flow-mods individually, so
+//! the fence is what a real controller waits on.
+//!
+//! The flow-mod stream alternates 1024-id blocks of `Add` and
+//! `DeleteStrict`, so the switch's tables stay bounded no matter how
+//! many operations a sweep pushes — throughput is measured against a
+//! steady-state table, not an ever-filling one.
+
+use crate::reactor::{NbConn, Pacer, READ_CHUNK};
+use ofwire::action::Action;
+use ofwire::codec::Framer;
+use ofwire::flow_match::FlowMatch;
+use ofwire::flow_mod::FlowMod;
+use ofwire::message::Message;
+use ofwire::types::{PortNo, Xid};
+use simnet::trace::Summary;
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+/// Flow-ids cycle through blocks of this many adds, then the matching
+/// strict deletes, keeping the table bounded.
+const ID_BLOCK: u32 = 1024;
+
+/// One `wire_bench` cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireBenchConfig {
+    /// Concurrent switch connections.
+    pub connections: usize,
+    /// Max unacknowledged flow-mods in flight per connection.
+    pub window: usize,
+    /// Coalescing factor: one barrier fences this many flow-mods.
+    pub barrier_every: usize,
+    /// Flow-mods each connection sends in total.
+    pub ops_per_conn: usize,
+}
+
+/// What one cell measured.
+#[derive(Debug, Clone)]
+pub struct WireBenchResult {
+    /// The cell's configuration.
+    pub config: WireBenchConfig,
+    /// Flow-mods acknowledged across all connections.
+    pub total_flow_mods: u64,
+    /// Wall-clock duration of the run, seconds.
+    pub elapsed_secs: f64,
+    /// Sustained throughput: `total_flow_mods / elapsed_secs`.
+    pub flow_mods_per_sec: f64,
+    /// Per-flow-mod ack latency (to the covering barrier reply), ms.
+    pub ack_latency_ms: Summary,
+    /// Error replies observed (0 in a healthy run — the id rotation
+    /// never fills a table).
+    pub errors: u64,
+}
+
+/// Client-side state of one benchmark connection.
+struct BenchConn {
+    conn: NbConn,
+    framer: Framer,
+    /// Flow-mods encoded so far.
+    sent: usize,
+    /// Flow-mods covered by a returned fence.
+    acked: usize,
+    /// Flow-mods sent since the last fence.
+    since_fence: usize,
+    /// Cumulative `sent` at each outstanding fence, FIFO.
+    fences: VecDeque<usize>,
+    /// Encode instant of each unacknowledged flow-mod, FIFO.
+    send_times: VecDeque<Instant>,
+    next_xid: u32,
+    errors: u64,
+}
+
+impl BenchConn {
+    fn xid(&mut self) -> Xid {
+        self.next_xid += 1;
+        Xid(self.next_xid)
+    }
+
+    /// Encodes the `i`-th flow-mod of the rotation: blocks of adds,
+    /// then the matching strict deletes.
+    fn encode_flow_mod(&mut self, i: usize) {
+        let block = (i as u32) / ID_BLOCK;
+        let id = (i as u32) % ID_BLOCK;
+        let fm = if block.is_multiple_of(2) {
+            FlowMod::add(FlowMatch::l3_for_id(id), 10).with_action(Action::Output {
+                port: PortNo(1),
+                max_len: 0,
+            })
+        } else {
+            FlowMod::delete_strict(FlowMatch::l3_for_id(id), 10)
+        };
+        let xid = self.xid();
+        Message::FlowMod(fm).encode_frame_into(xid, self.conn.out.tail());
+        self.send_times.push_back(Instant::now());
+        self.sent += 1;
+        self.since_fence += 1;
+    }
+
+    /// Fences everything sent since the last fence.
+    fn encode_fence(&mut self) {
+        debug_assert!(self.since_fence > 0);
+        let xid = self.xid();
+        Message::BarrierRequest.encode_frame_into(xid, self.conn.out.tail());
+        self.fences.push_back(self.sent);
+        self.since_fence = 0;
+    }
+}
+
+/// Runs one benchmark cell against a realtime agent server at `addr`.
+///
+/// The server's roster must contain dpids `1..=cfg.connections` (see
+/// the `wire_bench` experiment arm, which spawns it that way).
+pub fn run_wire_bench(addr: SocketAddr, cfg: WireBenchConfig) -> io::Result<WireBenchResult> {
+    use crate::vt::VtMsg;
+    let mut conns = Vec::with_capacity(cfg.connections);
+    for i in 0..cfg.connections {
+        let mut conn = NbConn::new(TcpStream::connect(addr)?)?;
+        VtMsg::Hello {
+            dpid: (i + 1) as u64,
+        }
+        .to_message()
+        .encode_frame_into(Xid(0), conn.out.tail());
+        conns.push(BenchConn {
+            conn,
+            framer: Framer::new(),
+            sent: 0,
+            acked: 0,
+            since_fence: 0,
+            fences: VecDeque::new(),
+            send_times: VecDeque::new(),
+            next_xid: 0,
+            errors: 0,
+        });
+    }
+
+    let total = cfg.ops_per_conn;
+    let mut samples: Vec<f64> = Vec::with_capacity(cfg.connections * total);
+    let mut scratch = vec![0u8; READ_CHUNK];
+    let mut pacer = Pacer::new();
+    let started = Instant::now();
+    loop {
+        let mut all_done = true;
+        let mut progress = false;
+        for bc in &mut conns {
+            // Top up the pipeline window, fencing every
+            // `barrier_every` flow-mods.
+            let before = bc.sent;
+            while bc.sent < total && bc.sent - bc.acked < cfg.window {
+                bc.encode_flow_mod(bc.sent);
+                if bc.since_fence >= cfg.barrier_every {
+                    bc.encode_fence();
+                }
+            }
+            // The window is full (or the stream is finished): fence the
+            // tail so its acks can come back.
+            if bc.since_fence > 0 {
+                bc.encode_fence();
+            }
+            progress |= bc.sent > before;
+            progress |= bc.conn.flush()? > 0;
+            let n = bc.conn.read_into(&mut scratch)?;
+            if bc.conn.is_closed() {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "agent server closed a benchmark connection",
+                ));
+            }
+            if n > 0 {
+                progress = true;
+                let mut input = &scratch[..n];
+                while let Some((_, msg)) = bc
+                    .framer
+                    .next_message_from(&mut input)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+                {
+                    match msg {
+                        Message::BarrierReply => {
+                            let covered = bc
+                                .fences
+                                .pop_front()
+                                .expect("fence replies arrive in order");
+                            let now = Instant::now();
+                            while bc.acked < covered {
+                                let t = bc.send_times.pop_front().expect("send time per flow-mod");
+                                samples.push(now.duration_since(t).as_secs_f64() * 1e3);
+                                bc.acked += 1;
+                            }
+                        }
+                        Message::Error(_) => bc.errors += 1,
+                        _ => {}
+                    }
+                }
+            }
+            all_done &= bc.acked == total;
+        }
+        if all_done {
+            break;
+        }
+        if progress {
+            pacer.progressed();
+        } else {
+            pacer.idle();
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let total_flow_mods = (cfg.connections * total) as u64;
+    Ok(WireBenchResult {
+        config: cfg,
+        total_flow_mods,
+        elapsed_secs: elapsed,
+        flow_mods_per_sec: total_flow_mods as f64 / elapsed,
+        ack_latency_ms: Summary::of(samples),
+        errors: conns.iter().map(|c| c.errors).sum(),
+    })
+}

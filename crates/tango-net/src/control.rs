@@ -1,0 +1,238 @@
+//! [`TcpFleet`]: a [`ControlPath`] over real loopback TCP.
+//!
+//! One connection per switch, each speaking the annotated op stream of
+//! [`crate::vt`] to an [`AgentServer`](crate::server::AgentServer) in
+//! virtual-time mode. Everything above the trait —
+//! `tango::fleet::run_inference`, the probe drivers, the schedulers —
+//! runs unmodified, and produces the same virtual timestamps and
+//! outcomes as the in-memory testbed (per-switch op encoding, xid
+//! discipline, latency draws, and timeline arithmetic are all shared
+//! code in [`switchsim::chan`]).
+//!
+//! ## Ordering relaxation
+//!
+//! The in-memory testbed delivers completions in global virtual-time
+//! order. `TcpFleet` preserves *per-switch* order (each connection is
+//! FIFO) but delivers across switches in arrival order, which a real
+//! transport cannot avoid. The driver runner files completions by
+//! token, and each driver's behaviour depends only on its own switch's
+//! completions, so inference outcomes are unaffected — this is the
+//! documented contract relaxation of taking the control path onto real
+//! sockets.
+//!
+//! The controller clock is correspondingly lazy: it advances only on
+//! [`warp_to`](ControlPath::warp_to) (which the drivers call at the
+//! instants a synchronous loop would have reached), never as a side
+//! effect of delivering a completion.
+
+use crate::reactor::{NbConn, Pacer, READ_CHUNK};
+use crate::vt::{VtMsg, VtOpTag, TANGO_VENDOR};
+use ofwire::codec::Framer;
+use ofwire::message::Message;
+use ofwire::types::{Dpid, Xid};
+use simnet::time::SimTime;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use switchsim::chan::{ChanCodec, OpKind};
+use switchsim::control::{Completion, ControlOp, ControlPath, OpToken};
+
+/// One switch's connection: socket, op codec (xids + barrier fences,
+/// identical state to the testbed's per-switch codec), and ack framer.
+struct FleetConn {
+    dpid: Dpid,
+    conn: NbConn,
+    codec: ChanCodec,
+    framer: Framer,
+}
+
+/// A fleet control path over loopback TCP. See the module docs.
+pub struct TcpFleet {
+    conns: Vec<FleetConn>,
+    by_dpid: HashMap<Dpid, usize>,
+    clock: SimTime,
+    next_seq: u64,
+    inflight: usize,
+    /// Completions received but not yet delivered, by token sequence.
+    done: BTreeMap<u64, Completion>,
+    /// Delivery order for [`ControlPath::next_completion`] (per-switch
+    /// arrival order; tokens [`wait_for`](ControlPath::wait_for) takes
+    /// out of turn are removed from here too).
+    arrival: VecDeque<u64>,
+    /// Shared scratch buffers (read chunk + op encode), reused per call.
+    scratch: Vec<u8>,
+    enc: Vec<u8>,
+    pacer: Pacer,
+}
+
+impl TcpFleet {
+    /// Connects one stream per dpid, in order, to a virtual-time
+    /// [`AgentServer`](crate::server::AgentServer) at `addr`, and sends
+    /// each connection's binding hello.
+    ///
+    /// The dpid order must match the server's roster order only in so
+    /// far as the *server* derives streams in roster order — connections
+    /// may bind in any order, so this just takes the dpids the caller
+    /// wants to drive.
+    pub fn connect(addr: SocketAddr, dpids: &[Dpid]) -> io::Result<TcpFleet> {
+        let mut conns = Vec::with_capacity(dpids.len());
+        let mut by_dpid = HashMap::with_capacity(dpids.len());
+        for &dpid in dpids {
+            let mut conn = NbConn::new(TcpStream::connect(addr)?)?;
+            VtMsg::Hello { dpid: dpid.0 }
+                .to_message()
+                .encode_frame_into(Xid(0), conn.out.tail());
+            conn.flush()?;
+            by_dpid.insert(dpid, conns.len());
+            conns.push(FleetConn {
+                dpid,
+                conn,
+                codec: ChanCodec::new(),
+                framer: Framer::new(),
+            });
+        }
+        Ok(TcpFleet {
+            conns,
+            by_dpid,
+            clock: SimTime::ZERO,
+            next_seq: 0,
+            inflight: 0,
+            done: BTreeMap::new(),
+            arrival: VecDeque::new(),
+            scratch: vec![0u8; READ_CHUNK],
+            enc: Vec::new(),
+            pacer: Pacer::new(),
+        })
+    }
+
+    /// One sweep over every connection: flush pending output, read, and
+    /// file any acks. Transport failures panic — the trait has no error
+    /// channel, and on loopback an io error means the server died, which
+    /// no retry repairs.
+    fn pump(&mut self) {
+        let mut progress = false;
+        for fc in &mut self.conns {
+            progress |= fc.conn.flush().expect("loopback write failed") > 0;
+            let n = fc
+                .conn
+                .read_into(&mut self.scratch)
+                .expect("loopback read failed");
+            if n == 0 {
+                if fc.conn.is_closed() {
+                    panic!("agent server closed the connection for {:?}", fc.dpid);
+                }
+                continue;
+            }
+            progress = true;
+            let mut input = &self.scratch[..n];
+            while let Some((_, msg)) = fc
+                .framer
+                .next_message_from(&mut input)
+                .expect("unparseable ack stream")
+            {
+                let Message::Vendor { vendor, data } = msg else {
+                    panic!("virtual-time server sent a plain reply: {msg:?}");
+                };
+                assert_eq!(vendor, TANGO_VENDOR, "foreign vendor frame from server");
+                let VtMsg::Ack {
+                    token,
+                    done_ns,
+                    acked_ns,
+                    outcome,
+                } = VtMsg::decode(&data).expect("bad ack payload")
+                else {
+                    panic!("controller expects only ack frames");
+                };
+                self.inflight -= 1;
+                self.done.insert(
+                    token,
+                    Completion {
+                        token: OpToken::from_seq(token),
+                        dpid: fc.dpid,
+                        done_at: SimTime(done_ns),
+                        acked_at: SimTime(acked_ns),
+                        outcome,
+                    },
+                );
+                self.arrival.push_back(token);
+            }
+        }
+        if progress {
+            self.pacer.progressed();
+        } else {
+            self.pacer.idle();
+        }
+    }
+}
+
+impl ControlPath for TcpFleet {
+    fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    fn submit(&mut self, dpid: Dpid, op: ControlOp, ready_at: SimTime) -> OpToken {
+        assert!(ready_at >= self.clock, "ready_at precedes the clock");
+        let idx = *self
+            .by_dpid
+            .get(&dpid)
+            .unwrap_or_else(|| panic!("submit to unconnected switch {dpid:?}"));
+        let token = self.next_seq;
+        self.next_seq += 1;
+        let frames = OpKind::frames_of(&op);
+        self.enc.clear();
+        let fc = &mut self.conns[idx];
+        let kind = fc.codec.encode_op(op, &mut self.enc);
+        let tag = match kind {
+            OpKind::FlowMod => VtOpTag::FlowMod,
+            OpKind::Batch { .. } => VtOpTag::Batch,
+            OpKind::Probe => VtOpTag::Probe,
+            OpKind::Echo { .. } => VtOpTag::Echo,
+        };
+        VtMsg::Submit {
+            token,
+            ready_ns: ready_at.0,
+            tag,
+            frames: frames as u32,
+            wire_len: self.enc.len() as u32,
+        }
+        .to_message()
+        .encode_frame_into(Xid(0), fc.conn.out.tail());
+        fc.conn.out.tail().extend_from_slice(&self.enc);
+        // Start the bytes moving now; the pump finishes the job.
+        fc.conn.flush().expect("loopback write failed");
+        self.inflight += 1;
+        OpToken::from_seq(token)
+    }
+
+    fn next_completion(&mut self) -> Option<Completion> {
+        loop {
+            if let Some(seq) = self.arrival.pop_front() {
+                let c = self
+                    .done
+                    .remove(&seq)
+                    .expect("arrival entries are backed by the store");
+                return Some(c);
+            }
+            if self.inflight == 0 {
+                return None;
+            }
+            self.pump();
+        }
+    }
+
+    fn wait_for(&mut self, token: OpToken) -> Completion {
+        loop {
+            if let Some(c) = self.done.remove(&token.seq()) {
+                self.arrival.retain(|s| *s != token.seq());
+                return c;
+            }
+            assert!(self.inflight > 0, "token is not in flight");
+            self.pump();
+        }
+    }
+
+    fn warp_to(&mut self, t: SimTime) {
+        assert!(t >= self.clock, "clock warps only forward");
+        self.clock = t;
+    }
+}

@@ -1,0 +1,498 @@
+//! The agent server: N switch agents behind one non-blocking reactor
+//! thread.
+//!
+//! Every connection speaks plain `ofwire` frames. The first frame must
+//! be a [`VtMsg::Hello`] binding the connection to a switch from the
+//! server's roster; after that the connection runs in whichever mode
+//! the server was built in:
+//!
+//! * **Realtime** ([`ServerMode::Realtime`]) — the benchmark mode.
+//!   Inbound bytes go straight to
+//!   [`Agent::feed_into`](switchsim::agent::Agent::feed_into) (the
+//!   agent's own framer handles torn frames, whole frames decode
+//!   zero-copy from the read scratch), wire replies append to the
+//!   connection's reused [`OutBuf`](crate::reactor::OutBuf), and `now`
+//!   is the wall clock. Throughput comes from syscall batching: one
+//!   read drains a whole pipeline window, one write flushes all its
+//!   replies.
+//! * **Virtual time** ([`ServerMode::Virtual`]) — the inference mode.
+//!   Ops arrive annotated with [`VtMsg::Submit`]; the server owns the
+//!   link model and per-switch latency RNG (derived exactly as the
+//!   in-memory testbed derives them at attach) and replays the
+//!   testbed's arrival/start/done/ack arithmetic, answering each op
+//!   with a [`VtMsg::Ack`] instead of the op's plain replies. See
+//!   [`crate::vt`] for why.
+//!
+//! Backpressure: a connection whose write buffer is over its high
+//! watermark is not read until it drains — the reactor never queues
+//! unboundedly on behalf of a slow peer.
+
+use crate::reactor::{NbConn, Pacer, READ_CHUNK};
+use crate::vt::{VtMsg, VtOpTag, TANGO_VENDOR};
+use ofwire::barrier::BarrierTracker;
+use ofwire::codec::Framer;
+use ofwire::message::Message;
+use ofwire::types::{Dpid, Xid};
+use simnet::link::Link;
+use simnet::rng::DetRng;
+use simnet::time::SimTime;
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+use switchsim::agent::{Agent, AgentOutput};
+use switchsim::chan::{self, OpKind, VirtualTimeline};
+use switchsim::profiles::SwitchProfile;
+use switchsim::switch::Switch;
+
+/// How the server interprets time and answers operations.
+#[derive(Debug, Clone)]
+pub enum ServerMode {
+    /// Wall-clock agents answering with plain wire replies (benchmark
+    /// and demo mode).
+    Realtime,
+    /// Virtual-time agents answering with [`VtMsg::Ack`] reports,
+    /// modelling every control channel with `link` (inference mode).
+    Virtual {
+        /// The control-channel model applied to every switch.
+        link: Link,
+    },
+}
+
+/// Counters the server thread reports when it exits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted over the server's lifetime.
+    pub accepted: usize,
+    /// Operations completed (virtual-time ops, or realtime messages
+    /// dispatched to an agent).
+    pub ops: u64,
+    /// Protocol violations that closed a connection.
+    pub errors: usize,
+}
+
+/// Handle to a running [`AgentServer`] thread.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<io::Result<ServerStats>>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals the server to stop and waits for its thread, returning
+    /// the final counters.
+    pub fn shutdown(mut self) -> io::Result<ServerStats> {
+        self.stop.store(true, Ordering::Relaxed);
+        let join = self.join.take().expect("shutdown consumes the handle");
+        join.join().expect("server thread panicked")
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+/// One roster slot: a switch a connection may claim with its hello.
+struct RosterEntry {
+    dpid: Dpid,
+    /// Taken when a connection binds; a second hello for the same dpid
+    /// is a protocol error.
+    profile: Option<SwitchProfile>,
+    seed: u64,
+    link_rng: DetRng,
+}
+
+/// The switch-agent server. Construction happens via [`AgentServer::spawn`].
+pub struct AgentServer;
+
+impl AgentServer {
+    /// Binds a loopback listener and spawns the reactor thread serving
+    /// `roster`. `seed` plays the role of the testbed's master seed:
+    /// per-switch datapath seeds and link-latency streams derive from
+    /// it in roster order, exactly as
+    /// [`Testbed::attach`](switchsim::harness::Testbed::attach) would
+    /// derive them attaching the same dpids in the same order.
+    ///
+    /// The thread exits when [`ServerHandle::shutdown`] is called, or
+    /// on its own once at least one connection was accepted and all
+    /// connections have closed.
+    pub fn spawn(
+        seed: u64,
+        roster: Vec<(Dpid, SwitchProfile)>,
+        mode: ServerMode,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let mut master = DetRng::new(seed);
+        let roster: Vec<RosterEntry> = roster
+            .into_iter()
+            .map(|(dpid, profile)| {
+                let (seed, link_rng) = chan::attach_streams(&mut master, dpid);
+                RosterEntry {
+                    dpid,
+                    profile: Some(profile),
+                    seed,
+                    link_rng,
+                }
+            })
+            .collect();
+        let join = std::thread::Builder::new()
+            .name("tango-net-server".into())
+            .spawn(move || run_server(&listener, roster, &mode, &stop_flag))?;
+        Ok(ServerHandle {
+            addr,
+            stop,
+            join: Some(join),
+        })
+    }
+}
+
+/// Per-connection protocol state.
+enum SessState {
+    /// Waiting for the binding hello.
+    Handshake(Framer),
+    /// Bound, wall-clock mode.
+    Realtime(Box<RtState>),
+    /// Bound, virtual-time mode.
+    Virtual(Box<VtState>),
+}
+
+struct RtState {
+    agent: Agent,
+}
+
+struct VtState {
+    dpid: Dpid,
+    agent: Agent,
+    link: Link,
+    rng: DetRng,
+    timeline: VirtualTimeline,
+    barriers: BarrierTracker<usize>,
+    framer: Framer,
+    /// The op currently being assembled, announced by its submit frame.
+    cur: Option<CurOp>,
+    /// Retired op buffer awaiting reuse.
+    spare: Vec<u8>,
+}
+
+struct CurOp {
+    token: u64,
+    ready: SimTime,
+    tag: VtOpTag,
+    frames_left: u32,
+    wire_len: u32,
+    /// The op's frames, re-encoded verbatim as they arrive.
+    bytes: Vec<u8>,
+    /// Length of the first frame (sizes an echo's return leg).
+    first_frame_len: usize,
+    /// Xid and length of the most recent frame (a batch's barrier is
+    /// its last frame).
+    last_frame: (Xid, usize),
+}
+
+struct Session {
+    conn: NbConn,
+    state: SessState,
+}
+
+fn proto_err(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what.to_string())
+}
+
+fn run_server(
+    listener: &TcpListener,
+    mut roster: Vec<RosterEntry>,
+    mode: &ServerMode,
+    stop: &AtomicBool,
+) -> io::Result<ServerStats> {
+    let mut stats = ServerStats::default();
+    let mut sessions: Vec<Session> = Vec::new();
+    let mut scratch = vec![0u8; READ_CHUNK];
+    let mut outs: Vec<AgentOutput> = Vec::new();
+    let mut pacer = Pacer::new();
+    let epoch = Instant::now();
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(stats);
+        }
+        let mut progress = false;
+        // Accept whoever is waiting (bounded per sweep by the listener
+        // backlog; each accept is cheap).
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    sessions.push(Session {
+                        conn: NbConn::new(stream)?,
+                        state: SessState::Handshake(Framer::new()),
+                    });
+                    stats.accepted += 1;
+                    progress = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Sweep every session: flush, read, dispatch.
+        let mut i = 0;
+        while i < sessions.len() {
+            let sess = &mut sessions[i];
+            // A write error means the peer vanished; reads will observe
+            // the close below.
+            let flushed = sess.conn.flush().unwrap_or(0);
+            progress |= flushed > 0;
+            let n = match sess.conn.read_into(&mut scratch) {
+                Ok(n) => n,
+                Err(_) => {
+                    stats.errors += 1;
+                    sessions.swap_remove(i);
+                    continue;
+                }
+            };
+            if n > 0 {
+                progress = true;
+                let now = SimTime(epoch.elapsed().as_nanos() as u64);
+                match sess.on_bytes(&scratch[..n], now, &mut roster, mode, &mut outs, &mut stats) {
+                    Ok(()) => {}
+                    Err(_) => {
+                        stats.errors += 1;
+                        sessions.swap_remove(i);
+                        continue;
+                    }
+                }
+            }
+            if sess.conn.is_closed() && sess.conn.out.pending() == 0 {
+                sessions.swap_remove(i);
+                progress = true;
+                continue;
+            }
+            i += 1;
+        }
+        if sessions.is_empty() && stats.accepted > 0 {
+            return Ok(stats);
+        }
+        if progress {
+            pacer.progressed();
+        } else {
+            pacer.idle();
+        }
+    }
+}
+
+impl Session {
+    fn on_bytes(
+        &mut self,
+        bytes: &[u8],
+        now: SimTime,
+        roster: &mut [RosterEntry],
+        mode: &ServerMode,
+        outs: &mut Vec<AgentOutput>,
+        stats: &mut ServerStats,
+    ) -> io::Result<()> {
+        match &mut self.state {
+            SessState::Handshake(framer) => {
+                let mut input = bytes;
+                let hello = framer
+                    .next_message_from(&mut input)
+                    .map_err(|_| proto_err("unparseable handshake"))?;
+                let Some((_, msg)) = hello else {
+                    return Ok(()); // hello still torn; keep waiting
+                };
+                let Message::Vendor { vendor, data } = msg else {
+                    return Err(proto_err("first frame must be a vendor hello"));
+                };
+                if vendor != TANGO_VENDOR {
+                    return Err(proto_err("unknown vendor id in hello"));
+                }
+                let VtMsg::Hello { dpid } =
+                    VtMsg::decode(&data).map_err(|_| proto_err("bad hello payload"))?
+                else {
+                    return Err(proto_err("first vt message must be hello"));
+                };
+                let entry = roster
+                    .iter_mut()
+                    .find(|e| e.dpid.0 == dpid)
+                    .ok_or_else(|| proto_err("hello for a dpid not in the roster"))?;
+                let profile = entry
+                    .profile
+                    .take()
+                    .ok_or_else(|| proto_err("dpid already claimed"))?;
+                let agent = Agent::new(Switch::new(profile, entry.dpid, entry.seed));
+                let mut leftover = framer.take_pending();
+                leftover.extend_from_slice(input);
+                self.state = match mode {
+                    ServerMode::Realtime => SessState::Realtime(Box::new(RtState { agent })),
+                    ServerMode::Virtual { link } => SessState::Virtual(Box::new(VtState {
+                        dpid: entry.dpid,
+                        agent,
+                        link: *link,
+                        rng: entry.link_rng.clone(),
+                        timeline: VirtualTimeline::new(),
+                        barriers: BarrierTracker::new(),
+                        framer: Framer::new(),
+                        cur: None,
+                        spare: Vec::new(),
+                    })),
+                };
+                if leftover.is_empty() {
+                    Ok(())
+                } else {
+                    self.on_bytes(&leftover, now, roster, mode, outs, stats)
+                }
+            }
+            SessState::Realtime(rt) => {
+                outs.clear();
+                rt.agent
+                    .feed_into(bytes, now, outs)
+                    .map_err(|_| proto_err("unparseable frame stream"))?;
+                stats.ops += outs.len() as u64;
+                for o in outs.drain(..) {
+                    if let Some(reply) = o.reply {
+                        reply.encode_frame_into(o.xid, self.conn.out.tail());
+                    }
+                }
+                Ok(())
+            }
+            SessState::Virtual(vt) => {
+                let acked = vt.on_bytes(bytes, outs, self.conn.out.tail())?;
+                stats.ops += acked;
+                Ok(())
+            }
+        }
+    }
+}
+
+impl VtState {
+    /// Consumes a chunk of the annotated op stream; appends acks to
+    /// `out`. Returns the number of ops completed.
+    fn on_bytes(
+        &mut self,
+        bytes: &[u8],
+        outs: &mut Vec<AgentOutput>,
+        out: &mut Vec<u8>,
+    ) -> io::Result<u64> {
+        let mut acked = 0;
+        let mut input = bytes;
+        loop {
+            let msg = self
+                .framer
+                .next_message_from(&mut input)
+                .map_err(|_| proto_err("unparseable frame stream"))?;
+            let Some((header, msg)) = msg else {
+                return Ok(acked);
+            };
+            if let Message::Vendor { vendor, data } = &msg {
+                if *vendor != TANGO_VENDOR {
+                    return Err(proto_err("unknown vendor id"));
+                }
+                let vt = VtMsg::decode(data).map_err(|_| proto_err("bad vt payload"))?;
+                let VtMsg::Submit {
+                    token,
+                    ready_ns,
+                    tag,
+                    frames,
+                    wire_len,
+                } = vt
+                else {
+                    return Err(proto_err("unexpected vt message mid-stream"));
+                };
+                if self.cur.is_some() {
+                    return Err(proto_err("submit while an op is still assembling"));
+                }
+                if frames == 0 {
+                    return Err(proto_err("op with zero frames"));
+                }
+                let mut op_buf = std::mem::take(&mut self.spare);
+                op_buf.clear();
+                self.cur = Some(CurOp {
+                    token,
+                    ready: SimTime(ready_ns),
+                    tag,
+                    frames_left: frames,
+                    wire_len,
+                    bytes: op_buf,
+                    first_frame_len: 0,
+                    last_frame: (Xid(0), 0),
+                });
+                continue;
+            }
+            // An op frame: re-encode it verbatim into the op buffer
+            // (encode∘decode is byte-identity for every message the
+            // channel codec produces — the framing proptest pins this).
+            let cur = self
+                .cur
+                .as_mut()
+                .ok_or_else(|| proto_err("op frame without a submit"))?;
+            let off = cur.bytes.len();
+            msg.encode_frame_into(header.xid, &mut cur.bytes);
+            let frame_len = cur.bytes.len() - off;
+            if off == 0 {
+                cur.first_frame_len = frame_len;
+            }
+            cur.last_frame = (header.xid, frame_len);
+            cur.frames_left -= 1;
+            if cur.frames_left == 0 {
+                self.finish_op(outs, out)?;
+                acked += 1;
+            }
+        }
+    }
+
+    /// All frames of the current op have arrived: replay the testbed's
+    /// timing model, run the agent, and emit the ack.
+    fn finish_op(&mut self, outs: &mut Vec<AgentOutput>, out: &mut Vec<u8>) -> io::Result<()> {
+        let cur = self.cur.take().expect("finish_op follows a submit");
+        if cur.bytes.len() != cur.wire_len as usize {
+            return Err(proto_err("op length disagrees with its submit"));
+        }
+        let kind = match cur.tag {
+            VtOpTag::FlowMod => OpKind::FlowMod,
+            VtOpTag::Batch => {
+                let (barrier_xid, barrier_len) = cur.last_frame;
+                let size = cur.bytes.len() - barrier_len;
+                self.barriers.register(barrier_xid, size);
+                OpKind::Batch { size }
+            }
+            VtOpTag::Probe => OpKind::Probe,
+            VtOpTag::Echo => OpKind::Echo {
+                payload: cur.first_frame_len - ofwire::header::OFP_HEADER_LEN,
+            },
+        };
+        let (up, down) =
+            chan::draw_latencies(&self.link, &mut self.rng, self.dpid, kind, cur.bytes.len());
+        let start = self.timeline.admit(cur.ready, up);
+        outs.clear();
+        self.agent
+            .feed_into(&cur.bytes, start, outs)
+            .map_err(|_| proto_err("op frames rejected by the agent"))?;
+        let (cost, outcome) = chan::op_completion(kind, outs, &mut self.barriers);
+        let (done, acked) = self.timeline.complete(start, cost, down);
+        VtMsg::Ack {
+            token: cur.token,
+            done_ns: done.0,
+            acked_ns: acked.0,
+            outcome,
+        }
+        .to_message()
+        .encode_frame_into(Xid(0), out);
+        self.spare = cur.bytes;
+        Ok(())
+    }
+}

@@ -1,0 +1,122 @@
+//! Loopback integration: the reactor's two server modes against real
+//! sockets.
+//!
+//! The virtual-time test is the crate's core claim in miniature: the
+//! same `ControlPath` call sequence against the in-memory testbed and
+//! against `TcpFleet` → a virtual-time agent server must produce
+//! *identical* completions — tokens, virtual timestamps, outcomes.
+
+use ofwire::flow_match::FlowMatch;
+use ofwire::flow_mod::FlowMod;
+use ofwire::types::Dpid;
+use simnet::link::Link;
+use simnet::time::SimTime;
+use std::collections::HashMap;
+use switchsim::control::{ControlOp, ControlPath, OpOutcome};
+use switchsim::harness::Testbed;
+use switchsim::profiles::SwitchProfile;
+use tango_net::bench::{run_wire_bench, WireBenchConfig};
+use tango_net::control::TcpFleet;
+use tango_net::server::{AgentServer, ServerMode};
+
+/// Drives the same mixed workload over any control path, following the
+/// driver runner's discipline: two switches, one op in flight each, the
+/// follow-up submitted at the previous op's `acked_at`. Returns the
+/// per-switch completion streams (tokens and cross-switch delivery
+/// order are transport bookkeeping, and `TcpFleet` documents that it
+/// relaxes global delivery order — per-switch virtual timestamps and
+/// outcomes are the contract).
+fn drive<C: ControlPath>(cp: &mut C) -> Vec<(u64, SimTime, SimTime, OpOutcome)> {
+    let (dp1, dp2) = (Dpid(1), Dpid(2));
+    let t0 = cp.now();
+    let a = cp.submit(
+        dp1,
+        ControlOp::FlowMod(FlowMod::add(FlowMatch::l3_for_id(7), 10)),
+        t0,
+    );
+    let b = cp.submit(
+        dp2,
+        ControlOp::Batch(
+            (0..5)
+                .map(|i| FlowMod::add(FlowMatch::l3_for_id(i), 10))
+                .collect(),
+        ),
+        t0,
+    );
+    let mut followup = HashMap::new();
+    followup.insert(a.seq(), (dp1, ControlOp::Probe(FlowMatch::key_for_id(7))));
+    followup.insert(b.seq(), (dp2, ControlOp::Echo(64)));
+    let mut out = Vec::new();
+    let mut horizon = t0;
+    while let Some(c) = cp.next_completion() {
+        horizon = horizon.max(c.acked_at);
+        out.push((c.dpid.0, c.done_at, c.acked_at, c.outcome));
+        if let Some((dpid, op)) = followup.remove(&c.token.seq()) {
+            cp.submit(dpid, op, c.acked_at);
+        }
+    }
+    cp.warp_to(horizon);
+    // Per-switch virtual-time order: done instants are strictly
+    // increasing within a switch (each op's arrival trails the previous
+    // op's ack).
+    out.sort_by_key(|&(dpid, done, _, _)| (dpid, done.0));
+    out
+}
+
+#[test]
+fn virtual_time_completions_match_the_testbed() {
+    const SEED: u64 = 0x7a4e;
+    let roster = vec![
+        (Dpid(1), SwitchProfile::ovs()),
+        (Dpid(2), SwitchProfile::vendor1()),
+    ];
+    let link = Link::control_channel(0.1);
+
+    let mut tb = Testbed::new(SEED);
+    for (dpid, profile) in &roster {
+        tb.attach(*dpid, profile.clone(), link);
+    }
+    let expected = drive(&mut tb);
+
+    let server = AgentServer::spawn(SEED, roster, ServerMode::Virtual { link })
+        .expect("loopback server spawns");
+    let mut fleet =
+        TcpFleet::connect(server.addr(), &[Dpid(1), Dpid(2)]).expect("loopback fleet connects");
+    let actual = drive(&mut fleet);
+    assert_eq!(fleet.now(), tb.now(), "final clocks agree");
+    drop(fleet);
+    let stats = server.shutdown().expect("server exits cleanly");
+
+    assert_eq!(
+        actual, expected,
+        "wire completions diverge from the testbed"
+    );
+    assert_eq!(stats.accepted, 2);
+    assert_eq!(stats.ops, 4);
+    assert_eq!(stats.errors, 0);
+}
+
+#[test]
+fn realtime_bench_smoke() {
+    let roster = (1..=2)
+        .map(|i| (Dpid(i), SwitchProfile::ovs()))
+        .collect::<Vec<_>>();
+    let server =
+        AgentServer::spawn(1, roster, ServerMode::Realtime).expect("loopback server spawns");
+    let cfg = WireBenchConfig {
+        connections: 2,
+        window: 64,
+        barrier_every: 16,
+        ops_per_conn: 500,
+    };
+    let result = run_wire_bench(server.addr(), cfg).expect("bench runs");
+    let stats = server.shutdown().expect("server exits cleanly");
+
+    assert_eq!(result.total_flow_mods, 1000);
+    assert_eq!(result.errors, 0);
+    assert_eq!(result.ack_latency_ms.n, 1000);
+    assert!(result.flow_mods_per_sec > 0.0);
+    assert!(result.ack_latency_ms.p99 >= result.ack_latency_ms.p50);
+    assert_eq!(stats.accepted, 2);
+    assert_eq!(stats.errors, 0);
+}

@@ -1,53 +1,30 @@
-//! The wire protocol over a real TCP socket: a simulated switch served
-//! behind a loopback `TcpListener`, probed by a controller on the other
-//! end of the connection — demonstrating that `ofwire`'s framing and
-//! codec are genuine transport-grade plumbing, not simulation-only
-//! types.
+//! The wire protocol over a real TCP socket: a simulated switch hosted
+//! by the `tango-net` reactor behind a loopback listener, probed by a
+//! controller on the other end of the connection — demonstrating that
+//! `ofwire`'s framing and codec are genuine transport-grade plumbing,
+//! not simulation-only types.
+//!
+//! The server side is three lines: spawn an
+//! [`AgentServer`](tango_net::server::AgentServer) in realtime mode
+//! with the switch in its roster. The reactor owns the non-blocking
+//! read loop, feeds raw socket bytes straight into the agent's
+//! allocation-free `feed_into` path, and batches replies through a
+//! reused write buffer. The controller stays a deliberately simple
+//! blocking client, because that is what the wire looks like from the
+//! other side.
 //!
 //! ```sh
 //! cargo run --release --example wire_over_tcp
 //! ```
 
 use ofwire::prelude::*;
-use simnet::time::SimTime;
 use std::io::{Read, Write};
-use std::net::{TcpListener, TcpStream};
-use std::time::Instant;
-use switchsim::agent::Agent;
+use std::net::TcpStream;
 use switchsim::profiles::SwitchProfile;
-use switchsim::switch::Switch;
+use tango_net::server::{AgentServer, ServerMode};
+use tango_net::vt::VtMsg;
 
-/// Serves one connection: bytes in → agent → reply bytes out.
-fn serve_switch(listener: TcpListener, profile: SwitchProfile) {
-    let (mut stream, peer) = listener.accept().expect("accept");
-    println!("[switch] controller connected from {peer}");
-    let mut agent = Agent::new(Switch::new(profile, Dpid(0xbeef), 7));
-    let started = Instant::now();
-    let mut buf = [0u8; 4096];
-    loop {
-        let n = match stream.read(&mut buf) {
-            Ok(0) => break, // controller hung up
-            Ok(n) => n,
-            Err(e) => {
-                eprintln!("[switch] read error: {e}");
-                break;
-            }
-        };
-        let now = SimTime(started.elapsed().as_nanos() as u64);
-        let outs = agent.feed(&buf[..n], now).expect("well-formed stream");
-        for o in outs {
-            if let Some(reply) = o.reply {
-                stream
-                    .write_all(&reply.to_bytes(o.xid))
-                    .expect("write reply");
-            }
-        }
-    }
-    println!(
-        "[switch] session over; {} rules installed",
-        agent.switch().rule_count()
-    );
-}
+const DPID: Dpid = Dpid(0xbeef);
 
 /// A tiny blocking controller: send one message, collect replies until
 /// the expected count arrives.
@@ -79,9 +56,13 @@ impl TcpController {
 }
 
 fn main() {
-    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
-    let addr = listener.local_addr().unwrap();
-    let server = std::thread::spawn(move || serve_switch(listener, SwitchProfile::vendor3()));
+    let server = AgentServer::spawn(
+        7,
+        vec![(DPID, SwitchProfile::vendor3())],
+        ServerMode::Realtime,
+    )
+    .expect("spawn agent server");
+    let addr = server.addr();
 
     let stream = TcpStream::connect(addr).expect("connect");
     println!("[ctrl]   connected to simulated switch at {addr}");
@@ -91,7 +72,9 @@ fn main() {
         next_xid: Xid(1),
     };
 
-    // Handshake.
+    // Bind the connection to the roster switch, then do the OpenFlow
+    // handshake over it.
+    ctrl.send(VtMsg::Hello { dpid: DPID.0 }.to_message());
     ctrl.send(Message::Hello);
     let (_, hello) = ctrl.recv();
     assert_eq!(hello, Message::Hello);
@@ -151,5 +134,9 @@ fn main() {
     }
 
     drop(ctrl);
-    server.join().expect("server thread");
+    let stats = server.shutdown().expect("server exits cleanly");
+    println!(
+        "[switch] session over; {} connection(s), {} messages dispatched",
+        stats.accepted, stats.ops
+    );
 }

@@ -13,6 +13,7 @@
 //! | [`simnet`] | deterministic discrete-event simulation substrate |
 //! | [`switchsim`] | emulated diverse switches (OVS + three vendors) |
 //! | [`tango`] | the paper's contribution: probing + inference |
+//! | [`tango_net`] | real-transport control plane: TCP reactor + agents |
 //! | [`tango_sched`] | the Tango scheduler and Dionysus baseline |
 //! | [`workloads`] | ClassBench-like ACLs, topologies, TE/LF scenarios |
 //! | `bench` | experiment harness regenerating every table/figure |
@@ -22,5 +23,6 @@ pub use ofwire;
 pub use simnet;
 pub use switchsim;
 pub use tango;
+pub use tango_net;
 pub use tango_sched;
 pub use workloads;

@@ -1,0 +1,87 @@
+//! Fleet inference over loopback TCP reproduces the in-memory testbed's
+//! knowledge base bit-for-bit.
+//!
+//! Same master seed, same roster order, same jobs — one run over the
+//! in-memory `Testbed`, one over `TcpFleet` against a virtual-time
+//! `AgentServer` on real sockets. The persisted `TangoDb` JSON must be
+//! byte-identical: every probe outcome, every inferred size, every
+//! virtual timestamp the estimates embed survived the trip through
+//! OpenFlow framing, TCP segmentation, and the reactor.
+
+use ofwire::types::Dpid;
+use simnet::link::Link;
+use switchsim::harness::Testbed;
+use switchsim::profiles::SwitchProfile;
+use tango::prelude::*;
+use tango_net::control::TcpFleet;
+use tango_net::server::{AgentServer, ServerMode};
+
+const SEED: u64 = 0xf1ee7;
+
+fn roster() -> Vec<(Dpid, SwitchProfile)> {
+    vec![
+        (Dpid(1), SwitchProfile::ovs()),
+        (Dpid(2), SwitchProfile::vendor1()),
+        (Dpid(3), SwitchProfile::vendor2()),
+        (Dpid(4), SwitchProfile::vendor3()),
+    ]
+}
+
+fn jobs() -> Vec<FleetJob> {
+    roster()
+        .iter()
+        .map(|(dpid, _)| {
+            FleetJob::size(
+                *dpid,
+                RuleKind::L3,
+                SizeProbeConfig {
+                    max_flows: 3000,
+                    seed: 0x5eed ^ dpid.0,
+                    ..SizeProbeConfig::default()
+                },
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn tcp_fleet_inference_matches_in_memory_db() {
+    let link = Link::control_channel(0.1);
+    let jobs = jobs();
+
+    // In-memory baseline: the testbed attaches the roster in order
+    // behind the same control-channel model.
+    let mut tb = Testbed::new(SEED);
+    for (dpid, profile) in roster() {
+        tb.attach(dpid, profile, link);
+    }
+    let baseline = run_inference(&mut tb, &jobs).expect("in-memory inference completes");
+    let mut mem_db = TangoDb::new();
+    mem_db.ingest_fleet(&jobs, &baseline);
+
+    // The same inference over loopback TCP.
+    let server = AgentServer::spawn(SEED, roster(), ServerMode::Virtual { link })
+        .expect("loopback server spawns");
+    let dpids: Vec<Dpid> = jobs.iter().map(|j| j.dpid).collect();
+    let mut fleet = TcpFleet::connect(server.addr(), &dpids).expect("fleet connects");
+    let outcomes = run_inference(&mut fleet, &jobs).expect("tcp inference completes");
+    drop(fleet);
+    let stats = server.shutdown().expect("server exits cleanly");
+    assert_eq!(stats.errors, 0, "no protocol violations");
+    let mut tcp_db = TangoDb::new();
+    tcp_db.ingest_fleet(&jobs, &outcomes);
+
+    // Persist both and compare the bytes on disk — the artifact a
+    // controller reloads must not depend on which transport built it.
+    let dir = std::env::temp_dir();
+    let mem_path = dir.join("tango_equiv_mem.json");
+    let tcp_path = dir.join("tango_equiv_tcp.json");
+    mem_db.save_json(&mem_path).expect("save in-memory db");
+    tcp_db.save_json(&tcp_path).expect("save tcp db");
+    let mem_bytes = std::fs::read(&mem_path).expect("read in-memory db");
+    let tcp_bytes = std::fs::read(&tcp_path).expect("read tcp db");
+    assert_eq!(
+        mem_bytes, tcp_bytes,
+        "TCP-built knowledge base diverges from the in-memory one"
+    );
+}
