@@ -265,7 +265,7 @@ fn run_one(
             // nothing under `results/` (not in ALL, not determinism-
             // diffed); its artifact is `BENCH_wire.json` next to it.
             let total = if q.quick { 40_000 } else { 400_000 };
-            let results = wire_bench::run(total);
+            let results = wire_bench::run(total, q.quick);
             let text = wire_bench::render(&results);
             println!("== Wire bench (loopback TCP) ==\n{text}");
             let dir = results_dir();

@@ -2,24 +2,28 @@
 //! the real-transport control plane (`tango-net`) on loopback TCP.
 //!
 //! Each cell spawns a fresh realtime [`AgentServer`] hosting one OVS
-//! agent per connection, then drives every connection with a pipelined
-//! flow-mod stream (bounded in-flight window, coalesced barriers) from
-//! one single-threaded client. The sweep crosses connection counts with
-//! pipeline windows; the headline configuration (256 connections, deep
-//! window) is the crate's ≥100k flow_mods/sec target.
+//! agent per connection behind `shards` reactor shards, then drives
+//! every connection with a pipelined flow-mod stream (bounded in-flight
+//! window *and* byte cap, coalesced adaptive barriers). The sweep
+//! crosses the shard count with connection counts and pipeline windows;
+//! the headline configuration (8 shards, 256 connections, deep window)
+//! is the crate's ≥1M flow_mods/sec target.
 //!
 //! Numbers here are *wall-clock* — they vary run to run and by host —
 //! so this experiment never writes under `results/` (which must stay
 //! byte-identical); its artifact is `BENCH_wire.json` next to it,
-//! alongside the suite's other perf baselines.
+//! alongside the suite's other perf baselines. The JSON records a
+//! per-shard breakdown (connections served, ops, bytes, wakeups,
+//! backpressure stalls) so a skewed partition or a stalled shard is
+//! visible in the artifact, not just the aggregate.
 
 use simnet::trace::Summary;
 use switchsim::profiles::SwitchProfile;
 use tango_net::bench::{run_wire_bench, WireBenchConfig, WireBenchResult};
-use tango_net::server::{AgentServer, ServerMode};
+use tango_net::server::{AgentServer, ServerConfig, ServerMode, ShardStats};
 
 /// The sweep grid: (connections, window). Barrier coalescing scales
-/// with the window (one fence per quarter-window).
+/// with the window (one fence per quarter-window, shrunk adaptively).
 const GRID: &[(usize, usize)] = &[
     (16, 16),
     (16, 128),
@@ -29,48 +33,107 @@ const GRID: &[(usize, usize)] = &[
     (256, 128),
 ];
 
+/// The shard axis of the sweep.
+const SHARDS: &[usize] = &[1, 2, 4, 8];
+/// Quick (CI) runs keep the full connection grid but sample the shard
+/// axis at its ends.
+const SHARDS_QUICK: &[usize] = &[1, 8];
+
+/// One sweep cell: the client-side measurement plus the server's
+/// per-shard counters.
+#[derive(Debug, Clone)]
+pub struct WireCell {
+    /// Reactor shard count the server ran with.
+    pub shards: usize,
+    /// Client-side measurement.
+    pub result: WireBenchResult,
+    /// Per-shard server counters (length == `shards`).
+    pub shard_stats: Vec<ShardStats>,
+}
+
 /// Runs the sweep. `total_ops` is the flow-mod budget per cell, split
-/// evenly across its connections.
-pub fn run(total_ops: usize) -> Vec<WireBenchResult> {
-    let mut results = Vec::new();
-    for &(connections, window) in GRID {
-        let roster = (1..=connections as u64)
-            .map(|i| (ofwire::types::Dpid(i), SwitchProfile::ovs()))
-            .collect();
-        let server =
-            AgentServer::spawn(1, roster, ServerMode::Realtime).expect("spawn wire_bench server");
-        let cfg = WireBenchConfig {
-            connections,
-            window,
-            barrier_every: (window / 4).max(1),
-            ops_per_conn: (total_ops / connections).max(window),
-        };
-        let result = run_wire_bench(server.addr(), cfg).expect("wire_bench cell runs");
-        let stats = server.shutdown().expect("wire_bench server exits");
-        assert_eq!(stats.errors, 0, "protocol violations during bench");
-        results.push(result);
+/// evenly across its connections; `quick` samples the shard axis at
+/// its ends instead of fully.
+pub fn run(total_ops: usize, quick: bool) -> Vec<WireCell> {
+    let shard_axis = if quick { SHARDS_QUICK } else { SHARDS };
+    let mut cells = Vec::new();
+    for &shards in shard_axis {
+        for &(connections, window) in GRID {
+            let roster = (1..=connections as u64)
+                .map(|i| (ofwire::types::Dpid(i), SwitchProfile::ovs()))
+                .collect();
+            let server = AgentServer::spawn_with(
+                1,
+                roster,
+                ServerMode::Realtime,
+                ServerConfig {
+                    shards,
+                    telemetry: false,
+                },
+            )
+            .expect("spawn wire_bench server");
+            let mut cfg = WireBenchConfig::new(
+                connections,
+                window,
+                (window / 4).max(1),
+                (total_ops / connections).max(window),
+            );
+            if connections >= 256 {
+                // The stress cells get a tighter ack budget: with 256
+                // connections the scheduling-latency floor sits near
+                // the default target, and a controller that can't meet
+                // its target holds depth (and the p99) higher than one
+                // probing a reachable one. 5 ms keeps the p99 near
+                // 25 ms where 10 ms leaves it near 45.
+                cfg.target_ack_us = 5_000;
+            }
+            let result = run_wire_bench(server.addr(), cfg).expect("wire_bench cell runs");
+            let stats = server.shutdown().expect("wire_bench server exits");
+            assert_eq!(stats.errors, 0, "protocol violations during bench");
+            cells.push(WireCell {
+                shards,
+                result,
+                shard_stats: stats.shards,
+            });
+        }
     }
-    results
+    cells
 }
 
 /// Renders the sweep as the aligned text table the runner prints.
 #[must_use]
-pub fn render(results: &[WireBenchResult]) -> String {
+pub fn render(cells: &[WireCell]) -> String {
     let mut out = String::new();
-    out.push_str("conns  window  fence   flow_mods    kfm/s    p50 ms   p90 ms   p99 ms\n");
-    out.push_str("---------------------------------------------------------------------\n");
-    for r in results {
+    out.push_str("shards  conns  window  flow_mods    kfm/s    p50 ms   p90 ms   p99 ms  stalls\n");
+    out.push_str("-----------------------------------------------------------------------------\n");
+    for cell in cells {
+        let r = &cell.result;
         let c = &r.config;
+        let stalls: u64 = cell.shard_stats.iter().map(|s| s.watermark_stalls).sum();
         out.push_str(&format!(
-            "{:>5}  {:>6}  {:>5}  {:>10}  {:>7.1}  {:>7.3}  {:>7.3}  {:>7.3}\n",
+            "{:>6}  {:>5}  {:>6}  {:>9}  {:>7.1}  {:>7.3}  {:>7.3}  {:>7.3}  {:>6}\n",
+            cell.shards,
             c.connections,
             c.window,
-            c.barrier_every,
             r.total_flow_mods,
             r.flow_mods_per_sec / 1e3,
             r.ack_latency_ms.p50,
             r.ack_latency_ms.p90,
             r.ack_latency_ms.p99,
+            stalls,
+        ));
+    }
+    if let Some(best) = cells.iter().max_by(|a, b| {
+        a.result
+            .flow_mods_per_sec
+            .total_cmp(&b.result.flow_mods_per_sec)
+    }) {
+        out.push_str(&format!(
+            "best: {:.0} flow_mods/sec at {} shards x {} conns x window {}\n",
+            best.result.flow_mods_per_sec,
+            best.shards,
+            best.result.config.connections,
+            best.result.config.window,
         ));
     }
     out
@@ -78,7 +141,7 @@ pub fn render(results: &[WireBenchResult]) -> String {
 
 /// The `BENCH_wire.json` document for a finished sweep.
 #[must_use]
-pub fn to_json(results: &[WireBenchResult], quick: bool) -> tango::json::Value {
+pub fn to_json(cells: &[WireCell], quick: bool) -> tango::json::Value {
     use tango::json::Value;
     let latency = |s: &Summary| {
         Value::Obj(vec![
@@ -91,10 +154,35 @@ pub fn to_json(results: &[WireBenchResult], quick: bool) -> tango::json::Value {
             ("max".into(), Value::num(s.max)),
         ])
     };
-    let cells: Vec<Value> = results
+    let json_cells: Vec<Value> = cells
         .iter()
-        .map(|r| {
+        .map(|cell| {
+            let r = &cell.result;
+            let per_shard: Vec<Value> = cell
+                .shard_stats
+                .iter()
+                .map(|s| {
+                    Value::Obj(vec![
+                        ("shard".into(), Value::num(s.shard as f64)),
+                        ("conns".into(), Value::num(s.conns as f64)),
+                        ("ops".into(), Value::num(s.ops as f64)),
+                        (
+                            "flow_mods_per_sec".into(),
+                            Value::num(s.ops as f64 / r.elapsed_secs),
+                        ),
+                        ("wakeups".into(), Value::num(s.wakeups as f64)),
+                        ("bytes_in".into(), Value::num(s.bytes_in as f64)),
+                        ("bytes_out".into(), Value::num(s.bytes_out as f64)),
+                        ("would_block".into(), Value::num(s.would_block as f64)),
+                        (
+                            "watermark_stalls".into(),
+                            Value::num(s.watermark_stalls as f64),
+                        ),
+                    ])
+                })
+                .collect();
             Value::Obj(vec![
+                ("shards".into(), Value::num(cell.shards as f64)),
                 (
                     "connections".into(),
                     Value::num(r.config.connections as f64),
@@ -109,6 +197,18 @@ pub fn to_json(results: &[WireBenchResult], quick: bool) -> tango::json::Value {
                     Value::num(r.config.ops_per_conn as f64),
                 ),
                 (
+                    "max_inflight_bytes".into(),
+                    Value::num(r.config.max_inflight_bytes as f64),
+                ),
+                (
+                    "target_ack_us".into(),
+                    Value::num(r.config.target_ack_us as f64),
+                ),
+                (
+                    "client_threads".into(),
+                    Value::num(r.config.client_threads as f64),
+                ),
+                (
                     "total_flow_mods".into(),
                     Value::num(r.total_flow_mods as f64),
                 ),
@@ -116,11 +216,12 @@ pub fn to_json(results: &[WireBenchResult], quick: bool) -> tango::json::Value {
                 ("flow_mods_per_sec".into(), Value::num(r.flow_mods_per_sec)),
                 ("errors".into(), Value::num(r.errors as f64)),
                 ("ack_latency_ms".into(), latency(&r.ack_latency_ms)),
+                ("per_shard".into(), Value::Arr(per_shard)),
             ])
         })
         .collect();
     Value::Obj(vec![
         ("quick".into(), Value::Bool(quick)),
-        ("cells".into(), Value::Arr(cells)),
+        ("cells".into(), Value::Arr(json_cells)),
     ])
 }

@@ -72,9 +72,18 @@ pub(crate) fn pad(buf: &mut BytesMut, n: usize) {
 /// `(Header, Message)` pairs with [`Framer::next_message`]. Malformed
 /// input surfaces as an error from `next_message` and poisons the framer
 /// (stream framing cannot be resynchronized once lengths are wrong).
+///
+/// Internally the buffer is a plain `Vec<u8>` with a drain cursor:
+/// consuming a frame advances the cursor instead of splitting the
+/// allocation, so decoding k buffered frames costs O(bytes) total — the
+/// earlier `split_to`-per-frame layout recopied the whole remainder per
+/// message, which made a deep pipeline window quadratic to drain and
+/// was the single largest per-op cost on the wire hot path.
 #[derive(Debug, Default, Clone)]
 pub struct Framer {
-    buf: BytesMut,
+    buf: Vec<u8>,
+    /// Bytes of `buf` before this offset are already consumed.
+    cursor: usize,
     poisoned: bool,
 }
 
@@ -87,13 +96,31 @@ impl Framer {
 
     /// Appends raw bytes received from the transport.
     pub fn push(&mut self, bytes: &[u8]) {
+        self.compact();
         self.buf.extend_from_slice(bytes);
     }
 
     /// Number of buffered, not-yet-consumed bytes.
     #[must_use]
     pub fn pending(&self) -> usize {
-        self.buf.len()
+        self.buf.len() - self.cursor
+    }
+
+    /// Reclaims consumed prefix space: free once fully drained, and
+    /// amortized-O(1) memmove once the dead prefix dominates the buffer.
+    fn compact(&mut self) {
+        if self.cursor == self.buf.len() {
+            self.buf.clear();
+            self.cursor = 0;
+        } else if self.cursor >= 4096 && self.cursor * 2 >= self.buf.len() {
+            self.buf.drain(..self.cursor);
+            self.cursor = 0;
+        }
+    }
+
+    fn poison(&mut self, e: WireError) -> WireError {
+        self.poisoned = true;
+        e
     }
 
     /// Attempts to extract the next complete message.
@@ -107,27 +134,25 @@ impl Framer {
                 len: 0,
             });
         }
-        if self.buf.len() < OFP_HEADER_LEN {
+        let avail = &self.buf[self.cursor..];
+        if avail.len() < OFP_HEADER_LEN {
             return Ok(None);
         }
-        let header = match Header::peek(&self.buf) {
+        let header = match Header::peek(avail) {
             Ok(h) => h,
-            Err(e) => {
-                self.poisoned = true;
-                return Err(e);
-            }
+            Err(e) => return Err(self.poison(e)),
         };
         let total = header.length as usize;
-        if self.buf.len() < total {
+        if avail.len() < total {
             return Ok(None);
         }
-        let frame = self.buf.split_to(total);
-        match Message::from_bytes(&frame) {
-            Ok((h, m)) => Ok(Some((h, m))),
-            Err(e) => {
-                self.poisoned = true;
-                Err(e)
+        match Message::from_bytes(&avail[..total]) {
+            Ok((h, m)) => {
+                self.cursor += total;
+                self.compact();
+                Ok(Some((h, m)))
             }
+            Err(e) => Err(self.poison(e)),
         }
     }
 
@@ -137,8 +162,10 @@ impl Framer {
     /// without losing a torn frame at the switchover point.
     #[must_use]
     pub fn take_pending(&mut self) -> Vec<u8> {
-        let n = self.buf.len();
-        self.buf.split_to(n).to_vec()
+        let out = self.buf[self.cursor..].to_vec();
+        self.buf.clear();
+        self.cursor = 0;
+        out
     }
 
     /// Drains every complete message currently buffered.
@@ -157,10 +184,12 @@ impl Framer {
     /// [`Framer::next_message`]: while the internal buffer is empty —
     /// the steady state for a request/response control channel — whole
     /// frames decode straight from the borrowed slice and nothing is
-    /// copied. Only a trailing partial frame is stashed internally, and
-    /// only its bytes are ever copied. `input` is advanced past whatever
-    /// was consumed; call in a loop until it returns `Ok(None)` with
-    /// `input` empty.
+    /// copied. A frame torn across reads is completed in the internal
+    /// buffer from exactly as many of `input`'s bytes as it needs; the
+    /// rest of `input` goes back through the zero-copy path, so only
+    /// torn-frame bytes are ever copied no matter how the stream is
+    /// chunked. `input` is advanced past whatever was consumed; call in
+    /// a loop until it returns `Ok(None)` with `input` empty.
     pub fn next_message_from(&mut self, input: &mut &[u8]) -> Result<Option<(Header, Message)>> {
         if self.poisoned {
             return Err(WireError::BadLength {
@@ -168,41 +197,58 @@ impl Framer {
                 len: 0,
             });
         }
-        if self.buf.is_empty() {
-            if input.len() < OFP_HEADER_LEN {
-                self.buf.extend_from_slice(input);
-                *input = &input[input.len()..];
-                return Ok(None);
-            }
-            let header = match Header::peek(input) {
-                Ok(h) => h,
-                Err(e) => {
-                    self.poisoned = true;
-                    return Err(e);
+        if self.pending() > 0 {
+            // Mid-frame: take only what completes the torn frame. First
+            // finish the header (to learn the frame length), then the
+            // body; if `input` runs out first, wait for the next read.
+            if self.pending() < OFP_HEADER_LEN {
+                let need = OFP_HEADER_LEN - self.pending();
+                let take = need.min(input.len());
+                self.buf.extend_from_slice(&input[..take]);
+                *input = &input[take..];
+                if self.pending() < OFP_HEADER_LEN {
+                    return Ok(None);
                 }
+            }
+            let header = match Header::peek(&self.buf[self.cursor..]) {
+                Ok(h) => h,
+                Err(e) => return Err(self.poison(e)),
             };
             let total = header.length as usize;
-            if input.len() < total {
-                self.buf.extend_from_slice(input);
-                *input = &input[input.len()..];
-                return Ok(None);
-            }
-            let (frame, rest) = input.split_at(total);
-            *input = rest;
-            return match Message::from_bytes(frame) {
-                Ok((h, m)) => Ok(Some((h, m))),
-                Err(e) => {
-                    self.poisoned = true;
-                    Err(e)
+            if self.pending() < total {
+                let need = total - self.pending();
+                let take = need.min(input.len());
+                self.buf.extend_from_slice(&input[..take]);
+                *input = &input[take..];
+                if self.pending() < total {
+                    return Ok(None);
                 }
-            };
+            }
+            return self.next_message();
         }
-        // A partial frame is already buffered: the stream is mid-frame,
-        // so append everything and fall back to the buffered path. The
-        // fast path resumes once the buffer drains.
-        self.buf.extend_from_slice(input);
-        *input = &input[input.len()..];
-        self.next_message()
+        if input.len() < OFP_HEADER_LEN {
+            self.compact();
+            self.buf.extend_from_slice(input);
+            *input = &input[input.len()..];
+            return Ok(None);
+        }
+        let header = match Header::peek(input) {
+            Ok(h) => h,
+            Err(e) => return Err(self.poison(e)),
+        };
+        let total = header.length as usize;
+        if input.len() < total {
+            self.compact();
+            self.buf.extend_from_slice(input);
+            *input = &input[input.len()..];
+            return Ok(None);
+        }
+        let (frame, rest) = input.split_at(total);
+        *input = rest;
+        match Message::from_bytes(frame) {
+            Ok((h, m)) => Ok(Some((h, m))),
+            Err(e) => Err(self.poison(e)),
+        }
     }
 }
 

@@ -554,19 +554,27 @@ impl Pipeline {
                 removed
             }
             Pipeline::OvsMicroflow { kernel, userspace } => {
-                let idxs = if strict {
-                    userspace
-                        .find_strict(filter, priority)
-                        .into_iter()
-                        .collect()
+                if strict {
+                    // Strict deletes hit at most one entry; go straight
+                    // to `remove_at` — the find/collect/remove_indices
+                    // round trip would cost two Vec round-trips per op
+                    // on the rotate-heavy control path.
+                    match userspace.find_strict(filter, priority) {
+                        Some(i) => {
+                            let e = userspace.remove_at(i);
+                            kernel.invalidate_parent(e.id);
+                            1
+                        }
+                        None => 0,
+                    }
                 } else {
-                    userspace.select_loose(filter, out_port)
-                };
-                let removed = userspace.remove_indices(idxs);
-                for e in &removed {
-                    kernel.invalidate_parent(e.id);
+                    let idxs = userspace.select_loose(filter, out_port);
+                    let removed = userspace.remove_indices(idxs);
+                    for e in &removed {
+                        kernel.invalidate_parent(e.id);
+                    }
+                    removed.len()
                 }
-                removed.len()
             }
         }
     }

@@ -8,33 +8,146 @@ use ofwire::action::Action;
 use ofwire::flow_match::{FlowKey, FlowMatch};
 use ofwire::types::PortNo;
 use simnet::time::SimTime;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{BuildHasherDefault, Hasher};
 
-/// FNV-1a. The strict index hashes a `(FlowMatch, u16)` on every
-/// insert/remove/find — a small fixed-size key from simulation state,
-/// so SipHash's flooding resistance buys nothing and costs the hot
-/// path several fold.
+/// Word-at-a-time multiply-rotate hash (FxHash-style). The strict
+/// index hashes a `(FlowMatch, u16)` on every insert/remove/find — a
+/// small fixed-size key from simulation state, so SipHash's flooding
+/// resistance buys nothing and costs the hot path several fold. The
+/// derived `Hash` impls emit one `write_uN` call per field, so the
+/// integer specializations below (one mix each, no byte loop) are what
+/// the flow-mod path actually hits.
 #[derive(Default)]
 pub struct FnvHasher(u64);
 
+impl FnvHasher {
+    #[inline]
+    fn mix(&mut self, v: u64) {
+        // Firefox's FxHash constant: pi's fraction bits, odd.
+        const K: u64 = 0x517c_c1b7_2722_0a95;
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(K);
+    }
+}
+
 impl Hasher for FnvHasher {
     fn write(&mut self, bytes: &[u8]) {
-        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut h = if self.0 == 0 { OFFSET } else { self.0 };
-        for &b in bytes {
-            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.mix(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
         }
-        self.0 = h;
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            // Zero-pad the tail; length is mixed so "ab" != "ab\0\0".
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.mix(u64::from_le_bytes(tail));
+            self.mix(bytes.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.mix(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
     }
 
     fn finish(&self) -> u64 {
-        self.0
+        // Buckets take the hash's low bits; the fields that vary
+        // (flow ids) were mixed with a rotate that keeps their entropy
+        // high, so fold the high half down.
+        self.0 ^ (self.0 >> 32)
     }
 }
 
 type FnvMap<K, V> = HashMap<K, V, BuildHasherDefault<FnvHasher>>;
+
+/// A slot bucket for the side indexes: up to two slots inline, spilling
+/// to the heap beyond that. Ids are unique and strict/cover collisions
+/// are contractually rare, so virtually every bucket is a singleton —
+/// the inline form makes the insert/remove rotate allocation-free.
+/// Derefs to `&[u32]` for all read access.
+#[derive(Clone, Debug)]
+enum Bucket {
+    Inline(u8, [u32; 2]),
+    Spill(Vec<u32>),
+}
+
+impl Default for Bucket {
+    fn default() -> Bucket {
+        Bucket::Inline(0, [0; 2])
+    }
+}
+
+impl std::ops::Deref for Bucket {
+    type Target = [u32];
+
+    fn deref(&self) -> &[u32] {
+        match self {
+            Bucket::Inline(n, a) => &a[..*n as usize],
+            Bucket::Spill(v) => v,
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Bucket {
+    type Item = &'a u32;
+    type IntoIter = std::slice::Iter<'a, u32>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl Bucket {
+    fn push(&mut self, slot: u32) {
+        match self {
+            Bucket::Inline(2, a) => *self = Bucket::Spill(vec![a[0], a[1], slot]),
+            Bucket::Inline(n, a) => {
+                a[*n as usize] = slot;
+                *n += 1;
+            }
+            Bucket::Spill(v) => v.push(slot),
+        }
+    }
+
+    /// Removes the element at `index`, preserving order. A spilled
+    /// bucket never shrinks back to inline (it is already off the hot
+    /// path).
+    fn remove(&mut self, index: usize) -> u32 {
+        match self {
+            Bucket::Inline(n, a) => {
+                debug_assert!(index < *n as usize);
+                let out = a[index];
+                if index == 0 {
+                    a[0] = a[1];
+                }
+                *n -= 1;
+                out
+            }
+            Bucket::Spill(v) => v.remove(index),
+        }
+    }
+}
 
 /// A wildcard-match flow table.
 ///
@@ -49,9 +162,10 @@ type FnvMap<K, V> = HashMap<K, V, BuildHasherDefault<FnvHasher>>;
 /// slot id and stay valid across arbitrary churn elsewhere in the table.
 /// The public API still speaks *positions* (insertion order among current
 /// residents — what `remove_at`, `get`, and the policy oracles index by);
-/// a dense `order` vector maps position → slot and a reverse `pos` array
-/// maps slot → position, so a structural change only rewrites those two
-/// integer arrays instead of repairing every bucket of every index (the
+/// a dense `order` deque maps position → slot and a reverse `pos` array
+/// maps slot → a bias-adjusted position (see the field docs), so a
+/// structural change only touches those integer arrays — O(min) from
+/// either end — instead of repairing every bucket of every index (the
 /// old layout's `index_shift_down` walked all of them per removal, which
 /// put an O(n·buckets) tax on each cache promotion/demotion).
 ///
@@ -85,10 +199,17 @@ pub struct FlowTable {
     slots: Vec<Option<FlowEntry>>,
     /// Free slot ids available for reuse.
     free: Vec<u32>,
-    /// Position → slot, in installation order among residents.
-    order: Vec<u32>,
-    /// Slot → current position (undefined for free slots).
-    pos: Vec<u32>,
+    /// Position → slot, in installation order among residents. A deque
+    /// so the FIFO churn pattern (delete the oldest entry — what strict
+    /// deletes against a rotating id space do) pops the front in O(1).
+    order: VecDeque<u32>,
+    /// Slot → `base`-biased position (undefined for free slots). The
+    /// current dense position is `pos[slot] - base`; removals near the
+    /// front adjust `base` instead of rewriting every resident's entry,
+    /// so a removal at index i costs O(min(i, n-i)) updates.
+    pos: Vec<u64>,
+    /// Bias subtracted from `pos` values to obtain dense positions.
+    base: u64,
     /// Slot → per-table install sequence (monotonic; orders buckets).
     seq: Vec<u64>,
     /// Slot → entry priority (SoA hot field for lookup comparisons).
@@ -101,19 +222,19 @@ pub struct FlowTable {
     /// `(match, priority)` → slots holding exactly that pair, in
     /// install-seq order (so `first()` is the earliest-installed
     /// resident, matching the old linear `position` semantics).
-    strict: FnvMap<(FlowMatch, u16), Vec<u32>>,
+    strict: FnvMap<(FlowMatch, u16), Bucket>,
     /// entry id → slots, in install-seq order (ids are unique per
     /// switch, so buckets are singletons in practice; the vector form
     /// mirrors `strict` and keeps first-position semantics under
     /// duplicates).
-    by_id: FnvMap<EntryId, Vec<u32>>,
+    by_id: FnvMap<EntryId, Bucket>,
     /// Tuple-space cover index: wildcard word (the match *shape*: which
     /// fields are constrained, at which prefix lengths) → canonical
     /// match → slots. A lookup projects the packet key once per
     /// resident shape and hash-probes, instead of running `covers`
     /// against every entry of a priority bucket; real tables hold a
     /// handful of shapes, so a lookup is a handful of hashes.
-    cover: FnvMap<u32, FnvMap<FlowMatch, Vec<u32>>>,
+    cover: FnvMap<u32, FnvMap<FlowMatch, Bucket>>,
     /// Multiset of installed priorities for O(log) shift counting.
     prio_counts: PriorityIndex,
     /// How many installed entries carry a nonzero idle or hard timeout —
@@ -166,7 +287,7 @@ impl FlowTable {
 
     /// Drops `slot` from one bucket (sorted by install seq), deleting
     /// the bucket when emptied. Returns whether the bucket survives.
-    fn bucket_drop(bucket: &mut Vec<u32>, slot: u32, seq: &[u64]) -> bool {
+    fn bucket_drop(bucket: &mut Bucket, slot: u32, seq: &[u64]) -> bool {
         if let Ok(p) = bucket.binary_search_by_key(&seq[slot as usize], |&s| seq[s as usize]) {
             bucket.remove(p);
         }
@@ -247,8 +368,8 @@ impl FlowTable {
             self.timeout_entries += 1;
         }
         let slot = self.alloc_slot(entry);
-        self.pos[slot as usize] = u32::try_from(self.order.len()).expect("position overflow");
-        self.order.push(slot);
+        self.pos[slot as usize] = self.base + self.order.len() as u64;
+        self.order.push_back(slot);
         // Fresh slots carry the table's maximum seq, so appending keeps
         // every bucket sorted by install order.
         self.strict.entry(key).or_default().push(slot);
@@ -264,11 +385,21 @@ impl FlowTable {
 
     /// Removes and returns the entry at `index`.
     pub fn remove_at(&mut self, index: usize) -> FlowEntry {
-        let slot = self.order.remove(index);
-        // Only the order/pos integer arrays shift; every slot-keyed
-        // bucket stays untouched.
-        for &s in &self.order[index..] {
-            self.pos[s as usize] -= 1;
+        let slot = self.order.remove(index).expect("index in range");
+        // Only integer positions move; every slot-keyed bucket stays
+        // untouched. Fix up whichever side of the removal point is
+        // shorter: either the tail's positions all drop by one, or —
+        // equivalently — the bias rises by one and the head's positions
+        // rise to compensate. FIFO churn (index 0) is O(1).
+        if index <= self.order.len() / 2 {
+            self.base += 1;
+            for &s in self.order.range(..index) {
+                self.pos[s as usize] += 1;
+            }
+        } else {
+            for &s in self.order.range(index..) {
+                self.pos[s as usize] -= 1;
+            }
         }
         self.detach_slot(slot)
     }
@@ -312,7 +443,7 @@ impl FlowTable {
                 }
             }
         }
-        best.map(|s| self.pos[s as usize] as usize)
+        best.map(|s| (self.pos[s as usize] - self.base) as usize)
     }
 
     /// Mutable access by index. Key fields (`flow_match`, `priority`,
@@ -339,7 +470,7 @@ impl FlowTable {
         self.strict
             .get(&(*flow_match, priority))
             .and_then(|bucket| bucket.first())
-            .map(|&s| self.pos[s as usize] as usize)
+            .map(|&s| (self.pos[s as usize] - self.base) as usize)
     }
 
     /// Indices of entries selected by a non-strict filter: entries whose
@@ -373,19 +504,26 @@ impl FlowTable {
         if indices.is_empty() {
             return Vec::new();
         }
+        // Single-index removals (the strict-delete hot path: OVS rotate
+        // workloads are ~50% deletes) skip the mask allocation and the
+        // full order rebuild; only the tail after `index` shifts.
+        if indices.len() == 1 {
+            return vec![self.remove_at(indices[0])];
+        }
         let mut mask = vec![false; self.order.len()];
         for &i in &indices {
             mask[i] = true;
         }
         let old_order = std::mem::take(&mut self.order);
         self.order.reserve(old_order.len() - indices.len());
+        self.base = 0;
         let mut removed_slots = Vec::with_capacity(indices.len());
         for (i, s) in old_order.into_iter().enumerate() {
             if mask[i] {
                 removed_slots.push(s);
             } else {
-                self.pos[s as usize] = u32::try_from(self.order.len()).expect("position overflow");
-                self.order.push(s);
+                self.pos[s as usize] = self.order.len() as u64;
+                self.order.push_back(s);
             }
         }
         // `indices` is descending; `removed_slots` collected ascending.
@@ -412,6 +550,7 @@ impl FlowTable {
             .collect();
         self.slots.clear();
         self.pos.clear();
+        self.base = 0;
         self.seq.clear();
         self.prio.clear();
         self.id.clear();
@@ -427,7 +566,7 @@ impl FlowTable {
         self.by_id
             .get(&id)
             .and_then(|bucket| bucket.first())
-            .map(|&s| self.pos[s as usize] as usize)
+            .map(|&s| (self.pos[s as usize] - self.base) as usize)
     }
 
     /// How many installed entries have priority strictly above
@@ -495,7 +634,8 @@ impl FlowTable {
         for (p, &s) in self.order.iter().enumerate() {
             assert!(self.slots[s as usize].is_some(), "free slot {s} in order");
             assert_eq!(
-                self.pos[s as usize] as usize, p,
+                (self.pos[s as usize] - self.base) as usize,
+                p,
                 "pos/order disagree at {p}"
             );
         }

@@ -1,14 +1,32 @@
 //! The pipelined flow-mod load generator behind the `wire_bench`
 //! experiment arm.
 //!
-//! One single-threaded client drives N connections against a realtime
-//! [`AgentServer`](crate::server::AgentServer), keeping a bounded
+//! The client drives N connections against a realtime
+//! [`AgentServer`](crate::server::AgentServer) (optionally from several
+//! client threads, each owning a disjoint subset), keeping a bounded
 //! window of unacknowledged flow-mods in flight per connection and
 //! fencing them with coalesced barriers (one `barrier_request` per
-//! `barrier_every` flow-mods, never one per op). Ack latency for a
-//! flow-mod is measured to the *covering barrier's* reply — OpenFlow
-//! switches do not acknowledge successful flow-mods individually, so
-//! the fence is what a real controller waits on.
+//! fence interval, never one per op). Ack latency for a flow-mod is
+//! measured to the *covering barrier's* reply — OpenFlow switches do
+//! not acknowledge successful flow-mods individually, so the fence is
+//! what a real controller waits on.
+//!
+//! Two mechanisms bound tail latency (the deep-window p99 cliff):
+//!
+//! * **In-flight byte cap** — besides the frame window, each connection
+//!   stops encoding once [`WireBenchConfig::max_inflight_bytes`] of
+//!   un-acked wire bytes are outstanding. Latency to a fence is queue
+//!   depth over drain rate; capping *bytes* caps the queue the server
+//!   (and both socket buffers) can build up, which a frame-count window
+//!   alone does not once frames pile into kernel buffers.
+//! * **Adaptive fencing** — the fence interval starts at
+//!   [`WireBenchConfig::barrier_every`] and adapts AIMD-style to the
+//!   measured ack latency against
+//!   [`WireBenchConfig::target_ack_us`]: a fence that comes back over
+//!   target halves the interval *and* the connection's private byte
+//!   cap (multiplicative decrease), a fence under half the target
+//!   restores them additively. Deep windows then converge to whatever
+//!   in-flight depth the server can drain within the target.
 //!
 //! The flow-mod stream alternates 1024-id blocks of `Add` and
 //! `DeleteStrict`, so the switch's tables stay bounded no matter how
@@ -39,10 +57,40 @@ pub struct WireBenchConfig {
     pub connections: usize,
     /// Max unacknowledged flow-mods in flight per connection.
     pub window: usize,
-    /// Coalescing factor: one barrier fences this many flow-mods.
+    /// Max fence interval: one barrier fences at most this many
+    /// flow-mods (the adaptive controller only shrinks it).
     pub barrier_every: usize,
     /// Flow-mods each connection sends in total.
     pub ops_per_conn: usize,
+    /// Max un-acked bytes in flight per connection; 0 disables the cap.
+    pub max_inflight_bytes: usize,
+    /// Ack-latency target in microseconds for the adaptive fence/byte
+    /// controller; 0 disables adaptation.
+    pub target_ack_us: u64,
+    /// Client threads driving disjoint connection subsets.
+    pub client_threads: usize,
+}
+
+impl WireBenchConfig {
+    /// A cell with the latency controls at their defaults: a 16 KiB
+    /// per-connection byte cap and a 10 ms ack target.
+    #[must_use]
+    pub fn new(
+        connections: usize,
+        window: usize,
+        barrier_every: usize,
+        ops_per_conn: usize,
+    ) -> WireBenchConfig {
+        WireBenchConfig {
+            connections,
+            window,
+            barrier_every,
+            ops_per_conn,
+            max_inflight_bytes: 16 * 1024,
+            target_ack_us: 10_000,
+            client_threads: 1,
+        }
+    }
 }
 
 /// What one cell measured.
@@ -75,8 +123,15 @@ struct BenchConn {
     since_fence: usize,
     /// Cumulative `sent` at each outstanding fence, FIFO.
     fences: VecDeque<usize>,
-    /// Encode instant of each unacknowledged flow-mod, FIFO.
-    send_times: VecDeque<Instant>,
+    /// Encode instant and frame length of each unacknowledged
+    /// flow-mod, FIFO.
+    send_times: VecDeque<(Instant, u32)>,
+    /// Un-acked wire bytes currently in flight.
+    inflight_bytes: usize,
+    /// Current fence interval (AIMD, in `[1, barrier_every]`).
+    fence_interval: usize,
+    /// Current byte cap (AIMD, in `[2 frames, max_inflight_bytes]`).
+    byte_cap: usize,
     next_xid: u32,
     errors: u64,
 }
@@ -101,8 +156,12 @@ impl BenchConn {
             FlowMod::delete_strict(FlowMatch::l3_for_id(id), 10)
         };
         let xid = self.xid();
-        Message::FlowMod(fm).encode_frame_into(xid, self.conn.out.tail());
-        self.send_times.push_back(Instant::now());
+        let tail = self.conn.out.tail();
+        let before = tail.len();
+        Message::FlowMod(fm).encode_frame_into(xid, tail);
+        let frame_len = (tail.len() - before) as u32;
+        self.send_times.push_back((Instant::now(), frame_len));
+        self.inflight_bytes += frame_len as usize;
         self.sent += 1;
         self.since_fence += 1;
     }
@@ -115,22 +174,60 @@ impl BenchConn {
         self.fences.push_back(self.sent);
         self.since_fence = 0;
     }
+
+    /// Whether the windows allow encoding another flow-mod.
+    fn can_send(&self, cfg: &WireBenchConfig) -> bool {
+        self.sent < cfg.ops_per_conn
+            && self.sent - self.acked < cfg.window
+            && (cfg.max_inflight_bytes == 0 || self.inflight_bytes < self.byte_cap)
+    }
+
+    /// Feeds one fence's measured latency to the AIMD controller.
+    ///
+    /// The band is deliberately wide — shrink only above 2× target,
+    /// grow only below it — because the measured latency has a floor
+    /// (one client sweep + one server sweep) that no amount of window
+    /// shrinking removes; a tight band would pin every connection at
+    /// the minimum cap and collapse throughput whenever that floor
+    /// sits near the target.
+    fn adapt(&mut self, latency_us: u64, cfg: &WireBenchConfig) {
+        if cfg.target_ack_us == 0 {
+            return;
+        }
+        if latency_us > cfg.target_ack_us * 2 {
+            // Never shrink fences below a quarter of the configured
+            // interval: every barrier is a full server op, so a fence
+            // per flow-mod would double the drain work exactly while
+            // the server is behind. The byte cap owns depth control.
+            self.fence_interval = (self.fence_interval / 2).max(cfg.barrier_every / 4).max(1);
+            // A gentle 3/4 decrease: halving overshoots downward and the
+            // additive recovery (one step per fence RTT) then spends
+            // many round trips climbing back — the sawtooth's trough
+            // costs more throughput than its crest costs latency.
+            self.byte_cap = (self.byte_cap * 3 / 4).max(1024);
+        } else if latency_us < cfg.target_ack_us {
+            self.fence_interval = (self.fence_interval + 1).min(cfg.barrier_every.max(1));
+            if cfg.max_inflight_bytes != 0 {
+                self.byte_cap = (self.byte_cap + 1024).min(cfg.max_inflight_bytes);
+            }
+        }
+    }
 }
 
-/// Runs one benchmark cell against a realtime agent server at `addr`.
-///
-/// The server's roster must contain dpids `1..=cfg.connections` (see
-/// the `wire_bench` experiment arm, which spawns it that way).
-pub fn run_wire_bench(addr: SocketAddr, cfg: WireBenchConfig) -> io::Result<WireBenchResult> {
+/// Drives the connection subset `dpids` (1-based switch ids) from one
+/// thread; returns the latency samples (ms) and error count.
+fn run_partition(
+    addr: SocketAddr,
+    cfg: &WireBenchConfig,
+    dpids: &[u64],
+) -> io::Result<(Vec<f64>, u64)> {
     use crate::vt::VtMsg;
-    let mut conns = Vec::with_capacity(cfg.connections);
-    for i in 0..cfg.connections {
+    let mut conns = Vec::with_capacity(dpids.len());
+    for &dpid in dpids {
         let mut conn = NbConn::new(TcpStream::connect(addr)?)?;
-        VtMsg::Hello {
-            dpid: (i + 1) as u64,
-        }
-        .to_message()
-        .encode_frame_into(Xid(0), conn.out.tail());
+        VtMsg::Hello { dpid }
+            .to_message()
+            .encode_frame_into(Xid(0), conn.out.tail());
         conns.push(BenchConn {
             conn,
             framer: Framer::new(),
@@ -139,26 +236,39 @@ pub fn run_wire_bench(addr: SocketAddr, cfg: WireBenchConfig) -> io::Result<Wire
             since_fence: 0,
             fences: VecDeque::new(),
             send_times: VecDeque::new(),
+            inflight_bytes: 0,
+            fence_interval: cfg.barrier_every.max(1),
+            // Slow-start: with adaptation on, begin well under the cap
+            // and grow additively — launching every connection at the
+            // full cap floods the pipe before the first fence returns,
+            // and that transient alone is deep enough to own the p99.
+            byte_cap: if cfg.max_inflight_bytes == 0 {
+                usize::MAX
+            } else if cfg.target_ack_us == 0 {
+                cfg.max_inflight_bytes
+            } else {
+                cfg.max_inflight_bytes.min(2048)
+            },
             next_xid: 0,
             errors: 0,
         });
     }
 
     let total = cfg.ops_per_conn;
-    let mut samples: Vec<f64> = Vec::with_capacity(cfg.connections * total);
+    let mut samples: Vec<f64> = Vec::with_capacity(dpids.len() * total);
     let mut scratch = vec![0u8; READ_CHUNK];
     let mut pacer = Pacer::new();
-    let started = Instant::now();
     loop {
         let mut all_done = true;
         let mut progress = false;
+        let mut in_flight = false;
         for bc in &mut conns {
             // Top up the pipeline window, fencing every
-            // `barrier_every` flow-mods.
+            // `fence_interval` flow-mods.
             let before = bc.sent;
-            while bc.sent < total && bc.sent - bc.acked < cfg.window {
+            while bc.can_send(cfg) {
                 bc.encode_flow_mod(bc.sent);
-                if bc.since_fence >= cfg.barrier_every {
+                if bc.since_fence >= bc.fence_interval {
                     bc.encode_fence();
                 }
             }
@@ -191,11 +301,17 @@ pub fn run_wire_bench(addr: SocketAddr, cfg: WireBenchConfig) -> io::Result<Wire
                                 .pop_front()
                                 .expect("fence replies arrive in order");
                             let now = Instant::now();
+                            let mut worst_us = 0u64;
                             while bc.acked < covered {
-                                let t = bc.send_times.pop_front().expect("send time per flow-mod");
-                                samples.push(now.duration_since(t).as_secs_f64() * 1e3);
+                                let (t, frame_len) =
+                                    bc.send_times.pop_front().expect("send time per flow-mod");
+                                let waited = now.duration_since(t);
+                                worst_us = worst_us.max(waited.as_micros() as u64);
+                                samples.push(waited.as_secs_f64() * 1e3);
+                                bc.inflight_bytes -= frame_len as usize;
                                 bc.acked += 1;
                             }
+                            bc.adapt(worst_us, cfg);
                         }
                         Message::Error(_) => bc.errors += 1,
                         _ => {}
@@ -203,6 +319,7 @@ pub fn run_wire_bench(addr: SocketAddr, cfg: WireBenchConfig) -> io::Result<Wire
                 }
             }
             all_done &= bc.acked == total;
+            in_flight |= bc.acked < bc.sent;
         }
         if all_done {
             break;
@@ -210,17 +327,55 @@ pub fn run_wire_bench(addr: SocketAddr, cfg: WireBenchConfig) -> io::Result<Wire
         if progress {
             pacer.progressed();
         } else {
-            pacer.idle();
+            pacer.idle(in_flight);
+        }
+    }
+    Ok((samples, conns.iter().map(|c| c.errors).sum()))
+}
+
+/// Runs one benchmark cell against a realtime agent server at `addr`.
+///
+/// The server's roster must contain dpids `1..=cfg.connections` (see
+/// the `wire_bench` experiment arm, which spawns it that way). With
+/// `client_threads > 1` the connections are split contiguously across
+/// that many generator threads.
+pub fn run_wire_bench(addr: SocketAddr, cfg: WireBenchConfig) -> io::Result<WireBenchResult> {
+    let threads = cfg.client_threads.clamp(1, cfg.connections.max(1));
+    let dpids: Vec<u64> = (1..=cfg.connections as u64).collect();
+    let chunk = cfg.connections.div_ceil(threads);
+    let started = Instant::now();
+    let mut merged: Vec<(Vec<f64>, u64)> = Vec::with_capacity(threads);
+    if threads == 1 {
+        merged.push(run_partition(addr, &cfg, &dpids)?);
+    } else {
+        let results: Vec<io::Result<(Vec<f64>, u64)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = dpids
+                .chunks(chunk)
+                .map(|part| scope.spawn(move || run_partition(addr, &cfg, part)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("bench thread panicked"))
+                .collect()
+        });
+        for r in results {
+            merged.push(r?);
         }
     }
     let elapsed = started.elapsed().as_secs_f64();
-    let total_flow_mods = (cfg.connections * total) as u64;
+    let total_flow_mods = (cfg.connections * cfg.ops_per_conn) as u64;
+    let mut samples = Vec::new();
+    let mut errors = 0;
+    for (s, e) in merged {
+        samples.extend(s);
+        errors += e;
+    }
     Ok(WireBenchResult {
         config: cfg,
         total_flow_mods,
         elapsed_secs: elapsed,
         flow_mods_per_sec: total_flow_mods as f64 / elapsed,
         ack_latency_ms: Summary::of(samples),
-        errors: conns.iter().map(|c| c.errors).sum(),
+        errors,
     })
 }

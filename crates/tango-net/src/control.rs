@@ -160,7 +160,7 @@ impl TcpFleet {
         if progress {
             self.pacer.progressed();
         } else {
-            self.pacer.idle();
+            self.pacer.idle(self.inflight > 0);
         }
     }
 }

@@ -54,6 +54,8 @@ pub mod vt;
 pub mod prelude {
     pub use crate::bench::{run_wire_bench, WireBenchConfig, WireBenchResult};
     pub use crate::control::TcpFleet;
-    pub use crate::reactor::{NbConn, OutBuf, Pacer};
-    pub use crate::server::{AgentServer, ServerHandle, ServerMode, ServerStats};
+    pub use crate::reactor::{NbConn, OutBuf, Pacer, Watermark};
+    pub use crate::server::{
+        shard_of, AgentServer, ServerConfig, ServerHandle, ServerMode, ServerStats, ShardStats,
+    };
 }

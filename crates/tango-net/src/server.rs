@@ -1,5 +1,5 @@
-//! The agent server: N switch agents behind one non-blocking reactor
-//! thread.
+//! The agent server: N switch agents behind a sharded, reactor-per-core
+//! transport.
 //!
 //! Every connection speaks plain `ofwire` frames. The first frame must
 //! be a [`VtMsg::Hello`] binding the connection to a switch from the
@@ -13,8 +13,8 @@
 //!   zero-copy from the read scratch), wire replies append to the
 //!   connection's reused [`OutBuf`](crate::reactor::OutBuf), and `now`
 //!   is the wall clock. Throughput comes from syscall batching: one
-//!   read drains a whole pipeline window, one write flushes all its
-//!   replies.
+//!   read drains a whole pipeline window, one vectored write flushes
+//!   all its replies.
 //! * **Virtual time** ([`ServerMode::Virtual`]) — the inference mode.
 //!   Ops arrive annotated with [`VtMsg::Submit`]; the server owns the
 //!   link model and per-switch latency RNG (derived exactly as the
@@ -23,11 +23,31 @@
 //!   with a [`VtMsg::Ack`] instead of the op's plain replies. See
 //!   [`crate::vt`] for why.
 //!
+//! ## Sharding
+//!
+//! The server is split into a **front door** and N **reactor shards**
+//! ([`ServerConfig::shards`]):
+//!
+//! * The front door owns the listener. It accepts connections, runs the
+//!   hello handshake, validates and claims the roster slot, and hands
+//!   the bound connection — socket, torn-frame leftover and all — to
+//!   shard [`shard_of`]`(dpid, N)` over that shard's mpsc channel.
+//! * Each shard is an independent readiness loop with its own read
+//!   scratch, out-buffer pools (inside each connection's `OutBuf`), and
+//!   [`Pacer`]. Shards share **nothing mutable** on the hot path: the
+//!   only cross-thread traffic is the accept-time handoff and one
+//!   atomic per roster slot (the claim flag, touched at bind/close) plus
+//!   the live-connection count used for shutdown.
+//!
+//! The partition function is pure — a reconnecting switch always lands
+//! back on the same shard, and a roster slot whose connection closed
+//! releases its claim so the reconnect can bind again.
+//!
 //! Backpressure: a connection whose write buffer is over its high
 //! watermark is not read until it drains — the reactor never queues
 //! unboundedly on behalf of a slow peer.
 
-use crate::reactor::{NbConn, Pacer, READ_CHUNK};
+use crate::reactor::{IoCounters, NbConn, Pacer, READ_CHUNK};
 use crate::vt::{VtMsg, VtOpTag, TANGO_VENDOR};
 use ofwire::barrier::BarrierTracker;
 use ofwire::codec::Framer;
@@ -35,15 +55,17 @@ use ofwire::message::Message;
 use ofwire::types::{Dpid, Xid};
 use simnet::link::Link;
 use simnet::rng::DetRng;
+use simnet::telemetry::{Recorder, Telemetry};
 use simnet::time::SimTime;
 use std::io;
 use std::net::{SocketAddr, TcpListener};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 use switchsim::agent::{Agent, AgentOutput};
-use switchsim::chan::{self, OpKind, VirtualTimeline};
+use switchsim::chan::{self, wire_keys, OpKind, VirtualTimeline};
 use switchsim::profiles::SwitchProfile;
 use switchsim::switch::Switch;
 
@@ -61,19 +83,87 @@ pub enum ServerMode {
     },
 }
 
-/// Counters the server thread reports when it exits.
+/// Server shape: how many reactor shards, and whether they record
+/// telemetry.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Reactor shard count (threads). 1 reproduces the single-loop
+    /// behaviour behind the same front door.
+    pub shards: usize,
+    /// Record per-shard wire counters (see
+    /// [`switchsim::chan::wire_keys`]); merged into
+    /// [`ServerStats::metrics`] at shutdown. Off costs nothing on the
+    /// hot path.
+    pub telemetry: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            shards: 1,
+            telemetry: false,
+        }
+    }
+}
+
+/// Which shard a switch's connection is served by.
+///
+/// Pure (FNV-1a over the dpid), so a reconnecting switch lands on the
+/// same shard every time and a fleet spreads evenly without
+/// coordination.
+#[must_use]
+pub fn shard_of(dpid: u64, shards: usize) -> usize {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for b in dpid.to_le_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+    }
+    (h % shards.max(1) as u64) as usize
+}
+
+/// Counters one reactor shard reports when it exits.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ServerStats {
-    /// Connections accepted over the server's lifetime.
-    pub accepted: usize,
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Connections bound to this shard over its lifetime.
+    pub conns: usize,
     /// Operations completed (virtual-time ops, or realtime messages
     /// dispatched to an agent).
     pub ops: u64,
     /// Protocol violations that closed a connection.
     pub errors: usize,
+    /// Sweeps that moved at least one byte.
+    pub wakeups: u64,
+    /// Bytes read off this shard's sockets.
+    pub bytes_in: u64,
+    /// Bytes written to this shard's sockets.
+    pub bytes_out: u64,
+    /// Socket calls that returned `WouldBlock`.
+    pub would_block: u64,
+    /// Reads refused by watermark backpressure.
+    pub watermark_stalls: u64,
 }
 
-/// Handle to a running [`AgentServer`] thread.
+/// Counters the server reports when it exits.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted over the server's lifetime.
+    pub accepted: usize,
+    /// Operations completed, summed over shards.
+    pub ops: u64,
+    /// Protocol violations that closed a connection (handshake errors
+    /// plus shard-side stream errors).
+    pub errors: usize,
+    /// Per-shard breakdown.
+    pub shards: Vec<ShardStats>,
+    /// Rendered telemetry snapshot, when [`ServerConfig::telemetry`]
+    /// was on (merged across shards).
+    pub metrics: Option<String>,
+}
+
+/// Handle to a running [`AgentServer`].
 #[derive(Debug)]
 pub struct ServerHandle {
     addr: SocketAddr,
@@ -88,7 +178,7 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Signals the server to stop and waits for its thread, returning
+    /// Signals the server to stop and waits for its threads, returning
     /// the final counters.
     pub fn shutdown(mut self) -> io::Result<ServerStats> {
         self.stop.store(true, Ordering::Relaxed);
@@ -107,27 +197,41 @@ impl Drop for ServerHandle {
 }
 
 /// One roster slot: a switch a connection may claim with its hello.
-struct RosterEntry {
+/// Everything but the claim flag is immutable, so the front door can
+/// bind (and shards release) without a lock.
+struct RosterSlot {
     dpid: Dpid,
-    /// Taken when a connection binds; a second hello for the same dpid
-    /// is a protocol error.
-    profile: Option<SwitchProfile>,
+    /// Set while a connection is bound to this switch; a hello for a
+    /// claimed dpid is a protocol error, and a closed connection
+    /// releases the claim so the switch can reconnect.
+    claimed: AtomicBool,
+    profile: SwitchProfile,
     seed: u64,
     link_rng: DetRng,
 }
 
-/// The switch-agent server. Construction happens via [`AgentServer::spawn`].
+/// A bound connection travelling from the front door to its shard.
+struct Handoff {
+    conn: NbConn,
+    /// Index into the roster (claim already taken by the front door).
+    slot: usize,
+    /// Bytes that arrived behind the hello in the same read(s).
+    leftover: Vec<u8>,
+}
+
+/// The switch-agent server. Construction happens via
+/// [`AgentServer::spawn`] / [`AgentServer::spawn_with`].
 pub struct AgentServer;
 
 impl AgentServer {
-    /// Binds a loopback listener and spawns the reactor thread serving
+    /// Binds a loopback listener and spawns a single-shard server for
     /// `roster`. `seed` plays the role of the testbed's master seed:
     /// per-switch datapath seeds and link-latency streams derive from
     /// it in roster order, exactly as
     /// [`Testbed::attach`](switchsim::harness::Testbed::attach) would
     /// derive them attaching the same dpids in the same order.
     ///
-    /// The thread exits when [`ServerHandle::shutdown`] is called, or
+    /// The server exits when [`ServerHandle::shutdown`] is called, or
     /// on its own once at least one connection was accepted and all
     /// connections have closed.
     pub fn spawn(
@@ -135,27 +239,59 @@ impl AgentServer {
         roster: Vec<(Dpid, SwitchProfile)>,
         mode: ServerMode,
     ) -> io::Result<ServerHandle> {
+        Self::spawn_with(seed, roster, mode, ServerConfig::default())
+    }
+
+    /// [`AgentServer::spawn`] with an explicit shard count and
+    /// telemetry switch.
+    pub fn spawn_with(
+        seed: u64,
+        roster: Vec<(Dpid, SwitchProfile)>,
+        mode: ServerMode,
+        cfg: ServerConfig,
+    ) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let stop_flag = Arc::clone(&stop);
+        let live = Arc::new(AtomicUsize::new(0));
         let mut master = DetRng::new(seed);
-        let roster: Vec<RosterEntry> = roster
-            .into_iter()
-            .map(|(dpid, profile)| {
-                let (seed, link_rng) = chan::attach_streams(&mut master, dpid);
-                RosterEntry {
-                    dpid,
-                    profile: Some(profile),
-                    seed,
-                    link_rng,
-                }
-            })
-            .collect();
+        let roster: Arc<Vec<RosterSlot>> = Arc::new(
+            roster
+                .into_iter()
+                .map(|(dpid, profile)| {
+                    let (seed, link_rng) = chan::attach_streams(&mut master, dpid);
+                    RosterSlot {
+                        dpid,
+                        claimed: AtomicBool::new(false),
+                        profile,
+                        seed,
+                        link_rng,
+                    }
+                })
+                .collect(),
+        );
+        let shards = cfg.shards.max(1);
+        let mut senders = Vec::with_capacity(shards);
+        let mut shard_joins = Vec::with_capacity(shards);
+        for idx in 0..shards {
+            let (tx, rx) = std::sync::mpsc::channel();
+            senders.push(tx);
+            let roster = Arc::clone(&roster);
+            let mode = mode.clone();
+            let stop = Arc::clone(&stop);
+            let live = Arc::clone(&live);
+            let join = std::thread::Builder::new()
+                .name(format!("tango-net-shard{idx}"))
+                .spawn(move || run_shard(idx, &rx, &roster, &mode, &stop, &live, cfg.telemetry))?;
+            shard_joins.push(join);
+        }
+        let stop_flag = Arc::clone(&stop);
         let join = std::thread::Builder::new()
-            .name("tango-net-server".into())
-            .spawn(move || run_server(&listener, roster, &mode, &stop_flag))?;
+            .name("tango-net-accept".into())
+            .spawn(move || {
+                run_acceptor(&listener, &roster, senders, shard_joins, &stop_flag, &live)
+            })?;
         Ok(ServerHandle {
             addr,
             stop,
@@ -164,10 +300,174 @@ impl AgentServer {
     }
 }
 
-/// Per-connection protocol state.
+/// A connection still waiting for its binding hello.
+struct PendingConn {
+    conn: NbConn,
+    framer: Framer,
+}
+
+/// Outcome of feeding handshake bytes to a pending connection.
+enum HandshakeStep {
+    /// Hello not complete yet.
+    Incomplete,
+    /// Hello parsed and roster slot claimed.
+    Bound { slot: usize, leftover: Vec<u8> },
+}
+
+fn proto_err(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what.to_string())
+}
+
+/// Parses handshake bytes; claims the roster slot on a complete hello.
+fn handshake_step(
+    framer: &mut Framer,
+    bytes: &[u8],
+    roster: &[RosterSlot],
+) -> io::Result<HandshakeStep> {
+    let mut input = bytes;
+    let hello = framer
+        .next_message_from(&mut input)
+        .map_err(|_| proto_err("unparseable handshake"))?;
+    let Some((_, msg)) = hello else {
+        return Ok(HandshakeStep::Incomplete); // hello still torn
+    };
+    let Message::Vendor { vendor, data } = msg else {
+        return Err(proto_err("first frame must be a vendor hello"));
+    };
+    if vendor != TANGO_VENDOR {
+        return Err(proto_err("unknown vendor id in hello"));
+    }
+    let VtMsg::Hello { dpid } = VtMsg::decode(&data).map_err(|_| proto_err("bad hello payload"))?
+    else {
+        return Err(proto_err("first vt message must be hello"));
+    };
+    let slot = roster
+        .iter()
+        .position(|e| e.dpid.0 == dpid)
+        .ok_or_else(|| proto_err("hello for a dpid not in the roster"))?;
+    if roster[slot].claimed.swap(true, Ordering::AcqRel) {
+        return Err(proto_err("dpid already claimed"));
+    }
+    let mut leftover = framer.take_pending();
+    leftover.extend_from_slice(input);
+    Ok(HandshakeStep::Bound { slot, leftover })
+}
+
+/// The front door: accept, handshake, hand off to the owning shard.
+fn run_acceptor(
+    listener: &TcpListener,
+    roster: &[RosterSlot],
+    senders: Vec<Sender<Handoff>>,
+    shard_joins: Vec<JoinHandle<ShardExit>>,
+    stop: &AtomicBool,
+    live: &AtomicUsize,
+) -> io::Result<ServerStats> {
+    let mut stats = ServerStats::default();
+    let mut pending: Vec<PendingConn> = Vec::new();
+    let mut scratch = vec![0u8; READ_CHUNK];
+    let mut pacer = Pacer::new();
+    let shards = senders.len();
+    loop {
+        let done = stop.load(Ordering::Relaxed)
+            || (stats.accepted > 0 && pending.is_empty() && live.load(Ordering::Relaxed) == 0);
+        if done {
+            break;
+        }
+        let mut progress = false;
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    pending.push(PendingConn {
+                        conn: NbConn::new(stream)?,
+                        framer: Framer::new(),
+                    });
+                    stats.accepted += 1;
+                    live.fetch_add(1, Ordering::Relaxed);
+                    progress = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let mut i = 0;
+        while i < pending.len() {
+            let p = &mut pending[i];
+            let n = p.conn.read_into(&mut scratch).unwrap_or_default();
+            if p.conn.is_closed() {
+                // The peer vanished mid-handshake: not a protocol
+                // violation, just a connection that never bound.
+                pending.swap_remove(i);
+                live.fetch_sub(1, Ordering::Relaxed);
+                progress = true;
+                continue;
+            }
+            if n == 0 {
+                i += 1;
+                continue;
+            }
+            progress = true;
+            match handshake_step(&mut p.framer, &scratch[..n], roster) {
+                Ok(HandshakeStep::Incomplete) => {
+                    i += 1;
+                }
+                Ok(HandshakeStep::Bound { slot, leftover }) => {
+                    let p = pending.swap_remove(i);
+                    let shard = shard_of(roster[slot].dpid.0, shards);
+                    if senders[shard]
+                        .send(Handoff {
+                            conn: p.conn,
+                            slot,
+                            leftover,
+                        })
+                        .is_err()
+                    {
+                        // Shard already gone (shutdown race): the claim
+                        // dies with the connection.
+                        roster[slot].claimed.store(false, Ordering::Release);
+                        live.fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+                Err(_) => {
+                    stats.errors += 1;
+                    pending.swap_remove(i);
+                    live.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+        }
+        if progress {
+            pacer.progressed();
+        } else {
+            pacer.idle(!pending.is_empty());
+        }
+    }
+    // Closing the channels tells every shard to finish and exit.
+    drop(senders);
+    let mut recorders: Vec<Recorder> = Vec::new();
+    for join in shard_joins {
+        let shard = join.join().expect("shard thread panicked");
+        stats.ops += shard.stats.ops;
+        stats.errors += shard.stats.errors;
+        stats.shards.push(shard.stats);
+        if let Some(rec) = shard.recorder {
+            recorders.push(*rec);
+        }
+    }
+    if !recorders.is_empty() {
+        stats.metrics = Some(Recorder::merge_metrics(recorders.iter()).render_text());
+    }
+    Ok(stats)
+}
+
+/// What a shard thread returns: its counters, plus its telemetry
+/// recorder when recording was on.
+struct ShardExit {
+    stats: ShardStats,
+    recorder: Option<Box<Recorder>>,
+}
+
+/// Per-connection protocol state (post-handshake).
 enum SessState {
-    /// Waiting for the binding hello.
-    Handshake(Framer),
     /// Bound, wall-clock mode.
     Realtime(Box<RtState>),
     /// Bound, virtual-time mode.
@@ -209,48 +509,110 @@ struct CurOp {
 
 struct Session {
     conn: NbConn,
+    slot: usize,
     state: SessState,
+    /// Consecutive empty reads (the backoff exponent).
+    misses: u32,
+    /// Sweeps left before this session is polled again. A session that
+    /// keeps returning `WouldBlock` while its shard-mates are busy is
+    /// skipped for up to [`MAX_READ_SKIP`] sweeps — otherwise a shard
+    /// with a few hot connections burns a wasted read syscall per idle
+    /// connection per sweep (the dominant cost at 256 connections).
+    skip: u32,
 }
 
-fn proto_err(what: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, what.to_string())
+/// Longest a session sits out the read sweep, in sweeps. Busy shards
+/// sweep in tens of microseconds and idle ones tick at the pacer's
+/// 50 µs tier, so the cap adds well under a millisecond of latency
+/// while cutting the idle-poll syscall rate ~16×.
+const MAX_READ_SKIP: u32 = 16;
+
+/// Builds a bound session from a handoff, in the server's mode.
+fn bind_session(h: Handoff, roster: &[RosterSlot], mode: &ServerMode) -> Session {
+    let slot = &roster[h.slot];
+    let agent = Agent::new(Switch::new(slot.profile.clone(), slot.dpid, slot.seed));
+    let state = match mode {
+        ServerMode::Realtime => SessState::Realtime(Box::new(RtState { agent })),
+        ServerMode::Virtual { link } => SessState::Virtual(Box::new(VtState {
+            dpid: slot.dpid,
+            agent,
+            link: *link,
+            rng: slot.link_rng.clone(),
+            timeline: VirtualTimeline::new(),
+            barriers: BarrierTracker::new(),
+            framer: Framer::new(),
+            cur: None,
+            spare: Vec::new(),
+        })),
+    };
+    Session {
+        conn: h.conn,
+        slot: h.slot,
+        state,
+        misses: 0,
+        skip: 0,
+    }
 }
 
-fn run_server(
-    listener: &TcpListener,
-    mut roster: Vec<RosterEntry>,
+/// One reactor shard: drains its handoff channel, then sweeps its
+/// sessions — flush, read, dispatch — with no shared mutable state
+/// beyond the roster claim flags and the live count.
+fn run_shard(
+    idx: usize,
+    rx: &Receiver<Handoff>,
+    roster: &[RosterSlot],
     mode: &ServerMode,
     stop: &AtomicBool,
-) -> io::Result<ServerStats> {
-    let mut stats = ServerStats::default();
+    live: &AtomicUsize,
+    telemetry: bool,
+) -> ShardExit {
+    let mut tele = if telemetry {
+        Telemetry::recording()
+    } else {
+        Telemetry::off()
+    };
+    let mut stats = ShardStats {
+        shard: idx,
+        ..ShardStats::default()
+    };
     let mut sessions: Vec<Session> = Vec::new();
     let mut scratch = vec![0u8; READ_CHUNK];
     let mut outs: Vec<AgentOutput> = Vec::new();
     let mut pacer = Pacer::new();
     let epoch = Instant::now();
+    let mut inlet_open = true;
     loop {
-        if stop.load(Ordering::Relaxed) {
-            return Ok(stats);
-        }
         let mut progress = false;
-        // Accept whoever is waiting (bounded per sweep by the listener
-        // backlog; each accept is cheap).
-        loop {
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    sessions.push(Session {
-                        conn: NbConn::new(stream)?,
-                        state: SessState::Handshake(Framer::new()),
-                    });
-                    stats.accepted += 1;
+        while inlet_open {
+            match rx.try_recv() {
+                Ok(mut h) => {
+                    let leftover = std::mem::take(&mut h.leftover);
+                    let mut sess = bind_session(h, roster, mode);
+                    stats.conns += 1;
+                    tele.count(wire_keys::CONNS, 1);
                     progress = true;
+                    // Frames that arrived behind the hello in the same
+                    // read(s) must be processed before any socket data.
+                    if !leftover.is_empty() {
+                        let now = SimTime(epoch.elapsed().as_nanos() as u64);
+                        if sess
+                            .on_bytes(&leftover, now, &mut outs, &mut stats)
+                            .is_err()
+                        {
+                            stats.errors += 1;
+                            retire_session(sess, roster, live, &mut stats, &mut tele);
+                            continue;
+                        }
+                    }
+                    sessions.push(sess);
                 }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(e),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    inlet_open = false;
+                }
             }
         }
-        // Sweep every session: flush, read, dispatch.
+        let stopping = stop.load(Ordering::Relaxed);
         let mut i = 0;
         while i < sessions.len() {
             let sess = &mut sessions[i];
@@ -258,42 +620,98 @@ fn run_server(
             // the close below.
             let flushed = sess.conn.flush().unwrap_or(0);
             progress |= flushed > 0;
-            let n = match sess.conn.read_into(&mut scratch) {
-                Ok(n) => n,
-                Err(_) => {
-                    stats.errors += 1;
-                    sessions.swap_remove(i);
-                    continue;
-                }
-            };
-            if n > 0 {
-                progress = true;
-                let now = SimTime(epoch.elapsed().as_nanos() as u64);
-                match sess.on_bytes(&scratch[..n], now, &mut roster, mode, &mut outs, &mut stats) {
-                    Ok(()) => {}
+            let mut drop_sess = false;
+            let mut errored = false;
+            if sess.skip > 0 && !stopping {
+                sess.skip -= 1;
+            } else {
+                match sess.conn.read_into(&mut scratch) {
+                    Ok(n) if n > 0 => {
+                        progress = true;
+                        sess.misses = 0;
+                        let now = SimTime(epoch.elapsed().as_nanos() as u64);
+                        if sess
+                            .on_bytes(&scratch[..n], now, &mut outs, &mut stats)
+                            .is_err()
+                        {
+                            drop_sess = true;
+                            errored = true;
+                        }
+                    }
+                    Ok(_) => {
+                        sess.misses += 1;
+                        sess.skip = (1u32 << sess.misses.min(4)).min(MAX_READ_SKIP);
+                    }
                     Err(_) => {
-                        stats.errors += 1;
-                        sessions.swap_remove(i);
-                        continue;
+                        drop_sess = true;
+                        errored = true;
                     }
                 }
             }
-            if sess.conn.is_closed() && sess.conn.out.pending() == 0 {
-                sessions.swap_remove(i);
+            if !drop_sess && sess.conn.is_closed() && sess.conn.out.pending() == 0 {
+                drop_sess = true;
+            }
+            if drop_sess || stopping {
+                if errored {
+                    stats.errors += 1;
+                }
+                let sess = sessions.swap_remove(i);
+                retire_session(sess, roster, live, &mut stats, &mut tele);
                 progress = true;
                 continue;
             }
             i += 1;
         }
-        if sessions.is_empty() && stats.accepted > 0 {
-            return Ok(stats);
+        if stopping || (!inlet_open && sessions.is_empty()) {
+            break;
         }
         if progress {
+            stats.wakeups += 1;
+            tele.count(wire_keys::WAKEUPS, 1);
             pacer.progressed();
         } else {
-            pacer.idle();
+            // Idle sweeps still tick each session's skip countdown, so
+            // a skipped session is re-polled within MAX_READ_SKIP pacer
+            // periods — the skip schedule needs no reset on idle.
+            let in_flight = sessions.iter().any(|s| s.conn.out.pending() > 0);
+            pacer.idle(in_flight);
         }
     }
+    for sess in sessions.drain(..) {
+        retire_session(sess, roster, live, &mut stats, &mut tele);
+    }
+    tele.count(wire_keys::OPS, stats.ops);
+    ShardExit {
+        stats,
+        recorder: tele.take(),
+    }
+}
+
+/// Releases a closing session's roster claim and folds its I/O counters
+/// into the shard totals (and telemetry, when recording).
+fn retire_session(
+    sess: Session,
+    roster: &[RosterSlot],
+    live: &AtomicUsize,
+    stats: &mut ShardStats,
+    tele: &mut Telemetry,
+) {
+    let IoCounters {
+        bytes_in,
+        bytes_out,
+        would_block,
+        watermark_stalls,
+    } = sess.conn.io;
+    stats.bytes_in += bytes_in;
+    stats.bytes_out += bytes_out;
+    stats.would_block += would_block;
+    stats.watermark_stalls += watermark_stalls;
+    tele.count(wire_keys::BYTES_IN, bytes_in);
+    tele.count(wire_keys::BYTES_OUT, bytes_out);
+    tele.count(wire_keys::WOULD_BLOCK, would_block);
+    tele.count(wire_keys::WATERMARK_STALLS, watermark_stalls);
+    roster[sess.slot].claimed.store(false, Ordering::Release);
+    live.fetch_sub(1, Ordering::Relaxed);
 }
 
 impl Session {
@@ -301,62 +719,10 @@ impl Session {
         &mut self,
         bytes: &[u8],
         now: SimTime,
-        roster: &mut [RosterEntry],
-        mode: &ServerMode,
         outs: &mut Vec<AgentOutput>,
-        stats: &mut ServerStats,
+        stats: &mut ShardStats,
     ) -> io::Result<()> {
         match &mut self.state {
-            SessState::Handshake(framer) => {
-                let mut input = bytes;
-                let hello = framer
-                    .next_message_from(&mut input)
-                    .map_err(|_| proto_err("unparseable handshake"))?;
-                let Some((_, msg)) = hello else {
-                    return Ok(()); // hello still torn; keep waiting
-                };
-                let Message::Vendor { vendor, data } = msg else {
-                    return Err(proto_err("first frame must be a vendor hello"));
-                };
-                if vendor != TANGO_VENDOR {
-                    return Err(proto_err("unknown vendor id in hello"));
-                }
-                let VtMsg::Hello { dpid } =
-                    VtMsg::decode(&data).map_err(|_| proto_err("bad hello payload"))?
-                else {
-                    return Err(proto_err("first vt message must be hello"));
-                };
-                let entry = roster
-                    .iter_mut()
-                    .find(|e| e.dpid.0 == dpid)
-                    .ok_or_else(|| proto_err("hello for a dpid not in the roster"))?;
-                let profile = entry
-                    .profile
-                    .take()
-                    .ok_or_else(|| proto_err("dpid already claimed"))?;
-                let agent = Agent::new(Switch::new(profile, entry.dpid, entry.seed));
-                let mut leftover = framer.take_pending();
-                leftover.extend_from_slice(input);
-                self.state = match mode {
-                    ServerMode::Realtime => SessState::Realtime(Box::new(RtState { agent })),
-                    ServerMode::Virtual { link } => SessState::Virtual(Box::new(VtState {
-                        dpid: entry.dpid,
-                        agent,
-                        link: *link,
-                        rng: entry.link_rng.clone(),
-                        timeline: VirtualTimeline::new(),
-                        barriers: BarrierTracker::new(),
-                        framer: Framer::new(),
-                        cur: None,
-                        spare: Vec::new(),
-                    })),
-                };
-                if leftover.is_empty() {
-                    Ok(())
-                } else {
-                    self.on_bytes(&leftover, now, roster, mode, outs, stats)
-                }
-            }
             SessState::Realtime(rt) => {
                 outs.clear();
                 rt.agent

@@ -103,12 +103,7 @@ fn realtime_bench_smoke() {
         .collect::<Vec<_>>();
     let server =
         AgentServer::spawn(1, roster, ServerMode::Realtime).expect("loopback server spawns");
-    let cfg = WireBenchConfig {
-        connections: 2,
-        window: 64,
-        barrier_every: 16,
-        ops_per_conn: 500,
-    };
+    let cfg = WireBenchConfig::new(2, 64, 16, 500);
     let result = run_wire_bench(server.addr(), cfg).expect("bench runs");
     let stats = server.shutdown().expect("server exits cleanly");
 

@@ -1,0 +1,152 @@
+//! Property tests for the segmented [`OutBuf`] against a naive
+//! `Vec<u8>` oracle, and for the [`Watermark`] hysteresis against its
+//! two-state model.
+//!
+//! `OutBuf` is the write side of every connection in the sharded
+//! reactor: frames append into recycled fixed-capacity segments and a
+//! flush hands the kernel everything at once via `write_vectored`,
+//! advancing a drain cursor through partially-written segments. The
+//! oracle is the structure it replaced — one flat `Vec<u8>` plus a
+//! cursor — which is trivially correct but memmoves on compaction. Any
+//! divergence in delivered bytes, order, or accounting is a bug in the
+//! segment bookkeeping (roll, recycle, cursor advance), which is
+//! exactly the code a partial `write_vectored` return exercises.
+
+use proptest::prelude::*;
+use std::io::{self, Write};
+use tango_net::reactor::{OutBuf, Watermark};
+
+/// A sink that accepts at most `budget` bytes, then returns
+/// `WouldBlock` — the shape of a congested non-blocking socket. The
+/// default `write_vectored` forwards to `write` with the first
+/// non-empty slice, so short accepts land mid-segment and `OutBuf`
+/// must resume from its drain cursor.
+struct Throttle {
+    got: Vec<u8>,
+    budget: usize,
+}
+
+impl Write for Throttle {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.budget == 0 {
+            return Err(io::Error::new(io::ErrorKind::WouldBlock, "full"));
+        }
+        let n = buf.len().min(self.budget);
+        self.got.extend_from_slice(&buf[..n]);
+        self.budget -= n;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+proptest! {
+    /// Interleaved appends and throttled flushes: after every step the
+    /// buffer's accounting matches the oracle (`pending` = appended
+    /// minus delivered) and the sink holds exactly the oracle prefix —
+    /// no byte lost, duplicated, or reordered across segment rolls,
+    /// pool recycling, or mid-segment cursor stops.
+    #[test]
+    fn outbuf_matches_vec_oracle(
+        ops in proptest::collection::vec((0u8..2, 1usize..5000), 1..40),
+    ) {
+        let mut out = OutBuf::new();
+        // The oracle: every byte ever appended, in order, plus a drain
+        // cursor counting bytes the sink has accepted.
+        let mut oracle: Vec<u8> = Vec::new();
+        let mut sent = 0usize;
+        let mut sink = Throttle { got: Vec::new(), budget: 0 };
+        let mut pattern = 0u8;
+        for &(kind, amount) in &ops {
+            if kind == 0 {
+                // Append `amount` patterned bytes through tail(),
+                // chunked at an odd stride so appends straddle the
+                // segment-roll boundary at irregular offsets.
+                let mut remaining = amount;
+                while remaining > 0 {
+                    let chunk = remaining.min(997);
+                    let tail = out.tail();
+                    for _ in 0..chunk {
+                        tail.push(pattern);
+                        oracle.push(pattern);
+                        pattern = pattern.wrapping_add(1);
+                    }
+                    remaining -= chunk;
+                }
+            } else {
+                sink.budget = amount;
+                let before = out.pending();
+                let moved = out.write_to(&mut sink).unwrap();
+                // The sink accepts up to its budget per call and
+                // write_to loops until WouldBlock, so the drain moves
+                // exactly min(pending, budget) — cursor progress is
+                // total, not best-effort.
+                prop_assert_eq!(moved, before.min(amount));
+                sent += moved;
+            }
+            prop_assert_eq!(out.pending(), oracle.len() - sent);
+            prop_assert_eq!(&sink.got[..], &oracle[..sent]);
+        }
+        // A final unthrottled flush drains everything that remains.
+        sink.budget = usize::MAX;
+        out.write_to(&mut sink).unwrap();
+        prop_assert_eq!(out.pending(), 0);
+        prop_assert_eq!(sink.got, oracle);
+    }
+
+    /// An untouched `tail()` (a caller that reserved the append end
+    /// but encoded nothing) never corrupts accounting or output.
+    #[test]
+    fn outbuf_unused_tail_is_harmless(
+        appends in proptest::collection::vec(0usize..200, 1..30),
+    ) {
+        let mut out = OutBuf::new();
+        let mut oracle = Vec::new();
+        for (i, &n) in appends.iter().enumerate() {
+            let tail = out.tail();
+            for _ in 0..n {
+                tail.push(i as u8);
+                oracle.push(i as u8);
+            }
+            prop_assert_eq!(out.pending(), oracle.len());
+        }
+        let mut sink = Throttle { got: Vec::new(), budget: usize::MAX };
+        out.write_to(&mut sink).unwrap();
+        prop_assert_eq!(sink.got, oracle);
+        prop_assert_eq!(out.pending(), 0);
+    }
+
+    /// The watermark hysteresis against its two-state model: reads
+    /// pause at `pending >= high` (inclusive), stay paused anywhere in
+    /// the [low, high) band, and resume only below `low` (exclusive).
+    /// The band is the point — a level hovering at one boundary must
+    /// not toggle the read state sweep to sweep.
+    #[test]
+    fn watermark_tracks_hysteresis_model(
+        low in 1usize..500,
+        gap in 1usize..500,
+        ops in proptest::collection::vec((0u8..2, 0usize..1200), 1..80),
+    ) {
+        let high = low + gap;
+        let mut wm = Watermark::new(high, low);
+        let mut paused = false;
+        for &(kind, level) in &ops {
+            if kind == 0 {
+                // Pre-read check at this pending level.
+                if level >= high {
+                    paused = true;
+                }
+                prop_assert_eq!(wm.allow_read(level), !paused);
+            } else {
+                // Post-flush report at this pending level.
+                wm.drained(level);
+                if paused && level < low {
+                    paused = false;
+                }
+            }
+            prop_assert_eq!(wm.is_paused(), paused);
+        }
+    }
+}
